@@ -1,0 +1,316 @@
+(* qsmt — command-line front end for the quantum-annealing string solver.
+
+   Subcommands:
+     qsmt run FILE.smt2        execute an SMT-LIB script
+     qsmt gen OP ARGS          generate a string for one operation
+     qsmt matrix OP ARGS       print the QUBO matrix for one operation
+     qsmt samplers             list available samplers
+
+   `qsmt gen --help` documents the operations. *)
+
+module Constr = Qsmt_strtheory.Constr
+module Solver = Qsmt_strtheory.Solver
+module Compile = Qsmt_strtheory.Compile
+module Qubo = Qsmt_qubo.Qubo
+module Qubo_print = Qsmt_qubo.Qubo_print
+module Sampler = Qsmt_anneal.Sampler
+module Sa = Qsmt_anneal.Sa
+module Sqa = Qsmt_anneal.Sqa
+module Tabu = Qsmt_anneal.Tabu
+module Greedy = Qsmt_anneal.Greedy
+module Interp = Qsmt_smtlib.Interp
+module Strsolver = Qsmt_classical.Strsolver
+module Smtgen = Qsmt_strtheory.Smtgen
+module Qubo_io = Qsmt_qubo.Qubo_io
+module Dimacs = Qsmt_classical.Dimacs
+module Bitblast = Qsmt_classical.Bitblast
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared options *)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (results are deterministic per seed).")
+
+let reads_arg =
+  Arg.(value & opt int 32 & info [ "reads" ] ~docv:"N" ~doc:"Annealing reads (independent runs).")
+
+let sweeps_arg =
+  Arg.(value & opt int 1000 & info [ "sweeps" ] ~docv:"N" ~doc:"Metropolis sweeps per read.")
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for reads.")
+
+let sampler_arg =
+  let choices = [ ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu); ("greedy", `Greedy); ("exact", `Exact); ("classical", `Classical) ] in
+  Arg.(
+    value
+    & opt (enum choices) `Sa
+    & info [ "sampler" ] ~docv:"NAME"
+        ~doc:"Solver backend: $(b,sa) (simulated annealing), $(b,sqa) (simulated quantum annealing), $(b,tabu), $(b,greedy), $(b,exact) (exhaustive, small problems), $(b,classical) (CDCL bit-blasting).")
+
+let build_sampler kind ~seed ~reads ~sweeps ~domains =
+  match kind with
+  | `Sa -> Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed; reads; sweeps; domains } ()
+  | `Sqa ->
+    Sampler.simulated_quantum_annealing
+      ~params:{ Sqa.default with Sqa.seed; reads; sweeps = max 1 (sweeps / 2); domains } ()
+  | `Tabu -> Sampler.tabu ~params:{ Tabu.default with Tabu.seed; restarts = reads; iterations = sweeps } ()
+  | `Greedy ->
+    ignore Greedy.default;
+    Sampler.greedy ~params:{ Greedy.seed; restarts = reads; domains } ()
+  | `Exact -> Sampler.exact ()
+  | `Classical -> Sampler.exact () (* placeholder; classical handled separately *)
+
+(* ------------------------------------------------------------------ *)
+(* operation parsing for `gen` and `matrix` *)
+
+let constraint_of_op op args =
+  let int s = match int_of_string_opt s with Some n -> Ok n | None -> Error (`Msg (s ^ " is not an integer")) in
+  let char s = if String.length s = 1 then Ok s.[0] else Error (`Msg (s ^ " is not a single character")) in
+  let ( let* ) = Result.bind in
+  match (op, args) with
+  | "equals", [ s ] -> Ok (Constr.Equals s)
+  | "concat", parts when parts <> [] -> Ok (Constr.Concat parts)
+  | "contains", [ len; sub ] ->
+    let* length = int len in
+    Ok (Constr.Contains { length; substring = sub })
+  | "includes", [ haystack; needle ] -> Ok (Constr.Includes { haystack; needle })
+  | "indexof", [ len; sub; idx ] ->
+    let* length = int len in
+    let* index = int idx in
+    Ok (Constr.Index_of { length; substring = sub; index })
+  | "length", [ chars; target ] ->
+    let* num_chars = int chars in
+    let* target_length = int target in
+    Ok (Constr.Has_length { num_chars; target_length })
+  | "replace-all", [ src; f; r ] ->
+    let* find = char f in
+    let* replace = char r in
+    Ok (Constr.Replace_all { source = src; find; replace })
+  | "replace", [ src; f; r ] ->
+    let* find = char f in
+    let* replace = char r in
+    Ok (Constr.Replace_first { source = src; find; replace })
+  | "reverse", [ s ] -> Ok (Constr.Reverse s)
+  | "palindrome", [ len ] ->
+    let* length = int len in
+    Ok (Constr.Palindrome { length })
+  | "regex", [ pattern; len ] ->
+    let* length = int len in
+    let* pattern =
+      match Qsmt_regex.Parser.parse pattern with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg ("bad regex: " ^ e))
+    in
+    Ok (Constr.Regex { pattern; length })
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown operation %S or wrong arguments. Operations: equals S | concat S... | \
+            contains LEN SUB | includes HAY NEEDLE | indexof LEN SUB IDX | length CHARS TARGET \
+            | replace-all SRC C D | replace SRC C D | reverse S | palindrome LEN | regex PAT LEN"
+           op))
+
+let op_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operation name.")
+let op_args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Operation arguments.")
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let gen_action op args sampler_kind seed reads sweeps domains show_matrix =
+  match constraint_of_op op args with
+  | Error (`Msg m) ->
+    prerr_endline ("qsmt: " ^ m);
+    2
+  | Ok constr -> begin
+    match Constr.validate constr with
+    | Error m ->
+      prerr_endline ("qsmt: invalid constraint: " ^ m);
+      2
+    | Ok () ->
+      Format.printf "constraint: %s@." (Constr.describe constr);
+      if sampler_kind = `Classical then begin
+        let o = Strsolver.solve constr in
+        (match o.Strsolver.result with
+        | `Sat ->
+          (match o.Strsolver.value with
+          | Some v -> Format.printf "result    : %a (%s)@." Constr.pp_value v
+                        (if o.Strsolver.satisfied then "verified" else "NOT verified")
+          | None -> ());
+          Format.printf "cdcl      : %a@." Qsmt_classical.Cdcl.pp_stats o.Strsolver.sat_stats
+        | `Unsat -> Format.printf "result    : unsat@."
+        | `Unknown -> Format.printf "result    : unknown (budget)@.");
+        if o.Strsolver.satisfied || o.Strsolver.result = `Unsat then 0 else 1
+      end
+      else begin
+        let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains in
+        let outcome, timing = Solver.solve_timed ~sampler constr in
+        if show_matrix then
+          Format.printf "matrix    :@.%a@."
+            (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
+            outcome.Solver.qubo;
+        Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
+        Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value outcome.Solver.value
+          outcome.Solver.energy
+          (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
+        Format.printf "timing    : encode %.1fus anneal %.1fms decode %.1fus@."
+          (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
+          (1e6 *. timing.Solver.decode_s);
+        if outcome.Solver.satisfied then 0 else 1
+      end
+  end
+
+let gen_cmd =
+  let show_matrix =
+    Arg.(value & flag & info [ "matrix" ] ~doc:"Also print the (abbreviated) QUBO matrix.")
+  in
+  let term =
+    Term.(
+      const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
+      $ domains_arg $ show_matrix)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "qsmt gen reverse hello";
+           `P "qsmt gen palindrome 6 --sampler sqa";
+           `P "qsmt gen regex 'a[bc]+' 5 --seed 3 --matrix";
+           `P "qsmt gen includes 'hello world' world --sampler classical";
+         ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* matrix *)
+
+let matrix_action op args full =
+  match constraint_of_op op args with
+  | Error (`Msg m) ->
+    prerr_endline ("qsmt: " ^ m);
+    2
+  | Ok constr -> begin
+    match Constr.validate constr with
+    | Error m ->
+      prerr_endline ("qsmt: invalid constraint: " ^ m);
+      2
+    | Ok () ->
+      let q = Compile.to_qubo constr in
+      Format.printf "%s@.%a@.%a@." (Constr.describe constr) Qubo.pp q
+        (fun ppf q ->
+          if full then Qubo_print.pp_sparse ppf q else Qubo_print.pp_dense ~max_dim:14 ppf q)
+        q;
+      0
+  end
+
+let matrix_cmd =
+  let full = Arg.(value & flag & info [ "sparse" ] ~doc:"Print every entry (sparse listing) instead of the dense block.") in
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"Print the QUBO encoding of one operation (Table 1 style).")
+    Term.(const matrix_action $ op_arg $ op_args $ full)
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_action path sampler_kind seed reads sweeps domains =
+  let source =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains in
+  match Interp.run_string ~sampler source with
+  | Ok lines ->
+    List.iter print_endline lines;
+    0
+  | Error msg ->
+    prerr_endline ("qsmt: " ^ msg);
+    2
+
+let run_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"SMT-LIB script ($(b,-) for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an SMT-LIB script (QF_S generative fragment).")
+    Term.(const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_action op args format =
+  match constraint_of_op op args with
+  | Error (`Msg m) ->
+    prerr_endline ("qsmt: " ^ m);
+    2
+  | Ok constr -> begin
+    match format with
+    | `Qubo -> begin
+      match Constr.validate constr with
+      | Error m ->
+        prerr_endline ("qsmt: invalid constraint: " ^ m);
+        2
+      | Ok () ->
+        print_string (Qubo_io.to_string (Compile.to_qubo constr));
+        0
+    end
+    | `Dimacs ->
+      print_string (Dimacs.to_string (Bitblast.encode constr));
+      0
+    | `Smt2 -> begin
+      match Smtgen.script constr with
+      | Ok text ->
+        print_string text;
+        0
+      | Error m ->
+        prerr_endline ("qsmt: " ^ m);
+        2
+    end
+  end
+
+let export_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("qubo", `Qubo); ("dimacs", `Dimacs); ("smt2", `Smt2) ]) `Qubo
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,qubo) (COO text of the annealing encoding), $(b,dimacs) (CNF of \
+             the classical bit-blasting), $(b,smt2) (a runnable SMT-LIB script).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export one operation's encoding (QUBO / DIMACS CNF / SMT-LIB script) to stdout."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "qsmt export palindrome 4 --format qubo";
+           `P "qsmt export contains 4 cat --format dimacs | minisat /dev/stdin";
+           `P "qsmt export regex 'a[bc]+' 5 --format smt2 | z3 -in";
+         ])
+    Term.(const export_action $ op_arg $ op_args $ format)
+
+(* ------------------------------------------------------------------ *)
+(* samplers *)
+
+let samplers_action () =
+  print_endline "sa         simulated annealing (D-Wave neal equivalent; the paper's solver)";
+  print_endline "sqa        simulated quantum annealing (path-integral Monte Carlo)";
+  print_endline "tabu       tabu search";
+  print_endline "greedy     steepest-descent with restarts";
+  print_endline "exact      exhaustive ground-state search (<= 30 variables)";
+  print_endline "classical  CDCL SAT solver over bit-blasted constraints (complete)";
+  0
+
+let samplers_cmd =
+  Cmd.v (Cmd.info "samplers" ~doc:"List available solver backends.") Term.(const samplers_action $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "qsmt" ~version:"1.0.0"
+       ~doc:"Quantum-annealing SMT solver for the theory of strings (QUBO formulations).")
+    [ run_cmd; gen_cmd; matrix_cmd; export_cmd; samplers_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/annealing_lab.ml: Format List Qsmt_anneal Qsmt_qubo Qsmt_util Unix

@@ -1,0 +1,1 @@
+examples/conjunctions.ml: Format List Qsmt_qubo Qsmt_regex Qsmt_smtlib Qsmt_strtheory Qsmt_util String

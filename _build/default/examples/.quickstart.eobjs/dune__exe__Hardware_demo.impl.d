@@ -1,0 +1,1 @@
+examples/hardware_demo.ml: Format List Qsmt_anneal Qsmt_qubo Qsmt_strtheory String

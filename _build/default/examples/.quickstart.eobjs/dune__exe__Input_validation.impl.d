@@ -1,0 +1,1 @@
+examples/input_validation.ml: Format List Qsmt_classical Qsmt_regex Qsmt_strtheory String

@@ -1,0 +1,1 @@
+examples/input_validation.mli:

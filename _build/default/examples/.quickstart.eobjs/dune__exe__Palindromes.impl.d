@@ -1,0 +1,1 @@
+examples/palindromes.ml: Format List Qsmt_anneal Qsmt_strtheory Qsmt_util String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Qsmt_qubo Qsmt_regex Qsmt_strtheory

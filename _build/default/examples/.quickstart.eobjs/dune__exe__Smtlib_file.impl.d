@@ -1,0 +1,1 @@
+examples/smtlib_file.ml: Format In_channel List Qsmt_smtlib Sys

@@ -1,0 +1,1 @@
+examples/smtlib_file.mli:

@@ -1,0 +1,59 @@
+(* Annealing lab: the instrumentation a practitioner would reach for
+   before trusting an annealer with real constraints.
+
+   Run with:  dune exec examples/annealing_lab.exe
+
+   Three experiments on one planted spin glass (ground truth known by
+   construction): (1) time-to-solution per sampler, the annealing
+   literature's figure of merit; (2) SA convergence — is the default
+   schedule longer than the instance needs?; (3) preprocessing — does
+   the instance even need a sampler? *)
+
+module Prng = Qsmt_util.Prng
+module Qubo = Qsmt_qubo.Qubo
+module Preprocess = Qsmt_qubo.Preprocess
+module Sampler = Qsmt_anneal.Sampler
+module Sampleset = Qsmt_anneal.Sampleset
+module Metrics = Qsmt_anneal.Metrics
+module Spinglass = Qsmt_anneal.Spinglass
+module Convergence = Qsmt_anneal.Convergence
+module Topology = Qsmt_anneal.Topology
+
+let () =
+  let rng = Prng.create 99 in
+  let graph = Topology.graph (Topology.king ~rows:4 ~cols:5) in
+  let q, _target, ground = Spinglass.planted ~rng ~coupling:Spinglass.Gaussian graph in
+  Format.printf "instance: planted Gaussian spin glass, %d vars, %d couplers, ground %.3f@.@."
+    (Qubo.num_vars q) (Qubo.num_interactions q) ground;
+
+  Format.printf "== 1. time-to-solution per sampler (99%% confidence) ==@.";
+  List.iter
+    (fun sampler ->
+      let t0 = Unix.gettimeofday () in
+      let samples = Sampler.run sampler q in
+      let dt = Unix.gettimeofday () -. t0 in
+      let reads = max 1 (Sampleset.total_reads samples) in
+      let p = Metrics.success_probability samples ~ground_energy:ground () in
+      let tts =
+        if p > 0. then
+          Metrics.time_to_solution ~time_per_read:(dt /. float_of_int reads) ~p_success:p ()
+        else None
+      in
+      Format.printf "  %-8s p=%3.0f%%  TTS=%a@." (Sampler.name sampler) (100. *. p)
+        Metrics.pp_tts tts)
+    (Sampler.default_suite ~seed:17);
+
+  Format.printf "@.== 2. does SA need its full schedule? ==@.";
+  let t = Convergence.sa_trajectory ~reads:16 ~sweeps:500 ~seed:4 q in
+  Format.printf "  %a@." Convergence.pp t;
+  (match Convergence.sweeps_to_reach t ~target:ground ~tol:1e-6 () with
+  | Some k -> Format.printf "  mean best reaches the plant after %d/500 sweeps@." k
+  | None -> Format.printf "  mean best never reaches the plant (%.3f short)@."
+              (t.Convergence.final_best -. ground));
+
+  Format.printf "@.== 3. does it even need a sampler? ==@.";
+  let red = Preprocess.reduce q in
+  Format.printf "  %a@." Preprocess.pp red;
+  Format.printf
+    "  (a frustrated instance keeps its variables; compare a string-equality@.\
+    \   encoding, which preprocessing solves outright — see EXPERIMENTS.md Ext-6)@."

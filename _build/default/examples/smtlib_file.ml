@@ -1,0 +1,51 @@
+(* SMT-LIB front end: solve scripts through the standard surface syntax.
+
+   Run with:  dune exec examples/smtlib_file.exe [file.smt2]
+
+   Without an argument, runs three embedded scripts covering the
+   generative fragment: equality with ground folding, regex membership,
+   and the paper's replaceAll extension. With a file argument, runs that
+   script instead. *)
+
+module Interp = Qsmt_smtlib.Interp
+
+let embedded =
+  [
+    ( "fold + equality",
+      {|(set-logic QF_S)
+        (declare-const x String)
+        (assert (= x (str.replace_all "hello world" "l" "x")))
+        (check-sat)
+        (get-value (x))|} );
+    ( "regex membership",
+      {|(set-logic QF_S)
+        (declare-const x String)
+        (assert (str.in_re x (re.++ (str.to_re "a")
+                                    (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+        (assert (= (str.len x) 5))
+        (check-sat)
+        (get-model)|} );
+    ( "indexOf as a position search",
+      {|(set-logic QF_SLIA)
+        (declare-const i Int)
+        (assert (= i (str.indexof "find the needle in here" "needle" 0)))
+        (check-sat)
+        (get-value (i))|} );
+  ]
+
+let run_source name source =
+  Format.printf "== %s ==@." name;
+  (match Interp.run_string source with
+  | Ok lines -> List.iter print_endline lines
+  | Error msg -> Format.printf "error: %s@." msg);
+  Format.printf "@."
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter (fun (name, src) -> run_source name src) embedded
+  | [| _; path |] ->
+    let source = In_channel.with_open_text path In_channel.input_all in
+    run_source path source
+  | _ ->
+    prerr_endline "usage: smtlib_file [script.smt2]";
+    exit 2

@@ -1,0 +1,1 @@
+lib/anneal/chain.ml: Array Embedding Float List Printf Qsmt_qubo Qsmt_util

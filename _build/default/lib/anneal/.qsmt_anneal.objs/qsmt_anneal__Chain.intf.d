@@ -1,0 +1,1 @@
+lib/anneal/chain.mli: Embedding Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/anneal/convergence.ml: Array Format Qsmt_qubo Qsmt_util Sa Schedule

@@ -1,0 +1,1 @@
+lib/anneal/convergence.mli: Format Qsmt_qubo

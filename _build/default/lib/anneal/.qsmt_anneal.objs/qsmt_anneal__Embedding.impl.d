@@ -1,0 +1,1 @@
+lib/anneal/embedding.ml: Array Format Hashtbl List Printf Qsmt_qubo Qsmt_util Queue

@@ -1,0 +1,1 @@
+lib/anneal/embedding.mli: Format Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/anneal/exact.ml: List Printf Qsmt_qubo Qsmt_util Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/exact.mli: Qsmt_qubo Qsmt_util Sampleset

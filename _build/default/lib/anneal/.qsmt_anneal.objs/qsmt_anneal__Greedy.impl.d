@@ -1,0 +1,1 @@
+lib/anneal/greedy.ml: Array Qsmt_qubo Qsmt_util Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/greedy.mli: Qsmt_qubo Qsmt_util Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/hardware.ml: Chain Embedding Float List Printf Qsmt_qubo Qsmt_util Sa Sampleset Topology

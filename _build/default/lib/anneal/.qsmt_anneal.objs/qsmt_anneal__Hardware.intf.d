@@ -1,0 +1,1 @@
+lib/anneal/hardware.mli: Embedding Qsmt_qubo Sa Sampleset Topology

@@ -1,0 +1,1 @@
+lib/anneal/metrics.ml: Float Format List Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/metrics.mli: Format Sampleset

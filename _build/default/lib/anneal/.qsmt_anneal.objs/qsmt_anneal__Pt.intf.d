@@ -1,0 +1,1 @@
+lib/anneal/pt.mli: Qsmt_qubo Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/sa.mli: Qsmt_qubo Qsmt_util Sampleset Schedule

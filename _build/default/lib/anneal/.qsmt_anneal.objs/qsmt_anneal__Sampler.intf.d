@@ -1,0 +1,1 @@
+lib/anneal/sampler.mli: Greedy Hardware Pt Qsmt_qubo Sa Sampleset Sqa Tabu

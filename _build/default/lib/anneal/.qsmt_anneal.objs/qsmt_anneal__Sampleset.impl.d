@@ -1,0 +1,1 @@
+lib/anneal/sampleset.ml: Array Format Hashtbl List Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/anneal/sampleset.mli: Format Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/anneal/schedule.ml: Array Float Format List Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/anneal/spinglass.ml: Array Float List Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/anneal/spinglass.mli: Qsmt_qubo Qsmt_util

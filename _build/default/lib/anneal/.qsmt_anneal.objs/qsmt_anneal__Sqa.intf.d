@@ -1,0 +1,1 @@
+lib/anneal/sqa.mli: Qsmt_qubo Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/tabu.ml: Array Qsmt_qubo Qsmt_util Sampleset

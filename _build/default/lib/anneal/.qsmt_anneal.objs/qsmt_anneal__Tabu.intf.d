@@ -1,0 +1,1 @@
+lib/anneal/tabu.mli: Qsmt_qubo Sampleset

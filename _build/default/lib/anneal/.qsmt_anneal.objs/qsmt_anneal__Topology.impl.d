@@ -1,0 +1,1 @@
+lib/anneal/topology.ml: Printf Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/anneal/topology.mli: Qsmt_qubo

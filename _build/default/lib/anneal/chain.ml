@@ -1,0 +1,65 @@
+module Bitvec = Qsmt_util.Bitvec
+module Qubo = Qsmt_qubo.Qubo
+module Qgraph = Qsmt_qubo.Qgraph
+
+let default_strength q = Float.max 1. (2. *. Qubo.max_abs_coefficient q)
+
+let embed_qubo q ~embedding ~hardware ~chain_strength =
+  let b = Qubo.builder () in
+  Qubo.iter_linear q (fun i v ->
+      let c = Embedding.chain embedding i in
+      let share = v /. float_of_int (List.length c) in
+      List.iter (fun qubit -> Qubo.add b qubit qubit share) c);
+  Qubo.iter_quadratic q (fun i j v ->
+      let ci = Embedding.chain embedding i and cj = Embedding.chain embedding j in
+      let edges =
+        List.concat_map
+          (fun a -> List.filter_map (fun bq -> if Qgraph.mem_edge hardware a bq then Some (a, bq) else None) cj)
+          ci
+      in
+      match edges with
+      | [] ->
+        invalid_arg
+          (Printf.sprintf "Chain.embed_qubo: coupler (%d,%d) has no hardware edge between chains" i
+             j)
+      | _ ->
+        let share = v /. float_of_int (List.length edges) in
+        List.iter (fun (a, bq) -> Qubo.add b a bq share) edges);
+  (* Ferromagnetic chain penalty on every intra-chain hardware edge:
+     C(x_a - x_b)^2 = C x_a + C x_b - 2C x_a x_b. *)
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun bq ->
+              if a < bq && Qgraph.mem_edge hardware a bq then begin
+                Qubo.add b a a chain_strength;
+                Qubo.add b bq bq chain_strength;
+                Qubo.add b a bq (-2. *. chain_strength)
+              end)
+            c)
+        c)
+    (Embedding.chains embedding);
+  Qubo.add_offset b (Qubo.offset q);
+  Qubo.freeze ~num_vars:(Qgraph.num_vertices hardware) b
+
+let unembed ~embedding sample =
+  let n = Embedding.num_problem_vars embedding in
+  Bitvec.init n (fun v ->
+      let c = Embedding.chain embedding v in
+      let ones = List.fold_left (fun acc q -> if Bitvec.get sample q then acc + 1 else acc) 0 c in
+      2 * ones >= List.length c)
+
+let chain_break_fraction ~embedding sample =
+  let n = Embedding.num_problem_vars embedding in
+  if n = 0 then 0.
+  else begin
+    let broken = ref 0 in
+    for v = 0 to n - 1 do
+      let c = Embedding.chain embedding v in
+      let ones = List.fold_left (fun acc q -> if Bitvec.get sample q then acc + 1 else acc) 0 c in
+      if ones <> 0 && ones <> List.length c then incr broken
+    done;
+    float_of_int !broken /. float_of_int n
+  end

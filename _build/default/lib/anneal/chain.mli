@@ -1,0 +1,41 @@
+(** Chain coupling and chain-break resolution.
+
+    Once an {!Embedding} is fixed, the logical QUBO must be rewritten
+    onto physical qubits: linear terms spread across the chain, couplers
+    placed on the available inter-chain edges, and a ferromagnetic
+    penalty [C·(x_a − x_b)²] added along every chain edge so the chain
+    acts as one variable. Samples coming back may still have *broken*
+    chains (qubits of one chain disagreeing); those are repaired by
+    majority vote before decoding. *)
+
+val default_strength : Qsmt_qubo.Qubo.t -> float
+(** [2 × max |coefficient|], at least [1.] — a simple, robust version of
+    D-Wave's uniform-torque-compensation default. *)
+
+val embed_qubo :
+  Qsmt_qubo.Qubo.t ->
+  embedding:Embedding.t ->
+  hardware:Qsmt_qubo.Qgraph.t ->
+  chain_strength:float ->
+  Qsmt_qubo.Qubo.t
+(** Physical QUBO over [Qgraph.num_vertices hardware] variables:
+    - [Q_ii] of logical [i] is split equally over the chain of [i];
+    - [Q_ij] is split equally over all hardware edges between the two
+      chains;
+    - every hardware edge inside a chain gets the penalty
+      [C x_a + C x_b − 2C x_a x_b] (zero when the chain agrees, [C] per
+      disagreeing edge).
+
+    The embedded problem's ground states project (by {!unembed}) onto the
+    logical ground states when [chain_strength] is large enough.
+    @raise Invalid_argument if a logical coupler has no hardware edge
+    (i.e. the embedding is invalid for this problem). *)
+
+val unembed :
+  embedding:Embedding.t -> Qsmt_util.Bitvec.t -> Qsmt_util.Bitvec.t
+(** Majority vote per chain (ties break to 1, deterministically). The
+    result has one bit per logical variable. *)
+
+val chain_break_fraction : embedding:Embedding.t -> Qsmt_util.Bitvec.t -> float
+(** Fraction of chains whose qubits do not all agree. [0.] when there
+    are no chains. *)

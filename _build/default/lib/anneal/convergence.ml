@@ -1,0 +1,58 @@
+module Prng = Qsmt_util.Prng
+module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+
+type t = {
+  sweeps : int;
+  mean_best : float array;
+  mean_current : float array;
+  final_best : float;
+}
+
+let sa_trajectory ?(reads = 16) ?(sweeps = 500) ?(seed = 0) q =
+  if reads < 1 then invalid_arg "Convergence.sa_trajectory: reads < 1";
+  if sweeps < 1 then invalid_arg "Convergence.sa_trajectory: sweeps < 1";
+  if Qubo.num_vars q = 0 then invalid_arg "Convergence.sa_trajectory: empty problem";
+  let ising = Ising.of_qubo q in
+  let schedule = Schedule.auto ~sweeps ising in
+  (* Ising energy and QUBO energy agree (same offset), so recording the
+     Ising-side energy directly is already in QUBO units. *)
+  let sum_best = Array.make sweeps 0. in
+  let sum_current = Array.make sweeps 0. in
+  let final_best = ref infinity in
+  for r = 0 to reads - 1 do
+    let rng = Prng.create (seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+    let best = ref infinity in
+    let on_sweep ~sweep ~energy =
+      if energy < !best then best := energy;
+      sum_best.(sweep) <- sum_best.(sweep) +. !best;
+      sum_current.(sweep) <- sum_current.(sweep) +. energy
+    in
+    ignore (Sa.anneal_ising ~rng ~schedule ~on_sweep ising);
+    if !best < !final_best then final_best := !best
+  done;
+  let scale = 1. /. float_of_int reads in
+  {
+    sweeps;
+    mean_best = Array.map (fun v -> v *. scale) sum_best;
+    mean_current = Array.map (fun v -> v *. scale) sum_current;
+    final_best = !final_best;
+  }
+
+let sweeps_to_reach t ~target ?(tol = 1e-9) () =
+  let rec go k =
+    if k >= t.sweeps then None
+    else if t.mean_best.(k) <= target +. tol then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let pp ppf t =
+  let sample k = t.mean_best.(min (t.sweeps - 1) k) in
+  Format.fprintf ppf "best-energy trajectory: %.3g -> %.3g -> %.3g -> %.3g -> %.3g (final best %.3g)"
+    (sample 0)
+    (sample (t.sweeps / 4))
+    (sample (t.sweeps / 2))
+    (sample (3 * t.sweeps / 4))
+    (sample (t.sweeps - 1))
+    t.final_best

@@ -1,0 +1,28 @@
+(** Convergence trajectories.
+
+    Records how the annealer's energy evolves over the schedule — the
+    "energy vs sweep" curves annealing papers plot to justify schedule
+    lengths. Each read contributes its best-so-far energy per sweep;
+    trajectories aggregate reads by mean, so a flat tail says the
+    schedule is long enough and a still-falling tail says it is not. *)
+
+type t = {
+  sweeps : int;
+  mean_best : float array;  (** mean over reads of best-so-far energy after each sweep *)
+  mean_current : float array;  (** mean over reads of current energy after each sweep *)
+  final_best : float;  (** lowest energy any read reached *)
+}
+
+val sa_trajectory :
+  ?reads:int -> ?sweeps:int -> ?seed:int -> Qsmt_qubo.Qubo.t -> t
+(** Runs plain SA (auto schedule) with per-sweep recording; defaults 16
+    reads × 500 sweeps. Energies are QUBO energies (offset included).
+    @raise Invalid_argument on non-positive reads/sweeps or an empty
+    problem. *)
+
+val sweeps_to_reach : t -> target:float -> ?tol:float -> unit -> int option
+(** First sweep index at which the mean best-so-far energy is within
+    [tol] (default [1e-9]) of [target]; [None] if never. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact sparkline-style summary (start, quartiles, end). *)

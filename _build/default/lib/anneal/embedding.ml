@@ -1,0 +1,255 @@
+module Prng = Qsmt_util.Prng
+module Qgraph = Qsmt_qubo.Qgraph
+
+type t = { chains : int list array }
+
+let chain t v = t.chains.(v)
+let num_problem_vars t = Array.length t.chains
+let chains t = Array.map (fun c -> c) t.chains
+
+let max_chain_length t = Array.fold_left (fun acc c -> max acc (List.length c)) 0 t.chains
+let total_qubits_used t = Array.fold_left (fun acc c -> acc + List.length c) 0 t.chains
+
+let of_chains chains = { chains = Array.map (List.sort_uniq compare) chains }
+let identity n = { chains = Array.init n (fun i -> [ i ]) }
+
+let validate ~problem ~hardware t =
+  let n = Qgraph.num_vertices problem in
+  if Array.length t.chains <> n then
+    Error
+      (Printf.sprintf "embedding covers %d vertices, problem has %d" (Array.length t.chains) n)
+  else begin
+    let hw_n = Qgraph.num_vertices hardware in
+    let owner = Array.make hw_n (-1) in
+    let exception Invalid of string in
+    try
+      (* 1: chains nonempty, in range, disjoint. *)
+      Array.iteri
+        (fun v c ->
+          if c = [] then raise (Invalid (Printf.sprintf "vertex %d has an empty chain" v));
+          List.iter
+            (fun q ->
+              if q < 0 || q >= hw_n then
+                raise (Invalid (Printf.sprintf "chain of %d uses qubit %d outside hardware" v q));
+              if owner.(q) >= 0 then
+                raise
+                  (Invalid (Printf.sprintf "qubit %d used by both %d and %d" q owner.(q) v));
+              owner.(q) <- v)
+            c)
+        t.chains;
+      (* 2: each chain connected in hardware. *)
+      Array.iteri
+        (fun v c ->
+          match c with
+          | [] -> ()
+          | first :: _ ->
+            let in_chain = Hashtbl.create 8 in
+            List.iter (fun q -> Hashtbl.replace in_chain q ()) c;
+            let seen = Hashtbl.create 8 in
+            let queue = Queue.create () in
+            Queue.add first queue;
+            Hashtbl.replace seen first ();
+            while not (Queue.is_empty queue) do
+              let q = Queue.pop queue in
+              List.iter
+                (fun w ->
+                  if Hashtbl.mem in_chain w && not (Hashtbl.mem seen w) then begin
+                    Hashtbl.replace seen w ();
+                    Queue.add w queue
+                  end)
+                (Qgraph.neighbors hardware q)
+            done;
+            if Hashtbl.length seen <> List.length c then
+              raise (Invalid (Printf.sprintf "chain of vertex %d is disconnected" v)))
+        t.chains;
+      (* 3: every problem edge realized by some hardware edge. *)
+      Qgraph.iter_edges problem (fun u v ->
+          let connected =
+            List.exists
+              (fun qu -> List.exists (fun qv -> Qgraph.mem_edge hardware qu qv) t.chains.(v))
+              t.chains.(u)
+          in
+          if not connected then
+            raise (Invalid (Printf.sprintf "problem edge (%d,%d) has no hardware edge" u v)));
+      Ok ()
+    with Invalid msg -> Error msg
+  end
+
+(* BFS from every qubit of [sources] through free qubits only. Returns
+   (dist, parent); chain qubits have dist 0, free qubits their hop count,
+   blocked/unreached have max_int. *)
+let bfs_from_chain hardware ~owner ~sources =
+  let hw_n = Qgraph.num_vertices hardware in
+  let dist = Array.make hw_n max_int in
+  let parent = Array.make hw_n (-1) in
+  let queue = Queue.create () in
+  List.iter
+    (fun q ->
+      dist.(q) <- 0;
+      Queue.add q queue)
+    sources;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) = max_int && owner.(w) = -1 then begin
+          dist.(w) <- dist.(q) + 1;
+          parent.(w) <- q;
+          Queue.add w queue
+        end)
+      (Qgraph.neighbors hardware q)
+  done;
+  (dist, parent)
+
+let attempt ~rng ~problem ~hardware =
+  let n = Qgraph.num_vertices problem in
+  let hw_n = Qgraph.num_vertices hardware in
+  let owner = Array.make hw_n (-1) in
+  let chains = Array.make n [] in
+  let placed = Array.make n false in
+  (* Decreasing degree with random tie-break: high-degree vertices are the
+     hardest to route, place them while the hardware is empty. *)
+  let order = Array.init n (fun v -> v) in
+  Prng.shuffle rng order;
+  Array.sort (fun a b -> compare (Qgraph.degree problem b) (Qgraph.degree problem a)) order;
+  let claim v q =
+    owner.(q) <- v;
+    chains.(v) <- q :: chains.(v)
+  in
+  let free_qubits () =
+    let acc = ref [] in
+    for q = hw_n - 1 downto 0 do
+      if owner.(q) = -1 then acc := q :: !acc
+    done;
+    !acc
+  in
+  let place v =
+    placed.(v) <- true;
+    let neighbors = List.filter (fun u -> u <> v && placed.(u)) (Qgraph.neighbors problem v) in
+    match neighbors with
+    | [] -> begin
+      (* Seed vertex: a random free qubit of maximal degree keeps the
+         richest routing options open. *)
+      match free_qubits () with
+      | [] -> false
+      | free ->
+        let best_deg = List.fold_left (fun acc q -> max acc (Qgraph.degree hardware q)) 0 free in
+        let candidates = Array.of_list (List.filter (fun q -> Qgraph.degree hardware q = best_deg) free) in
+        claim v (Prng.choose rng candidates);
+        true
+    end
+    | _ ->
+      let searches =
+        List.map (fun u -> bfs_from_chain hardware ~owner ~sources:chains.(u)) neighbors
+      in
+      (* Root candidate: free qubit reachable from every neighbor chain,
+         minimizing total distance. *)
+      let best_total = ref max_int and candidates = ref [] in
+      for q = 0 to hw_n - 1 do
+        if owner.(q) = -1 then begin
+          let total =
+            List.fold_left
+              (fun acc (dist, _) ->
+                if acc = max_int || dist.(q) = max_int then max_int else acc + dist.(q))
+              0 searches
+          in
+          if total < !best_total then begin
+            best_total := total;
+            candidates := [ q ]
+          end
+          else if total = !best_total && total < max_int then candidates := q :: !candidates
+        end
+      done;
+      if !best_total = max_int then false
+      else begin
+        let root = Prng.choose rng (Array.of_list !candidates) in
+        claim v root;
+        (* Claim each connecting path, walking parents back to dist 0
+           (which is inside the neighbor's chain and stays there). *)
+        List.iter
+          (fun (dist, parent) ->
+            let cur = ref root in
+            while dist.(!cur) > 0 do
+              if owner.(!cur) = -1 then claim v !cur;
+              cur := parent.(!cur)
+            done)
+          searches;
+        true
+      end
+  in
+  let ok = Array.for_all (fun v -> place v) order in
+  if ok then begin
+    let t = { chains = Array.map (List.sort_uniq compare) chains } in
+    match validate ~problem ~hardware t with Ok () -> Some t | Error _ -> None
+  end
+  else None
+
+let find ?(seed = 0) ?(tries = 16) ~problem ~hardware () =
+  if Qgraph.num_vertices problem = 0 then Some { chains = [||] }
+  else begin
+    let rec loop k =
+      if k >= tries then None
+      else begin
+        let rng = Prng.create (seed lxor ((k + 1) * 0x9E3779B97F4A7C)) in
+        match attempt ~rng ~problem ~hardware with
+        | Some t -> Some t
+        | None -> loop (k + 1)
+      end
+    in
+    loop 0
+  end
+
+let trim ~problem ~hardware t =
+  let chains = Array.map (fun c -> c) t.chains in
+  let n = Array.length chains in
+  (* can qubit [q] leave chain [v]? the rest must stay connected and
+     still touch every neighbor chain *)
+  let removable v q =
+    let rest = List.filter (fun w -> w <> q) chains.(v) in
+    match rest with
+    | [] -> false
+    | first :: _ ->
+      (* connectivity of the remainder *)
+      let in_rest = Hashtbl.create 8 in
+      List.iter (fun w -> Hashtbl.replace in_rest w ()) rest;
+      let seen = Hashtbl.create 8 in
+      let queue = Queue.create () in
+      Hashtbl.replace seen first ();
+      Queue.add first queue;
+      while not (Queue.is_empty queue) do
+        let w = Queue.pop queue in
+        List.iter
+          (fun x ->
+            if Hashtbl.mem in_rest x && not (Hashtbl.mem seen x) then begin
+              Hashtbl.replace seen x ();
+              Queue.add x queue
+            end)
+          (Qgraph.neighbors hardware w)
+      done;
+      Hashtbl.length seen = List.length rest
+      && List.for_all
+           (fun u ->
+             List.exists
+               (fun a -> List.exists (fun b -> Qgraph.mem_edge hardware a b) chains.(u))
+               rest)
+           (Qgraph.neighbors problem v)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      (* try dropping leaf-most qubits first: scan the current chain *)
+      List.iter
+        (fun q ->
+          if List.mem q chains.(v) && List.length chains.(v) > 1 && removable v q then begin
+            chains.(v) <- List.filter (fun w -> w <> q) chains.(v);
+            changed := true
+          end)
+        chains.(v)
+    done
+  done;
+  { chains = Array.map (List.sort_uniq compare) chains }
+
+let pp ppf t =
+  Format.fprintf ppf "embedding: %d vars, %d qubits, max chain %d" (num_problem_vars t)
+    (total_qubits_used t) (max_chain_length t)

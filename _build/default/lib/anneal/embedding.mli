@@ -1,0 +1,64 @@
+(** Minor embedding of problem graphs into hardware graphs.
+
+    A hardware annealer can only realize couplers along its wiring graph;
+    a logical problem variable is therefore represented by a *chain* of
+    physical qubits tied together ferromagnetically. An embedding maps
+    each problem vertex to a chain such that (1) chains are vertex
+    disjoint, (2) each chain is connected in hardware, and (3) every
+    problem edge has at least one hardware edge between the two chains.
+
+    {!find} is a greedy BFS heuristic in the spirit of minorminer's
+    initialization: place variables in decreasing-degree order; for each,
+    pick the free qubit minimizing total hop distance to the chains of
+    its already-placed neighbors, then claim the connecting paths into
+    the new chain. Randomized retries with shuffled tie-breaking recover
+    from unlucky placements. *)
+
+type t
+(** A validated embedding. *)
+
+val find :
+  ?seed:int ->
+  ?tries:int ->
+  problem:Qsmt_qubo.Qgraph.t ->
+  hardware:Qsmt_qubo.Qgraph.t ->
+  unit ->
+  t option
+(** [find ~problem ~hardware ()] searches for an embedding; [tries]
+    (default 16) randomized attempts before giving up. Returns [None] if
+    every attempt fails. An embedding of the empty problem graph is the
+    empty embedding. *)
+
+val of_chains : int list array -> t
+(** Wrap explicit chains (vertex [i] ↦ [chains.(i)], deduplicated and
+    sorted). Not validated — call {!validate}. *)
+
+val identity : int -> t
+(** [identity n] maps vertex [i] to chain [\[i\]] — valid into any
+    hardware graph whose first [n] vertices induce a supergraph of the
+    problem (e.g. a complete topology). Not validated against hardware;
+    use {!validate} if in doubt. *)
+
+val chain : t -> int -> int list
+(** [chain t v] is the physical qubits representing problem vertex [v],
+    ascending. *)
+
+val num_problem_vars : t -> int
+val chains : t -> int list array
+val max_chain_length : t -> int
+val total_qubits_used : t -> int
+
+val validate : problem:Qsmt_qubo.Qgraph.t -> hardware:Qsmt_qubo.Qgraph.t -> t -> (unit, string) result
+(** Checks the three embedding conditions; [Error] explains the first
+    violation found. *)
+
+val trim : problem:Qsmt_qubo.Qgraph.t -> hardware:Qsmt_qubo.Qgraph.t -> t -> t
+(** Post-optimization: repeatedly drops chain qubits that are redundant —
+    removal keeps the chain connected and every incident problem edge
+    still realized — until no chain can shrink. Shorter chains mean
+    fewer physical qubits, weaker chain penalties, and fewer breaks; the
+    greedy router's path-per-neighbor construction routinely leaves such
+    slack. The result is validated-by-construction if the input was
+    valid. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+module Bitvec = Qsmt_util.Bitvec
+module Qubo = Qsmt_qubo.Qubo
+
+let max_vars = 30
+
+let check q =
+  let n = Qubo.num_vars q in
+  if n > max_vars then
+    invalid_arg (Printf.sprintf "Exact: %d variables exceeds the %d-variable cap" n max_vars);
+  n
+
+(* Gray-code walk: assignment k and k+1 differ in exactly bit
+   [ntz (k+1)], so each step is one flip_delta. [visit] receives the
+   current assignment (do not retain it without copying) and its energy. *)
+let enumerate q visit =
+  let n = check q in
+  let x = Bitvec.create n in
+  let e = ref (Qubo.energy q x) in
+  visit x !e;
+  if n > 0 then begin
+    let total = 1 lsl n in
+    for k = 1 to total - 1 do
+      let bit =
+        let rec ntz v acc = if v land 1 = 1 then acc else ntz (v lsr 1) (acc + 1) in
+        ntz k 0
+      in
+      e := !e +. Qubo.flip_delta q x bit;
+      Bitvec.flip x bit;
+      visit x !e
+    done
+  end
+
+let solve ?(keep = 16) q =
+  if keep < 1 then invalid_arg "Exact.solve: keep < 1";
+  (* Keep the best [keep] seen so far in a sorted association list; keep
+     is small so linear insertion is fine. *)
+  let best = ref [] in
+  let count = ref 0 in
+  let worst = ref infinity in
+  let visit x e =
+    if !count < keep || e < !worst then begin
+      let entry = { Sampleset.bits = Bitvec.copy x; energy = e; occurrences = 1 } in
+      let inserted = List.sort (fun a b -> compare a.Sampleset.energy b.Sampleset.energy) (entry :: !best) in
+      let trimmed = List.filteri (fun i _ -> i < keep) inserted in
+      best := trimmed;
+      count := List.length trimmed;
+      worst := (List.nth trimmed (!count - 1)).Sampleset.energy
+    end
+  in
+  enumerate q visit;
+  Sampleset.of_entries !best
+
+let ground_states q =
+  (* Two passes: find the minimum exactly, then collect every assignment
+     within tolerance of it — avoids drift when the running minimum
+     tightens after near-ties were already collected. *)
+  let tol = 1e-9 in
+  let best_e = ref infinity in
+  enumerate q (fun _ e -> if e < !best_e then best_e := e);
+  let states = ref [] in
+  enumerate q (fun x e -> if e <= !best_e +. tol then states := Bitvec.copy x :: !states);
+  (List.rev !states, !best_e)
+
+let minimum_energy q =
+  let best = ref infinity in
+  enumerate q (fun _ e -> if e < !best then best := e);
+  !best

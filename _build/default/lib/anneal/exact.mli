@@ -1,0 +1,24 @@
+(** Exhaustive ground-state solver.
+
+    Enumerates all [2^n] assignments in Gray-code order (one bit flip —
+    hence one O(degree) delta-energy update — per step). Only viable for
+    small problems; it is the oracle the samplers are tested against and
+    the exact baseline in the benchmark ablations. *)
+
+val max_vars : int
+(** Hard cap (30) on the variable count {!solve} accepts. *)
+
+val solve : ?keep:int -> Qsmt_qubo.Qubo.t -> Sampleset.t
+(** [solve ~keep q] enumerates every assignment and returns the [keep]
+    (default 16) lowest-energy ones as a sample set (ties beyond [keep]
+    are dropped deterministically by assignment order).
+    @raise Invalid_argument if [num_vars q > max_vars]. *)
+
+val ground_states : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t list * float
+(** All assignments achieving the minimum energy (within [1e-9]), with
+    that energy. Assignments are listed in Gray-code enumeration order
+    (deterministic).
+    @raise Invalid_argument if [num_vars q > max_vars]. *)
+
+val minimum_energy : Qsmt_qubo.Qubo.t -> float
+(** Ground-state energy only. *)

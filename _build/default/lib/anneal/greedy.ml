@@ -1,0 +1,42 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+
+type params = { restarts : int; seed : int; domains : int }
+
+let default = { restarts = 32; seed = 0; domains = 1 }
+
+let descend q x =
+  let n = Qubo.num_vars q in
+  let x = Bitvec.copy x in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_i = ref (-1) and best_delta = ref (-1e-12) in
+    for i = 0 to n - 1 do
+      let d = Qubo.flip_delta q x i in
+      if d < !best_delta then begin
+        best_delta := d;
+        best_i := i
+      end
+    done;
+    if !best_i >= 0 then begin
+      Bitvec.flip x !best_i;
+      improved := true
+    end
+  done;
+  x
+
+let sample ?(params = default) q =
+  if params.restarts < 1 then invalid_arg "Greedy.sample: restarts < 1";
+  let n = Qubo.num_vars q in
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let run r =
+      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+      descend q (Bitvec.random rng n)
+    in
+    let samples = Parallel.init_array ~domains:params.domains params.restarts run in
+    Sampleset.of_bits q (Array.to_list samples)
+  end

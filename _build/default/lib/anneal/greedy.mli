@@ -1,0 +1,21 @@
+(** Steepest-descent sampler / post-processor.
+
+    From each of [restarts] random starts, repeatedly flips the variable
+    with the most negative energy delta until the assignment is a local
+    minimum. Fast and deterministic given the seed; the baseline that any
+    annealer has to beat, and the post-processing step used by the
+    hardware model after chain-break repair. *)
+
+type params = {
+  restarts : int;  (** random restarts (default 32) *)
+  seed : int;  (** master PRNG seed (default 0) *)
+  domains : int;  (** parallel domains (default 1) *)
+}
+
+val default : params
+
+val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+
+val descend : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t -> Qsmt_util.Bitvec.t
+(** [descend q x] runs steepest descent from [x] (not mutated) and
+    returns the reached local minimum. *)

@@ -1,0 +1,91 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Qubo = Qsmt_qubo.Qubo
+module Qgraph = Qsmt_qubo.Qgraph
+
+type params = {
+  topology : Topology.t;
+  chain_strength : float option;
+  noise_sigma : float;
+  embed_tries : int;
+  anneal : Sa.params;
+}
+
+let default_params topology =
+  { topology; chain_strength = None; noise_sigma = 0.; embed_tries = 16; anneal = Sa.default }
+
+type result = {
+  samples : Sampleset.t;
+  embedding : Embedding.t;
+  chain_strength : float;
+  physical_vars : int;
+  max_chain_length : int;
+  mean_chain_break_fraction : float;
+}
+
+exception Embedding_failed of string
+
+(* Box-Muller; one normal deviate per call is plenty here. *)
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Prng.float rng) in
+  let u2 = Prng.float rng in
+  sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let add_noise ~rng ~sigma q =
+  if sigma <= 0. then q
+  else begin
+    let scale = Qubo.max_abs_coefficient q *. sigma in
+    let b = Qubo.builder () in
+    Qubo.iter_linear q (fun i v -> Qubo.add b i i (v +. (scale *. gaussian rng)));
+    Qubo.iter_quadratic q (fun i j v -> Qubo.add b i j (v +. (scale *. gaussian rng)));
+    Qubo.add_offset b (Qubo.offset q);
+    Qubo.freeze ~num_vars:(Qubo.num_vars q) b
+  end
+
+let sample ?params q =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> invalid_arg "Hardware.sample: params required (a topology must be chosen)"
+  in
+  if params.noise_sigma < 0. then invalid_arg "Hardware.sample: negative noise_sigma";
+  let hardware = Topology.graph params.topology in
+  let problem = Qgraph.of_qubo q in
+  let embedding =
+    match
+      Embedding.find ~seed:params.anneal.Sa.seed ~tries:params.embed_tries ~problem ~hardware ()
+    with
+    | Some e -> Embedding.trim ~problem ~hardware e
+    | None ->
+      raise
+        (Embedding_failed
+           (Printf.sprintf "no embedding of %d-variable problem into %s after %d tries"
+              (Qubo.num_vars q) (Topology.name params.topology) params.embed_tries))
+  in
+  let chain_strength =
+    match params.chain_strength with Some c -> c | None -> Chain.default_strength q
+  in
+  let physical = Chain.embed_qubo q ~embedding ~hardware ~chain_strength in
+  let rng = Prng.create (params.anneal.Sa.seed lxor 0x5DEECE66D) in
+  let physical = add_noise ~rng ~sigma:params.noise_sigma physical in
+  let physical_set = Sa.sample ~params:params.anneal physical in
+  (* Project every physical read back to logical space; track how often
+     chains came back broken before the majority vote repaired them. *)
+  let breaks = ref 0. and reads = ref 0 in
+  let logical_bits =
+    List.concat_map
+      (fun e ->
+        breaks := !breaks +. (Chain.chain_break_fraction ~embedding e.Sampleset.bits
+                              *. float_of_int e.Sampleset.occurrences);
+        reads := !reads + e.Sampleset.occurrences;
+        List.init e.Sampleset.occurrences (fun _ -> Chain.unembed ~embedding e.Sampleset.bits))
+      (Sampleset.entries physical_set)
+  in
+  {
+    samples = Sampleset.of_bits q logical_bits;
+    embedding;
+    chain_strength;
+    physical_vars = Qgraph.num_vertices hardware;
+    max_chain_length = Embedding.max_chain_length embedding;
+    mean_chain_break_fraction = (if !reads = 0 then 0. else !breaks /. float_of_int !reads);
+  }

@@ -1,0 +1,46 @@
+(** Hardware-model sampler: the full QPU workflow in simulation.
+
+    Reproduces the pipeline a real annealer submission goes through —
+    minor-embed the logical problem into a fixed topology (then trim the
+    chains, {!Embedding.trim}), rewrite it
+    onto physical qubits with chain penalties, optionally perturb the
+    physical coefficients with Gaussian control noise (integrated control
+    errors, a dominant imperfection of analog annealers), anneal the
+    physical problem, then majority-vote broken chains back to logical
+    assignments.
+
+    This is the substrate for the paper's "testing these formulations on
+    a real quantum computer" future work: the same QUBO formulations run
+    unchanged, and the experiment harness measures what embedding and
+    noise cost them. *)
+
+type params = {
+  topology : Topology.t;
+  chain_strength : float option;
+      (** [None] (default) uses {!Chain.default_strength} of the logical
+          problem *)
+  noise_sigma : float;
+      (** std-dev of Gaussian noise added to every physical coefficient,
+          relative to the largest |coefficient| (default 0. = ideal
+          hardware) *)
+  embed_tries : int;  (** randomized embedding attempts (default 16) *)
+  anneal : Sa.params;  (** annealer run on the physical problem *)
+}
+
+val default_params : Topology.t -> params
+
+type result = {
+  samples : Sampleset.t;  (** logical samples, energies under the logical QUBO *)
+  embedding : Embedding.t;
+  chain_strength : float;
+  physical_vars : int;  (** qubits of the topology *)
+  max_chain_length : int;
+  mean_chain_break_fraction : float;  (** averaged over reads *)
+}
+
+exception Embedding_failed of string
+(** Raised when no embedding is found within [embed_tries] attempts. *)
+
+val sample : ?params:params -> Qsmt_qubo.Qubo.t -> result
+(** @raise Embedding_failed if the problem does not fit the topology.
+    @raise Invalid_argument on nonsensical parameters. *)

@@ -1,0 +1,53 @@
+let success_probability samples ~ground_energy ?(tol = 1e-9) () =
+  let total = Sampleset.total_reads samples in
+  if total = 0 then 0.
+  else begin
+    let good =
+      List.fold_left
+        (fun acc e ->
+          if e.Sampleset.energy <= ground_energy +. tol then acc + e.Sampleset.occurrences
+          else acc)
+        0 (Sampleset.entries samples)
+    in
+    float_of_int good /. float_of_int total
+  end
+
+let check_confidence confidence =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Metrics: confidence must be in (0,1)"
+
+let repeats_needed ~p_success ~confidence =
+  check_confidence confidence;
+  if p_success <= 0. then None
+  else if p_success >= 1. then Some 1
+  else begin
+    let r = Float.log (1. -. confidence) /. Float.log (1. -. p_success) in
+    Some (max 1 (int_of_float (Float.ceil r)))
+  end
+
+let time_to_solution ~time_per_read ~p_success ?(confidence = 0.99) () =
+  if time_per_read <= 0. then invalid_arg "Metrics.time_to_solution: non-positive time_per_read";
+  check_confidence confidence;
+  if p_success <= 0. then None
+  else if p_success >= 1. then Some time_per_read
+  else Some (time_per_read *. Float.log (1. -. confidence) /. Float.log (1. -. p_success))
+
+let residual_energy samples ~ground_energy =
+  let total = Sampleset.total_reads samples in
+  if total = 0 then nan
+  else begin
+    let sum =
+      List.fold_left
+        (fun acc e ->
+          acc +. ((e.Sampleset.energy -. ground_energy) *. float_of_int e.Sampleset.occurrences))
+        0. (Sampleset.entries samples)
+    in
+    sum /. float_of_int total
+  end
+
+let pp_tts ppf = function
+  | None -> Format.pp_print_string ppf "inf"
+  | Some t ->
+    if t >= 1. then Format.fprintf ppf "%.2f s" t
+    else if t >= 1e-3 then Format.fprintf ppf "%.2f ms" (1e3 *. t)
+    else Format.fprintf ppf "%.1f us" (1e6 *. t)

@@ -1,0 +1,34 @@
+(** Annealing performance metrics.
+
+    The annealing literature's standard figure of merit is not raw time
+    but {e time-to-solution}: how long until the ground state has been
+    seen at least once with target confidence, accounting for per-read
+    success probability. These helpers compute it from a sample set plus
+    wall-clock measurements, so benches across samplers compare the
+    quantity that actually matters. *)
+
+val success_probability : Sampleset.t -> ground_energy:float -> ?tol:float -> unit -> float
+(** Fraction of reads at or below [ground_energy + tol] (default
+    [1e-9]). [0.] for an empty set. *)
+
+val repeats_needed : p_success:float -> confidence:float -> int option
+(** Smallest [R] with [1 - (1-p)^R >= confidence]: how many reads to see
+    the ground state at the target confidence (default use:
+    [confidence = 0.99]). [None] when [p_success <= 0] (unreachable);
+    [Some 1] when [p_success >= 1].
+    @raise Invalid_argument unless [0 < confidence < 1]. *)
+
+val time_to_solution :
+  time_per_read:float -> p_success:float -> ?confidence:float -> unit -> float option
+(** [TTS = time_per_read · ln(1 − confidence) / ln(1 − p_success)]
+    seconds (default confidence 0.99). [None] when [p_success <= 0];
+    [Some time_per_read] when [p_success >= 1].
+    @raise Invalid_argument on non-positive [time_per_read] or
+    [confidence] outside (0,1). *)
+
+val residual_energy : Sampleset.t -> ground_energy:float -> float
+(** Mean energy above ground across all reads (0 = every read perfect).
+    [nan] for an empty set. *)
+
+val pp_tts : Format.formatter -> float option -> unit
+(** Human units ("3.2 ms", "inf" for [None]). *)

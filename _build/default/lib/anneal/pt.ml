@@ -1,0 +1,101 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+
+type params = {
+  reads : int;
+  sweeps : int;
+  replicas : int;
+  beta_range : (float * float) option;
+  exchange_interval : int;
+  seed : int;
+  domains : int;
+}
+
+let default =
+  {
+    reads = 8;
+    sweeps = 500;
+    replicas = 8;
+    beta_range = None;
+    exchange_interval = 10;
+    seed = 0;
+    domains = 1;
+  }
+
+let run_read ~ising ~params ~betas rng =
+  let n = Ising.num_spins ising in
+  let k = Array.length betas in
+  (* replica r runs at betas.(r); we swap configurations, not
+     temperatures, so the arrays stay temperature-indexed *)
+  let spins = Array.init k (fun _ -> Bitvec.random rng n) in
+  let energy = Array.map (Ising.energy ising) spins in
+  let best = ref (Bitvec.copy spins.(k - 1)) in
+  let best_e = ref energy.(k - 1) in
+  let note_best r =
+    if energy.(r) < !best_e then begin
+      best_e := energy.(r);
+      best := Bitvec.copy spins.(r)
+    end
+  in
+  for sweep = 1 to params.sweeps do
+    for r = 0 to k - 1 do
+      let beta = betas.(r) in
+      let s = spins.(r) in
+      for i = 0 to n - 1 do
+        let delta = Ising.flip_delta ising s i in
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
+          Bitvec.flip s i;
+          energy.(r) <- energy.(r) +. delta
+        end
+      done;
+      note_best r
+    done;
+    if sweep mod params.exchange_interval = 0 then
+      (* alternate even/odd neighbor pairs to keep proposals independent *)
+      let parity = sweep / params.exchange_interval mod 2 in
+      let r = ref parity in
+      while !r + 1 < k do
+        let a = !r and b = !r + 1 in
+        let log_ratio = (betas.(a) -. betas.(b)) *. (energy.(a) -. energy.(b)) in
+        if log_ratio >= 0. || Prng.float rng < Float.exp log_ratio then begin
+          let tmp = spins.(a) in
+          spins.(a) <- spins.(b);
+          spins.(b) <- tmp;
+          let te = energy.(a) in
+          energy.(a) <- energy.(b);
+          energy.(b) <- te
+        end;
+        r := !r + 2
+      done
+  done;
+  !best
+
+let sample ?(params = default) q =
+  if params.reads < 1 then invalid_arg "Pt.sample: reads < 1";
+  if params.sweeps < 1 then invalid_arg "Pt.sample: sweeps < 1";
+  if params.replicas < 2 then invalid_arg "Pt.sample: replicas < 2";
+  if params.exchange_interval < 1 then invalid_arg "Pt.sample: exchange_interval < 1";
+  let n = Qubo.num_vars q in
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let ising = Ising.of_qubo q in
+    let beta_hot, beta_cold =
+      match params.beta_range with
+      | Some (hot, cold) ->
+        if hot <= 0. || cold < hot then invalid_arg "Pt.sample: bad beta_range";
+        (hot, cold)
+      | None -> Schedule.default_beta_range ising
+    in
+    let k = params.replicas in
+    let ratio = (beta_cold /. beta_hot) ** (1. /. float_of_int (k - 1)) in
+    let betas = Array.init k (fun r -> beta_hot *. (ratio ** float_of_int r)) in
+    let run r =
+      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+      run_read ~ising ~params ~betas rng
+    in
+    let samples = Parallel.init_array ~domains:params.domains params.reads run in
+    Sampleset.of_bits q (Array.to_list samples)
+  end

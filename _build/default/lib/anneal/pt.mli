@@ -1,0 +1,27 @@
+(** Parallel tempering (replica exchange) sampler.
+
+    Runs [replicas] Metropolis chains at a geometric ladder of fixed
+    temperatures and periodically proposes swapping neighboring replicas'
+    configurations with the detailed-balance probability
+    [min(1, exp((β_a − β_b)(E_a − E_b)))]. Hot replicas roam the
+    landscape, cold replicas refine — on frustrated problems (embedded
+    chains, one-hot penalties) this mixes far better than a single cooled
+    chain, which is why it's the standard classical competitor in the
+    annealing literature and belongs in the ablation suite. *)
+
+type params = {
+  reads : int;  (** independent tempering runs (default 8) *)
+  sweeps : int;  (** Metropolis sweeps per run (default 500) *)
+  replicas : int;  (** temperature rungs ≥ 2 (default 8) *)
+  beta_range : (float * float) option;
+      (** (hot, cold); [None] (default) derives from the problem via
+          {!Schedule.default_beta_range} *)
+  exchange_interval : int;  (** sweeps between swap phases (default 10) *)
+  seed : int;
+  domains : int;  (** parallel domains across reads (default 1) *)
+}
+
+val default : params
+
+val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+(** One entry per read: the coldest replica's best-ever configuration. *)

@@ -1,0 +1,82 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+
+type params = {
+  reads : int;
+  sweeps : int;
+  schedule : Schedule.t option;
+  seed : int;
+  domains : int;
+  postprocess : bool;
+}
+
+let default = { reads = 32; sweeps = 1000; schedule = None; seed = 0; domains = 1; postprocess = false }
+
+(* Derive an independent stream for read [r]: the golden-ratio multiply
+   decorrelates consecutive read indices before SplitMix64 expands the
+   seed, so streams don't overlap even for adjacent seeds. *)
+let read_rng ~seed r = Prng.create (seed lxor ((r + 1) * 0x9E3779B97F4A7C))
+
+let anneal_ising ~rng ~schedule ?init ?on_sweep ising =
+  let n = Ising.num_spins ising in
+  let spins = match init with Some s -> Bitvec.copy s | None -> Bitvec.random rng n in
+  let energy = ref (match on_sweep with Some _ -> Ising.energy ising spins | None -> 0.) in
+  for k = 0 to Schedule.sweeps schedule - 1 do
+    let beta = Schedule.beta schedule k in
+    for i = 0 to n - 1 do
+      let delta = Ising.flip_delta ising spins i in
+      if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
+        Bitvec.flip spins i;
+        if on_sweep <> None then energy := !energy +. delta
+      end
+    done;
+    match on_sweep with Some f -> f ~sweep:k ~energy:!energy | None -> ()
+  done;
+  spins
+
+let descend ising spins =
+  (* Steepest descent: repeatedly flip the spin with the most negative
+     delta until no flip improves. Terminates because energy strictly
+     decreases. *)
+  let n = Ising.num_spins ising in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_i = ref (-1) and best_delta = ref 0. in
+    for i = 0 to n - 1 do
+      let d = Ising.flip_delta ising spins i in
+      if d < !best_delta then begin
+        best_delta := d;
+        best_i := i
+      end
+    done;
+    if !best_i >= 0 then begin
+      Bitvec.flip spins !best_i;
+      improved := true
+    end
+  done;
+  spins
+
+let sample ?(params = default) q =
+  if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
+  if params.sweeps < 1 then invalid_arg "Sa.sample: sweeps < 1";
+  let n = Qubo.num_vars q in
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let ising = Ising.of_qubo q in
+    let schedule =
+      match params.schedule with
+      | Some s -> s
+      | None -> Schedule.auto ~sweeps:params.sweeps ising
+    in
+    let run_read r =
+      let rng = read_rng ~seed:params.seed r in
+      let spins = anneal_ising ~rng ~schedule ising in
+      if params.postprocess then descend ising spins else spins
+    in
+    let samples = Parallel.init_array ~domains:params.domains params.reads run_read in
+    Sampleset.of_bits q (Array.to_list samples)
+  end

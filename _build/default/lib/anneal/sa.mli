@@ -1,0 +1,43 @@
+(** Simulated annealing sampler.
+
+    The classical stand-in for D-Wave's quantum annealer — and the solver
+    the paper actually ran ("we use DWave's Simulated Annealer"). Each
+    read is an independent single-spin-flip Metropolis chain over the
+    Ising form of the problem, following a β schedule from hot to cold;
+    reads can run in parallel across domains (each read owns a PRNG
+    stream derived from the master seed, so results are independent of
+    the domain count). *)
+
+type params = {
+  reads : int;  (** independent annealing runs (default 32) *)
+  sweeps : int;  (** full-lattice Metropolis sweeps per read (default 1000) *)
+  schedule : Schedule.t option;
+      (** β schedule; [None] (default) derives one from the problem via
+          {!Schedule.auto} with [sweeps] steps *)
+  seed : int;  (** master PRNG seed (default 0) *)
+  domains : int;  (** parallel domains for reads (default 1 = sequential) *)
+  postprocess : bool;
+      (** run steepest-descent to a local minimum after each read
+          (default false) *)
+}
+
+val default : params
+
+val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+(** Anneals and returns all reads as a sample set (energies are QUBO
+    energies, offset included). A zero-variable problem yields a set with
+    one empty assignment. *)
+
+val anneal_ising :
+  rng:Qsmt_util.Prng.t ->
+  schedule:Schedule.t ->
+  ?init:Qsmt_util.Bitvec.t ->
+  ?on_sweep:(sweep:int -> energy:float -> unit) ->
+  Qsmt_qubo.Ising.t ->
+  Qsmt_util.Bitvec.t
+(** One annealing read over an Ising problem: starts from [init] (random
+    if omitted), runs the full schedule, returns the final spin
+    configuration. Exposed for composition (the hardware model reuses it
+    on embedded problems). [on_sweep] observes the current energy after
+    every sweep (used by {!Convergence} to record trajectories); the
+    energy is maintained incrementally, so observation is O(1). *)

@@ -1,0 +1,57 @@
+type recipe =
+  | R_sa of Sa.params
+  | R_sqa of Sqa.params
+  | R_tabu of Tabu.params
+  | R_pt of Pt.params
+  | R_greedy of Greedy.params
+  | R_exact of int option
+  | R_hardware of Hardware.params
+  | R_custom of (Qsmt_qubo.Qubo.t -> Sampleset.t)
+
+type t = { name : string; recipe : recipe }
+
+let name t = t.name
+
+let run t q =
+  match t.recipe with
+  | R_sa params -> Sa.sample ~params q
+  | R_sqa params -> Sqa.sample ~params q
+  | R_tabu params -> Tabu.sample ~params q
+  | R_pt params -> Pt.sample ~params q
+  | R_greedy params -> Greedy.sample ~params q
+  | R_exact keep -> Exact.solve ?keep q
+  | R_hardware params -> (Hardware.sample ~params q).Hardware.samples
+  | R_custom f -> f q
+
+let make ~name f = { name; recipe = R_custom f }
+let simulated_annealing ?(params = Sa.default) () = { name = "sa"; recipe = R_sa params }
+
+let simulated_quantum_annealing ?(params = Sqa.default) () = { name = "sqa"; recipe = R_sqa params }
+
+let tabu ?(params = Tabu.default) () = { name = "tabu"; recipe = R_tabu params }
+let parallel_tempering ?(params = Pt.default) () = { name = "pt"; recipe = R_pt params }
+let greedy ?(params = Greedy.default) () = { name = "greedy"; recipe = R_greedy params }
+let exact ?keep () = { name = "exact"; recipe = R_exact keep }
+let hardware ~params = { name = "hardware"; recipe = R_hardware params }
+
+let with_seed t seed =
+  let recipe =
+    match t.recipe with
+    | R_sa p -> R_sa { p with Sa.seed }
+    | R_sqa p -> R_sqa { p with Sqa.seed }
+    | R_tabu p -> R_tabu { p with Tabu.seed }
+    | R_pt p -> R_pt { p with Pt.seed }
+    | R_greedy p -> R_greedy { p with Greedy.seed }
+    | R_hardware p -> R_hardware { p with Hardware.anneal = { p.Hardware.anneal with Sa.seed } }
+    | (R_exact _ | R_custom _) as r -> r
+  in
+  { t with recipe }
+
+let default_suite ~seed =
+  [
+    simulated_annealing ~params:{ Sa.default with Sa.seed } ();
+    simulated_quantum_annealing ~params:{ Sqa.default with Sqa.seed } ();
+    parallel_tempering ~params:{ Pt.default with Pt.seed } ();
+    tabu ~params:{ Tabu.default with Tabu.seed } ();
+    greedy ~params:{ Greedy.default with Greedy.seed } ();
+  ]

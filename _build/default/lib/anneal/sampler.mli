@@ -1,0 +1,36 @@
+(** Uniform sampler interface.
+
+    The string-theory solver and the benchmark harness are parametric in
+    the sampler; this type is the common currency. Constructors wrap
+    each concrete sampler with its parameter record baked in. *)
+
+type t
+
+val name : t -> string
+
+val run : t -> Qsmt_qubo.Qubo.t -> Sampleset.t
+(** May raise the underlying sampler's exceptions (e.g.
+    {!Hardware.Embedding_failed}, {!Exact}'s size cap). *)
+
+val make : name:string -> (Qsmt_qubo.Qubo.t -> Sampleset.t) -> t
+(** Wrap an arbitrary sampling function (used by tests to inject oracles
+    and failure modes). {!with_seed} leaves such samplers unchanged. *)
+
+val simulated_annealing : ?params:Sa.params -> unit -> t
+val simulated_quantum_annealing : ?params:Sqa.params -> unit -> t
+val tabu : ?params:Tabu.params -> unit -> t
+val parallel_tempering : ?params:Pt.params -> unit -> t
+val greedy : ?params:Greedy.params -> unit -> t
+val exact : ?keep:int -> unit -> t
+val hardware : params:Hardware.params -> t
+(** Drops the hardware diagnostics; use {!Hardware.sample} directly when
+    you need chain statistics. *)
+
+val with_seed : t -> int -> t
+(** A sampler identical to the input but reseeded. Samplers without a
+    seed ({!exact}, {!make}) are returned unchanged. *)
+
+val default_suite : seed:int -> t list
+(** The ablation suite: SA, SQA, parallel tempering, tabu, greedy —
+    everything that scales past {!Exact.max_vars} — with matching
+    seeds. *)

@@ -1,0 +1,59 @@
+(** Collections of solver samples.
+
+    Mirrors dimod's [SampleSet]: every sampler returns one of these —
+    assignments with their energies and occurrence counts, ordered by
+    ascending energy, identical assignments aggregated. *)
+
+type entry = {
+  bits : Qsmt_util.Bitvec.t; (** variable assignment *)
+  energy : float; (** QUBO energy including offset *)
+  occurrences : int; (** how many reads produced this assignment *)
+}
+
+type t
+
+val of_bits : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t list -> t
+(** [of_bits q samples] computes each sample's energy under [q],
+    aggregates duplicates, sorts ascending by energy. *)
+
+val of_entries : entry list -> t
+(** Aggregates duplicate assignments (energies of duplicates must agree;
+    the first is kept), sorts ascending by energy. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of distinct assignments. *)
+
+val total_reads : t -> int
+(** Sum of occurrence counts. *)
+
+val best : t -> entry
+(** Lowest-energy entry. @raise Invalid_argument if empty. *)
+
+val best_opt : t -> entry option
+val entries : t -> entry list
+(** Ascending energy. *)
+
+val lowest_energy : t -> float
+(** @raise Invalid_argument if empty. *)
+
+val energies : t -> float array
+(** One energy per read (entries expanded by occurrence count),
+    ascending. *)
+
+val filter : (entry -> bool) -> t -> t
+val merge : t -> t -> t
+(** Re-aggregates entries from both sets. *)
+
+val truncate : int -> t -> t
+(** Keeps the [k] lowest-energy entries. *)
+
+val ground_probability : t -> tol:float -> float
+(** Fraction of reads whose energy is within [tol] of the set's lowest
+    energy — the per-read success estimate the annealing literature
+    reports. [0.] if empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular rendering, best first, capped at 10 rows. *)

@@ -1,0 +1,75 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Qubo = Qsmt_qubo.Qubo
+module Qgraph = Qsmt_qubo.Qgraph
+
+type coupling = Pm_one | Gaussian
+
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Prng.float rng) in
+  let u2 = Prng.float rng in
+  sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let draw rng = function
+  | Pm_one -> if Prng.bool rng then 1. else -1.
+  | Gaussian -> gaussian rng
+
+(* Build the QUBO form of h, J directly: s_i = 2 x_i - 1 as in
+   Ising.to_qubo, inlined here to avoid an intermediate structure. *)
+let qubo_of_ising n ~h ~j =
+  let b = Qubo.builder () in
+  let offset = ref 0. in
+  Array.iteri
+    (fun i hi ->
+      if hi <> 0. then Qubo.add b i i (2. *. hi);
+      offset := !offset -. hi)
+    h;
+  List.iter
+    (fun (i, k, v) ->
+      Qubo.add b i k (4. *. v);
+      Qubo.add b i i (-2. *. v);
+      Qubo.add b k k (-2. *. v);
+      offset := !offset +. v)
+    j;
+  Qubo.set_offset b !offset;
+  Qubo.freeze ~num_vars:n b
+
+let random_on_graph ~rng ?(coupling = Pm_one) ?(field = 0.) graph =
+  let n = Qgraph.num_vertices graph in
+  let h =
+    Array.init n (fun _ -> if field = 0. then 0. else Prng.uniform rng (-.field) field)
+  in
+  let j = ref [] in
+  Qgraph.iter_edges graph (fun i k -> j := (i, k, draw rng coupling) :: !j);
+  qubo_of_ising n ~h ~j:!j
+
+let planted ~rng ?(coupling = Pm_one) graph =
+  let n = Qgraph.num_vertices graph in
+  let target = Bitvec.random rng n in
+  let sign i = if Bitvec.get target i then 1. else -1. in
+  (* edge (i,k): energy term J s_i s_k; choosing J = -|J| s*_i s*_k makes
+     the target minimize every term independently, so it is a global
+     ground state. *)
+  let j = ref [] in
+  let energy = ref 0. in
+  Qgraph.iter_edges graph (fun i k ->
+      let magnitude = Float.abs (draw rng coupling) in
+      let magnitude = if magnitude = 0. then 1. else magnitude in
+      let jv = -.magnitude *. sign i *. sign k in
+      energy := !energy +. (jv *. sign i *. sign k);
+      j := (i, k, jv) :: !j);
+  let qubo = qubo_of_ising n ~h:(Array.make n 0.) ~j:!j in
+  (qubo, target, !energy)
+
+let frustration_index q x =
+  (* judge coupler satisfaction in the Ising picture, where each edge
+     term J s_i s_k has a well-defined sign independent of the diagonal *)
+  let ising = Qsmt_qubo.Ising.of_qubo q in
+  let sign i = if Bitvec.get x i then 1. else -1. in
+  let total = ref 0 and unsat = ref 0 in
+  List.iter
+    (fun (i, k, j) ->
+      incr total;
+      if j *. sign i *. sign k > 0. then incr unsat)
+    (Qsmt_qubo.Ising.couplings ising);
+  if !total = 0 then 0. else float_of_int !unsat /. float_of_int !total

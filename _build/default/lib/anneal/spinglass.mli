@@ -1,0 +1,41 @@
+(** Spin-glass benchmark instances.
+
+    The string encodings exercise mostly diagonal-dominant landscapes;
+    genuinely hard annealing instances are frustrated. This module
+    generates the standard test families:
+
+    - {!random_on_graph}: ±J or Gaussian couplers on a given topology
+      (the classic Chimera-native benchmark);
+    - {!planted}: an instance with a {e known} ground state, built by the
+      ferromagnet-in-disguise construction — draw a random target spin
+      configuration, then give every edge a coupling whose sign makes the
+      target's alignment energetically favorable. The target's energy is
+      returned, so sampler success is measurable on problems far beyond
+      the exact solver's 30-variable cap.
+
+    Instances are QUBOs (converted from the Ising draw), ready for any
+    sampler. *)
+
+type coupling =
+  | Pm_one  (** J uniform in {−1, +1} *)
+  | Gaussian  (** J ~ N(0, 1) *)
+
+val random_on_graph :
+  rng:Qsmt_util.Prng.t -> ?coupling:coupling -> ?field:float -> Qsmt_qubo.Qgraph.t -> Qsmt_qubo.Qubo.t
+(** Ising instance on the graph's edges, optional uniform random fields
+    in [±field] (default 0.), returned in QUBO form. *)
+
+val planted :
+  rng:Qsmt_util.Prng.t ->
+  ?coupling:coupling ->
+  Qsmt_qubo.Qgraph.t ->
+  Qsmt_qubo.Qubo.t * Qsmt_util.Bitvec.t * float
+(** [(qubo, target, energy)]: the target assignment attains [energy],
+    and no assignment does better (every edge term is individually
+    minimized by the target). Degenerate ground states may exist (the
+    global spin flip always ties on a field-free instance). *)
+
+val frustration_index : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t -> float
+(** Fraction of couplers that are {e unsatisfied} (contribute positive
+    energy) under the assignment — 0 for a planted target, higher for
+    genuinely frustrated instances' ground states. *)

@@ -1,0 +1,118 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+
+type params = {
+  reads : int;
+  sweeps : int;
+  trotter : int;
+  beta : float option;
+  gamma_hot : float option;
+  gamma_cold : float;
+  seed : int;
+  domains : int;
+}
+
+let default =
+  {
+    reads = 16;
+    sweeps = 500;
+    trotter = 8;
+    beta = None;
+    gamma_hot = None;
+    gamma_cold = 1e-2;
+    seed = 0;
+    domains = 1;
+  }
+
+let spin_sign slice i = if Bitvec.get slice i then 1. else -1.
+
+(* Inter-slice coupling strength at transverse field gamma. beta_slice is
+   beta/P. The coupling enters the energy as -j_perp * s_{i,k} s_{i,k+1},
+   so positive j_perp favors aligned world lines. *)
+let j_perp ~beta_slice gamma =
+  let t = Float.tanh (beta_slice *. gamma) in
+  (* tanh is within (0,1) for positive arguments, so log is negative and
+     j_perp positive; clamp guards against underflow at tiny gamma. *)
+  let t = Float.max t 1e-300 in
+  -0.5 /. beta_slice *. Float.log t
+
+let run_read ~ising ~params ~beta ~gamma_hot rng =
+  let n = Ising.num_spins ising in
+  let p = params.trotter in
+  let pf = float_of_int p in
+  let beta_slice = beta /. pf in
+  let slices = Array.init p (fun _ -> Bitvec.random rng n) in
+  let ratio =
+    if params.sweeps <= 1 then 1.
+    else (params.gamma_cold /. gamma_hot) ** (1. /. float_of_int (params.sweeps - 1))
+  in
+  let gamma = ref gamma_hot in
+  for _sweep = 0 to params.sweeps - 1 do
+    let jp = j_perp ~beta_slice !gamma in
+    (* Local moves: every (slice, spin). *)
+    for k = 0 to p - 1 do
+      let up = slices.((k + 1) mod p) and down = slices.((k + p - 1) mod p) in
+      let slice = slices.(k) in
+      for i = 0 to n - 1 do
+        let d_classical = Ising.flip_delta ising slice i /. pf in
+        let s = spin_sign slice i in
+        let d_perp = 2. *. jp *. s *. (spin_sign up i +. spin_sign down i) in
+        let delta = d_classical +. d_perp in
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Bitvec.flip slice i
+      done
+    done;
+    (* World-line moves: flip variable i in every slice; inter-slice terms
+       cancel, so the delta is the mean classical delta. *)
+    for i = 0 to n - 1 do
+      let delta = ref 0. in
+      Array.iter (fun slice -> delta := !delta +. (Ising.flip_delta ising slice i /. pf)) slices;
+      if !delta <= 0. || Prng.float rng < Float.exp (-.beta *. !delta) then
+        Array.iter (fun slice -> Bitvec.flip slice i) slices
+    done;
+    gamma := !gamma *. ratio
+  done;
+  (* Read out the best slice by classical energy. *)
+  let best = ref slices.(0) and best_e = ref (Ising.energy ising slices.(0)) in
+  Array.iter
+    (fun slice ->
+      let e = Ising.energy ising slice in
+      if e < !best_e then begin
+        best_e := e;
+        best := slice
+      end)
+    slices;
+  !best
+
+let sample ?(params = default) q =
+  if params.reads < 1 then invalid_arg "Sqa.sample: reads < 1";
+  if params.sweeps < 1 then invalid_arg "Sqa.sample: sweeps < 1";
+  if params.trotter < 2 then invalid_arg "Sqa.sample: trotter < 2";
+  if params.gamma_cold <= 0. then invalid_arg "Sqa.sample: gamma_cold <= 0";
+  let n = Qubo.num_vars q in
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let ising = Ising.of_qubo q in
+    let beta =
+      match params.beta with
+      | Some b ->
+        if b <= 0. then invalid_arg "Sqa.sample: beta <= 0";
+        b
+      | None -> snd (Schedule.default_beta_range ising)
+    in
+    let gamma_hot =
+      match params.gamma_hot with
+      | Some g ->
+        if g < params.gamma_cold then invalid_arg "Sqa.sample: gamma_hot < gamma_cold";
+        g
+      | None -> Float.max 1. (3. *. Ising.max_abs_field ising)
+    in
+    let run r =
+      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+      run_read ~ising ~params ~beta ~gamma_hot rng
+    in
+    let samples = Parallel.init_array ~domains:params.domains params.reads run in
+    Sampleset.of_bits q (Array.to_list samples)
+  end

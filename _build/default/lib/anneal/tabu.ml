@@ -1,0 +1,69 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+
+type params = {
+  restarts : int;
+  iterations : int;
+  tenure : int option;
+  seed : int;
+  domains : int;
+}
+
+let default = { restarts = 8; iterations = 500; tenure = None; seed = 0; domains = 1 }
+
+let search q ~rng ~iterations ~tenure =
+  let n = Qubo.num_vars q in
+  let x = Bitvec.random rng n in
+  let energy = ref (Qubo.energy q x) in
+  let best = ref (Bitvec.copy x) in
+  let best_energy = ref !energy in
+  (* tabu_until.(i): first iteration at which flipping i is allowed again *)
+  let tabu_until = Array.make n 0 in
+  for it = 0 to iterations - 1 do
+    (* Best admissible move: most negative delta among non-tabu flips,
+       or any tabu flip that would beat the incumbent (aspiration). *)
+    let chosen = ref (-1) and chosen_delta = ref infinity in
+    for i = 0 to n - 1 do
+      let delta = Qubo.flip_delta q x i in
+      let admissible = tabu_until.(i) <= it || !energy +. delta < !best_energy -. 1e-12 in
+      if admissible && delta < !chosen_delta then begin
+        chosen := i;
+        chosen_delta := delta
+      end
+    done;
+    (* All moves tabu and none aspirates: fall back to a random kick so
+       the search cannot stall. *)
+    let i = if !chosen >= 0 then !chosen else Prng.int rng n in
+    let delta = if !chosen >= 0 then !chosen_delta else Qubo.flip_delta q x i in
+    Bitvec.flip x i;
+    energy := !energy +. delta;
+    tabu_until.(i) <- it + 1 + tenure;
+    if !energy < !best_energy then begin
+      best_energy := !energy;
+      best := Bitvec.copy x
+    end
+  done;
+  !best
+
+let sample ?(params = default) q =
+  if params.restarts < 1 then invalid_arg "Tabu.sample: restarts < 1";
+  if params.iterations < 1 then invalid_arg "Tabu.sample: iterations < 1";
+  let n = Qubo.num_vars q in
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let tenure =
+      match params.tenure with
+      | Some t ->
+        if t < 0 then invalid_arg "Tabu.sample: negative tenure";
+        t
+      | None -> min ((n / 4) + 1) 20
+    in
+    let run r =
+      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+      search q ~rng ~iterations:params.iterations ~tenure
+    in
+    let samples = Parallel.init_array ~domains:params.domains params.restarts run in
+    Sampleset.of_bits q (Array.to_list samples)
+  end

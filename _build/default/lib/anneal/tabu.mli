@@ -1,0 +1,22 @@
+(** Tabu-search sampler.
+
+    A deterministic-given-seed local search baseline in the spirit of
+    D-Wave's [TabuSampler]: best-improvement moves with a recency-based
+    tabu list, aspiration (a tabu move is allowed if it beats the best
+    energy seen), and random restarts. Often stronger than plain greedy
+    descent on frustrated landscapes, cheaper than a long anneal. *)
+
+type params = {
+  restarts : int;  (** independent searches (default 8) *)
+  iterations : int;  (** moves per search (default 500) *)
+  tenure : int option;
+      (** sweeps a flipped variable stays tabu; [None] (default) picks
+          [min (n/4 + 1) 20] for an [n]-variable problem *)
+  seed : int;
+  domains : int;  (** parallel domains (default 1) *)
+}
+
+val default : params
+
+val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+(** Returns the best assignment found by each restart. *)

@@ -1,0 +1,80 @@
+module Qgraph = Qsmt_qubo.Qgraph
+
+type t = { graph : Qgraph.t; name : string }
+
+type chimera_coord = { row : int; col : int; side : int; k : int }
+
+let chimera_index ~m ~n ~t coord =
+  if
+    coord.row < 0 || coord.row >= m || coord.col < 0 || coord.col >= n
+    || coord.side < 0 || coord.side > 1 || coord.k < 0 || coord.k >= t
+  then invalid_arg "Topology.chimera_index: coordinate out of range";
+  ((((coord.row * n) + coord.col) * 2) + coord.side) * t + coord.k
+
+let chimera_coord ~m ~n ~t idx =
+  let total = m * n * 2 * t in
+  if idx < 0 || idx >= total then invalid_arg "Topology.chimera_coord: index out of range";
+  let k = idx mod t in
+  let rest = idx / t in
+  let side = rest mod 2 in
+  let cell = rest / 2 in
+  { row = cell / n; col = cell mod n; side; k }
+
+let chimera ~m ?n ?(t = 4) () =
+  let n = match n with Some n -> n | None -> m in
+  if m < 1 || n < 1 || t < 1 then invalid_arg "Topology.chimera: dimensions must be >= 1";
+  let g = Qgraph.create (m * n * 2 * t) in
+  let index row col side k = chimera_index ~m ~n ~t { row; col; side; k } in
+  for row = 0 to m - 1 do
+    for col = 0 to n - 1 do
+      (* Intra-cell bipartite K_{t,t}. *)
+      for a = 0 to t - 1 do
+        for b = 0 to t - 1 do
+          Qgraph.add_edge g (index row col 0 a) (index row col 1 b)
+        done
+      done;
+      (* Vertical (side 0) qubits couple to the cell below. *)
+      if row + 1 < m then
+        for k = 0 to t - 1 do
+          Qgraph.add_edge g (index row col 0 k) (index (row + 1) col 0 k)
+        done;
+      (* Horizontal (side 1) qubits couple to the cell to the right. *)
+      if col + 1 < n then
+        for k = 0 to t - 1 do
+          Qgraph.add_edge g (index row col 1 k) (index row (col + 1) 1 k)
+        done
+    done
+  done;
+  { graph = g; name = Printf.sprintf "chimera(%d,%d,%d)" m n t }
+
+let king ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topology.king: dimensions must be >= 1";
+  let g = Qgraph.create (rows * cols) in
+  let index r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      (* Right, down, and both diagonals; the symmetric cases come from
+         the neighbouring cell's iteration. *)
+      if c + 1 < cols then Qgraph.add_edge g (index r c) (index r (c + 1));
+      if r + 1 < rows then begin
+        Qgraph.add_edge g (index r c) (index (r + 1) c);
+        if c + 1 < cols then Qgraph.add_edge g (index r c) (index (r + 1) (c + 1));
+        if c > 0 then Qgraph.add_edge g (index r c) (index (r + 1) (c - 1))
+      end
+    done
+  done;
+  { graph = g; name = Printf.sprintf "king(%dx%d)" rows cols }
+
+let complete n =
+  if n < 0 then invalid_arg "Topology.complete: negative size";
+  let g = Qgraph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Qgraph.add_edge g i j
+    done
+  done;
+  { graph = g; name = Printf.sprintf "complete(%d)" n }
+
+let graph t = t.graph
+let name t = t.name
+let num_qubits t = Qgraph.num_vertices t.graph

@@ -1,0 +1,42 @@
+(** Annealer hardware topologies.
+
+    Physical annealers do not offer all-to-all connectivity: qubits sit in
+    a fixed wiring graph and logical problems must be minor-embedded into
+    it ({!Embedding}). This module generates the standard graphs:
+
+    - {!chimera}: D-Wave 2000Q-style C(m,n,t) — an m×n grid of K_{t,t}
+      bipartite unit cells, vertical qubits chained down columns and
+      horizontal qubits across rows (degree ≤ t+2);
+    - {!king}: the king's-move grid used by CMOS/digital annealers
+      (Fujitsu DA, Hitachi) — 8-neighbor lattice;
+    - {!complete}: all-to-all, the idealized topology (embedding becomes
+      the identity). *)
+
+type t
+
+val chimera : m:int -> ?n:int -> ?t:int -> unit -> t
+(** [chimera ~m ~n ~t ()] is C(m,n,t): [n] defaults to [m], [t] to 4.
+    Qubits are numbered [((row*n + col)*2 + side)*t + k] with
+    [side = 0] vertical, [side = 1] horizontal.
+    @raise Invalid_argument if any dimension is < 1. *)
+
+val king : rows:int -> cols:int -> t
+(** 8-connected grid; qubit [(r, c)] is numbered [r*cols + c]. *)
+
+val complete : int -> t
+(** [complete n] is K_n. *)
+
+val graph : t -> Qsmt_qubo.Qgraph.t
+val name : t -> string
+val num_qubits : t -> int
+
+(** {1 Chimera coordinates} *)
+
+type chimera_coord = { row : int; col : int; side : int; k : int }
+
+val chimera_index : m:int -> n:int -> t:int -> chimera_coord -> int
+(** Linear qubit number of a coordinate.
+    @raise Invalid_argument if the coordinate is out of range. *)
+
+val chimera_coord : m:int -> n:int -> t:int -> int -> chimera_coord
+(** Inverse of {!chimera_index}. *)

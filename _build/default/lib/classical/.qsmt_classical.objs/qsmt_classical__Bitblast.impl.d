@@ -1,0 +1,1 @@
+lib/classical/bitblast.ml: Array Char Cnf Fun List Qsmt_regex Qsmt_strtheory Qsmt_util String

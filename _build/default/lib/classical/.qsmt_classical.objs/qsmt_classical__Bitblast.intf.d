@@ -1,0 +1,1 @@
+lib/classical/bitblast.mli: Cnf Qsmt_strtheory Qsmt_util

@@ -1,0 +1,1 @@
+lib/classical/brute.ml: Array List Qsmt_strtheory String

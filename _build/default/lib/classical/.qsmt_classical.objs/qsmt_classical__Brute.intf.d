@@ -1,0 +1,1 @@
+lib/classical/brute.mli: Qsmt_strtheory

@@ -1,0 +1,1 @@
+lib/classical/cdcl.ml: Array Cnf Format List Qsmt_util Unix

@@ -1,0 +1,1 @@
+lib/classical/cdcl.mli: Cnf Format Qsmt_util

@@ -1,0 +1,1 @@
+lib/classical/cnf.ml: Format List Printf Qsmt_util

@@ -1,0 +1,1 @@
+lib/classical/cnf.mli: Format Qsmt_util

@@ -1,0 +1,1 @@
+lib/classical/dimacs.ml: Cnf Format Fun In_channel List Printf String

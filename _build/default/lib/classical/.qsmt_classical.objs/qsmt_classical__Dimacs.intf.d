@@ -1,0 +1,1 @@
+lib/classical/dimacs.mli: Cnf Format

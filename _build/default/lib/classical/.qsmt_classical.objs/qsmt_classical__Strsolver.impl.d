@@ -1,0 +1,1 @@
+lib/classical/strsolver.ml: Bitblast Cdcl Cnf List Qsmt_strtheory

@@ -1,0 +1,1 @@
+lib/classical/strsolver.mli: Cdcl Qsmt_strtheory

@@ -1,0 +1,22 @@
+(** Brute-force enumeration baseline.
+
+    The dumbest sound solver: enumerate candidate values in lexicographic
+    order over a caller-chosen alphabet and return the first one the
+    classical verifier accepts. Exponential, but exact — it anchors the
+    benchmark crossover plots (where does enumeration stop being
+    viable?) and cross-checks the other solvers on tiny instances. *)
+
+val solve :
+  alphabet:char list -> ?limit:int -> Qsmt_strtheory.Constr.t -> Qsmt_strtheory.Constr.value option
+(** [solve ~alphabet c] tries candidates until one verifies or [limit]
+    (default 1,000,000) candidates have been rejected. For
+    string-generating constraints the candidate space is
+    [alphabet^length]; for {!Qsmt_strtheory.Constr.Includes} it is the
+    position range. Characters the constraint forces (e.g. a fixed
+    target) are found only if they lie in [alphabet] — choose it
+    accordingly. Returns [None] on exhaustion or limit.
+    @raise Invalid_argument on an empty alphabet for string constraints. *)
+
+val candidates_tried : alphabet:char list -> Qsmt_strtheory.Constr.t -> int -> int
+(** How many candidates {!solve} would try before index [i] — exposed so
+    benches can report search-space sizes without re-running. *)

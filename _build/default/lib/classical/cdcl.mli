@@ -1,0 +1,33 @@
+(** CDCL SAT solver.
+
+    A conflict-driven clause-learning solver with the standard modern
+    kernel: two-watched-literal propagation, first-UIP conflict analysis
+    with clause learning and non-chronological backjumping, VSIDS-style
+    activity ordering with phase saving, and geometric restarts. It is
+    the SAT core of the classical baseline ("z3 stand-in") that the
+    annealing solver is benchmarked against, and is complete: given
+    enough budget it answers Sat or Unsat, never silently wrong.
+
+    Sizes here are small (thousands of variables at most), so the
+    implementation favors clarity over heap-ordered decision queues —
+    decisions scan for the max-activity unassigned variable. *)
+
+type result =
+  | Sat of Qsmt_util.Bitvec.t  (** satisfying total assignment *)
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  restarts : int;
+  time_s : float;
+}
+
+val solve : ?conflict_budget:int -> Cnf.t -> result * stats
+(** [conflict_budget] (default unlimited) bounds the number of conflicts
+    before answering [Unknown]. Deterministic: no randomized decisions. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,50 @@
+module Bitvec = Qsmt_util.Bitvec
+
+type literal = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let var_of lit = lit lsr 1
+let is_pos lit = lit land 1 = 0
+let negate lit = lit lxor 1
+
+let pp_literal ppf lit =
+  Format.fprintf ppf "%sx%d" (if is_pos lit then "" else "~") (var_of lit)
+
+type clause = literal list
+type t = { num_vars : int; clauses : clause list }
+
+let create ~num_vars clauses =
+  List.iter
+    (fun clause ->
+      if clause = [] then invalid_arg "Cnf.create: empty clause";
+      List.iter
+        (fun lit ->
+          let v = var_of lit in
+          if lit < 0 || v >= num_vars then
+            invalid_arg (Printf.sprintf "Cnf.create: literal %d outside %d variables" lit num_vars))
+        clause)
+    clauses;
+  { num_vars; clauses }
+
+let lit_true lit assignment =
+  let v = Bitvec.get assignment (var_of lit) in
+  if is_pos lit then v else not v
+
+let eval_clause clause assignment = List.exists (fun lit -> lit_true lit assignment) clause
+let eval t assignment = List.for_all (fun c -> eval_clause c assignment) t.clauses
+let num_clauses t = List.length t.clauses
+
+let unit_bits bits =
+  List.init (Bitvec.length bits) (fun i -> [ (if Bitvec.get bits i then pos i else neg i) ])
+
+let at_most_one vars =
+  let rec pairs = function
+    | [] -> []
+    | v :: rest -> List.map (fun w -> [ neg v; neg w ]) rest @ pairs rest
+  in
+  pairs vars
+
+let at_least_one vars = [ List.map pos vars ]
+let exactly_one vars = at_least_one vars @ at_most_one vars
+let iff a b = [ [ neg a; pos b ]; [ pos a; neg b ] ]

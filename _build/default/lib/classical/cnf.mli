@@ -1,0 +1,54 @@
+(** CNF formulas.
+
+    The classical baseline solves string constraints the way a DPLL(T)
+    solver's SAT core would see them after bit-blasting. Variables are
+    [0 .. n-1]; a literal packs a variable and a polarity into one int
+    ([2v] positive, [2v+1] negative), the layout CDCL solvers use so a
+    literal indexes its watch list directly. *)
+
+type literal = int
+
+val pos : int -> literal
+(** Positive literal of a variable. *)
+
+val neg : int -> literal
+(** Negative literal. *)
+
+val var_of : literal -> int
+val is_pos : literal -> bool
+val negate : literal -> literal
+
+val pp_literal : Format.formatter -> literal -> unit
+(** [x3] / [~x3]. *)
+
+type clause = literal list
+
+type t = {
+  num_vars : int;
+  clauses : clause list;
+}
+
+val create : num_vars:int -> clause list -> t
+(** @raise Invalid_argument if a literal mentions a variable outside
+    [0, num_vars) or a clause is empty (use [add_false] semantics
+    explicitly instead). *)
+
+val eval : t -> Qsmt_util.Bitvec.t -> bool
+(** Truth of the formula under a total assignment (bit set = true). *)
+
+val eval_clause : clause -> Qsmt_util.Bitvec.t -> bool
+val num_clauses : t -> int
+
+(** {1 Common gadgets} *)
+
+val unit_bits : Qsmt_util.Bitvec.t -> clause list
+(** One unit clause per bit: variable [i] forced to the vector's bit. *)
+
+val at_most_one : int list -> clause list
+(** Pairwise encoding. *)
+
+val at_least_one : int list -> clause list
+val exactly_one : int list -> clause list
+
+val iff : int -> int -> clause list
+(** Two variables forced equal. *)

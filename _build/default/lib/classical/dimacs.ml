@@ -1,0 +1,90 @@
+let pp ppf (cnf : Cnf.t) =
+  Format.fprintf ppf "p cnf %d %d@\n" cnf.Cnf.num_vars (Cnf.num_clauses cnf);
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          let v = Cnf.var_of lit + 1 in
+          Format.fprintf ppf "%d " (if Cnf.is_pos lit then v else -v))
+        clause;
+      Format.fprintf ppf "0@\n")
+    cnf.Cnf.clauses
+
+let to_string cnf = Format.asprintf "%a" pp cnf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec loop lineno = function
+    | [] -> begin
+      match (!header, !current) with
+      | None, _ -> Error "missing 'p cnf' header"
+      | Some _, _ :: _ -> Error "last clause not terminated by 0"
+      | Some (vars, nclauses), [] ->
+        let clauses = List.rev !clauses in
+        if List.length clauses <> nclauses then
+          Error
+            (Printf.sprintf "header declares %d clauses, found %d" nclauses
+               (List.length clauses))
+        else begin
+          try Ok (Cnf.create ~num_vars:vars clauses) with Invalid_argument m -> Error m
+        end
+    end
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then loop (lineno + 1) rest
+      else if String.length line >= 1 && line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; vars; nclauses ] -> begin
+          match (int_of_string_opt vars, int_of_string_opt nclauses) with
+          | Some v, Some c when v >= 0 && c >= 0 ->
+            if !header <> None then error lineno "duplicate header"
+            else begin
+              header := Some (v, c);
+              loop (lineno + 1) rest
+            end
+          | _ -> error lineno "bad header numbers"
+        end
+        | _ -> error lineno "malformed 'p cnf' header"
+      end
+      else if !header = None then error lineno "clause before header"
+      else begin
+        let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+        let rec eat = function
+          | [] -> Ok ()
+          | tok :: more -> begin
+            match int_of_string_opt tok with
+            | None -> Error (Printf.sprintf "line %d: bad literal %S" lineno tok)
+            | Some 0 ->
+              if !current = [] then Error (Printf.sprintf "line %d: empty clause" lineno)
+              else begin
+                clauses := List.rev !current :: !clauses;
+                current := [];
+                eat more
+              end
+            | Some lit ->
+              let v = abs lit - 1 in
+              current := (if lit > 0 then Cnf.pos v else Cnf.neg v) :: !current;
+              eat more
+          end
+        in
+        match eat tokens with Error _ as e -> e | Ok () -> loop (lineno + 1) rest
+      end
+  in
+  loop 1 lines
+
+let of_string_exn text =
+  match of_string text with
+  | Ok cnf -> cnf
+  | Error msg -> invalid_arg ("Dimacs.of_string_exn: " ^ msg)
+
+let write_file path cnf =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string cnf))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_string (In_channel.input_all ic))

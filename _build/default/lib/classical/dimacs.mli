@@ -1,0 +1,29 @@
+(** DIMACS CNF import/export.
+
+    The lingua franca of SAT solving: exporting lets any off-the-shelf
+    solver cross-check this repository's CDCL implementation on the
+    bit-blasted string instances, importing lets the CDCL solver run the
+    standard benchmark suites. Format:
+
+    {v
+    c comment
+    p cnf <vars> <clauses>
+    1 -2 3 0
+    ...
+    v}
+
+    DIMACS numbers variables from 1 with sign for polarity; this module
+    maps DIMACS literal [±(v+1)] to {!Cnf} variable [v]. *)
+
+val to_string : Cnf.t -> string
+val pp : Format.formatter -> Cnf.t -> unit
+
+val of_string : string -> (Cnf.t, string) result
+(** Accepts comments anywhere before/between clauses and multi-line
+    clauses (a clause ends at [0]). Errors carry a line number. *)
+
+val of_string_exn : string -> Cnf.t
+(** @raise Invalid_argument on malformed input. *)
+
+val write_file : string -> Cnf.t -> unit
+val read_file : string -> (Cnf.t, string) result

@@ -1,0 +1,48 @@
+module Constr = Qsmt_strtheory.Constr
+module Pipeline = Qsmt_strtheory.Pipeline
+
+type outcome = {
+  constr : Constr.t;
+  result : [ `Sat | `Unsat | `Unknown ];
+  value : Constr.value option;
+  satisfied : bool;
+  sat_stats : Cdcl.stats;
+  cnf_vars : int;
+  cnf_clauses : int;
+}
+
+let solve ?conflict_budget constr =
+  let cnf = Bitblast.encode constr in
+  let result, sat_stats = Cdcl.solve ?conflict_budget cnf in
+  let result, value =
+    match result with
+    | Cdcl.Sat model -> (`Sat, Some (Bitblast.decode constr model))
+    | Cdcl.Unsat -> (`Unsat, None)
+    | Cdcl.Unknown -> (`Unknown, None)
+  in
+  let satisfied = match value with Some v -> Constr.verify constr v | None -> false in
+  {
+    constr;
+    result;
+    value;
+    satisfied;
+    sat_stats;
+    cnf_vars = cnf.Cnf.num_vars;
+    cnf_clauses = Cnf.num_clauses cnf;
+  }
+
+let solve_pipeline ?conflict_budget pipeline =
+  let first = solve ?conflict_budget pipeline.Pipeline.initial in
+  let string_of o =
+    match o.value with Some (Constr.Str s) -> s | Some (Constr.Pos _) | None -> ""
+  in
+  let _, outcomes =
+    List.fold_left
+      (fun (input, acc) stage ->
+        let constr = Pipeline.constraint_for stage ~input in
+        let o = solve ?conflict_budget constr in
+        (string_of o, o :: acc))
+      (string_of first, [ first ])
+      pipeline.Pipeline.stages
+  in
+  List.rev outcomes

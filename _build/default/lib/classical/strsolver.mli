@@ -1,0 +1,23 @@
+(** Classical string-constraint solver (the z3 stand-in).
+
+    Same input language and output contract as the annealing
+    {!Qsmt_strtheory.Solver}, but complete: bit-blast to CNF, run CDCL,
+    decode the model. [`Unsat] is a real proof (the annealer can never
+    say that), [`Unknown] only appears when a conflict budget is set. *)
+
+type outcome = {
+  constr : Qsmt_strtheory.Constr.t;
+  result : [ `Sat | `Unsat | `Unknown ];
+  value : Qsmt_strtheory.Constr.value option;  (** decoded model when [`Sat] *)
+  satisfied : bool;  (** classical verification of [value] *)
+  sat_stats : Cdcl.stats;
+  cnf_vars : int;
+  cnf_clauses : int;
+}
+
+val solve : ?conflict_budget:int -> Qsmt_strtheory.Constr.t -> outcome
+
+val solve_pipeline :
+  ?conflict_budget:int -> Qsmt_strtheory.Pipeline.t -> outcome list
+(** Sequential composition, mirroring the annealing solver's §4.12
+    treatment. A stage whose model is missing feeds [""] onward. *)

@@ -1,0 +1,1 @@
+lib/qubo/ising.ml: Array Float Format List Printf Qsmt_util Qubo

@@ -1,0 +1,1 @@
+lib/qubo/ising.mli: Format Qsmt_util Qubo

@@ -1,0 +1,1 @@
+lib/qubo/preprocess.ml: Array Format Hashtbl Printf Qsmt_util Qubo Queue

@@ -1,0 +1,1 @@
+lib/qubo/preprocess.mli: Format Qsmt_util Qubo

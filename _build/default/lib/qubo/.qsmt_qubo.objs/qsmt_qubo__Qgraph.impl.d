@@ -1,0 +1,1 @@
+lib/qubo/qgraph.ml: Array Int List Printf Qubo Queue Set

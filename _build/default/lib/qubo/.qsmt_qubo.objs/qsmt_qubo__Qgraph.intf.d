@@ -1,0 +1,1 @@
+lib/qubo/qgraph.mli: Qubo

@@ -1,0 +1,1 @@
+lib/qubo/qubo.ml: Array Float Format Hashtbl List Printf Qsmt_util

@@ -1,0 +1,1 @@
+lib/qubo/qubo.mli: Format Qsmt_util

@@ -1,0 +1,1 @@
+lib/qubo/qubo_io.ml: Format Fun In_channel List Printf Qubo String

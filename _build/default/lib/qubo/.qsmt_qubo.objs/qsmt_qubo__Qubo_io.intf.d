@@ -1,0 +1,1 @@
+lib/qubo/qubo_io.mli: Format Qubo

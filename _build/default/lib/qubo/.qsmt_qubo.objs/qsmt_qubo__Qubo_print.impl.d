@@ -1,0 +1,1 @@
+lib/qubo/qubo_print.ml: Array Float Format Printf Qubo String

@@ -1,0 +1,1 @@
+lib/qubo/qubo_print.mli: Format Qubo

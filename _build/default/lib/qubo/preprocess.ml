@@ -1,0 +1,105 @@
+module Bitvec = Qsmt_util.Bitvec
+
+type t = {
+  original_vars : int;
+  state : int array; (* -1 free, 0 fixed-zero, 1 fixed-one *)
+  free_of_residual : int array; (* residual index -> original index *)
+  residual_qubo : Qubo.t;
+}
+
+let reduce q =
+  let n = Qubo.num_vars q in
+  let lin = Array.init n (Qubo.linear q) in
+  let coup = Array.init n (fun _ -> Hashtbl.create 4) in
+  Qubo.iter_quadratic q (fun i j v ->
+      Hashtbl.replace coup.(i) j v;
+      Hashtbl.replace coup.(j) i v);
+  let offset = ref (Qubo.offset q) in
+  let state = Array.make n (-1) in
+  let queue = Queue.create () in
+  let queued = Array.make n true in
+  for i = 0 to n - 1 do
+    Queue.add i queue
+  done;
+  let fix i v =
+    state.(i) <- (if v then 1 else 0);
+    if v then offset := !offset +. lin.(i);
+    Hashtbl.iter
+      (fun j coeff ->
+        if state.(j) < 0 then begin
+          if v then lin.(j) <- lin.(j) +. coeff;
+          Hashtbl.remove coup.(j) i;
+          if not queued.(j) then begin
+            queued.(j) <- true;
+            Queue.add j queue
+          end
+        end)
+      coup.(i);
+    Hashtbl.reset coup.(i)
+  in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    queued.(i) <- false;
+    if state.(i) < 0 then begin
+      let neg = ref 0. and pos = ref 0. in
+      Hashtbl.iter
+        (fun j coeff ->
+          if state.(j) < 0 then begin
+            if coeff < 0. then neg := !neg +. coeff else pos := !pos +. coeff
+          end)
+        coup.(i);
+      if lin.(i) +. !neg >= 0. then fix i false
+      else if lin.(i) +. !pos <= 0. then fix i true
+    end
+  done;
+  (* compact the survivors *)
+  let free = ref [] in
+  for i = n - 1 downto 0 do
+    if state.(i) < 0 then free := i :: !free
+  done;
+  let free_of_residual = Array.of_list !free in
+  let residual_index = Hashtbl.create 16 in
+  Array.iteri (fun r i -> Hashtbl.replace residual_index i r) free_of_residual;
+  let b = Qubo.builder () in
+  Array.iteri
+    (fun r i ->
+      if lin.(i) <> 0. then Qubo.set b r r lin.(i);
+      Hashtbl.iter
+        (fun j coeff ->
+          if state.(j) < 0 && i < j then
+            Qubo.set b r (Hashtbl.find residual_index j) coeff)
+        coup.(i))
+    free_of_residual;
+  Qubo.set_offset b !offset;
+  {
+    original_vars = n;
+    state;
+    free_of_residual;
+    residual_qubo = Qubo.freeze ~num_vars:(Array.length free_of_residual) b;
+  }
+
+let residual t = t.residual_qubo
+let num_free t = Array.length t.free_of_residual
+let num_fixed t = t.original_vars - num_free t
+
+let fixed_value t i =
+  if i < 0 || i >= t.original_vars then invalid_arg "Preprocess.fixed_value: variable out of range";
+  match t.state.(i) with -1 -> None | 0 -> Some false | _ -> Some true
+
+let expand t y =
+  if Bitvec.length y <> num_free t then
+    invalid_arg
+      (Printf.sprintf "Preprocess.expand: assignment has %d bits, residual has %d"
+         (Bitvec.length y) (num_free t));
+  let out = Bitvec.create t.original_vars in
+  Array.iteri (fun r i -> Bitvec.set out i (Bitvec.get y r)) t.free_of_residual;
+  Array.iteri (fun i s -> if s = 1 then Bitvec.set out i true) t.state;
+  out
+
+let solve_with solver q =
+  let t = reduce q in
+  if num_free t = 0 then expand t (Bitvec.create 0) else expand t (solver (residual t))
+
+let pp ppf t =
+  Format.fprintf ppf "preprocess: fixed %d/%d vars, residual %a" (num_fixed t) t.original_vars
+    Qubo.pp t.residual_qubo

@@ -1,0 +1,110 @@
+(* Adjacency sets keep add_edge idempotent; neighbor queries sort on
+   demand (graphs here are built once, queried many times, so we cache
+   the sorted form lazily per vertex). *)
+
+module Int_set = Set.Make (Int)
+
+type t = { n : int; adj : Int_set.t array; mutable edges : int }
+
+let create n =
+  if n < 0 then invalid_arg "Qgraph.create: negative size";
+  { n; adj = Array.make n Int_set.empty; edges = 0 }
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg (Printf.sprintf "Qgraph: vertex %d out of [0,%d)" v g.n)
+
+let add_edge g i j =
+  check g i;
+  check g j;
+  if i <> j && not (Int_set.mem j g.adj.(i)) then begin
+    g.adj.(i) <- Int_set.add j g.adj.(i);
+    g.adj.(j) <- Int_set.add i g.adj.(j);
+    g.edges <- g.edges + 1
+  end
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (i, j) -> add_edge g i j) edges;
+  g
+
+let of_qubo q =
+  let g = create (Qubo.num_vars q) in
+  Qubo.iter_quadratic q (fun i j _ -> add_edge g i j);
+  g
+
+let num_vertices g = g.n
+let num_edges g = g.edges
+
+let mem_edge g i j =
+  check g i;
+  check g j;
+  Int_set.mem j g.adj.(i)
+
+let neighbors g v =
+  check g v;
+  Int_set.elements g.adj.(v)
+
+let degree g v =
+  check g v;
+  Int_set.cardinal g.adj.(v)
+
+let iter_edges g f =
+  for i = 0 to g.n - 1 do
+    Int_set.iter (fun j -> if i < j then f i j) g.adj.(i)
+  done
+
+let fold_vertices f g acc =
+  let acc = ref acc in
+  for v = 0 to g.n - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+let max_degree g = fold_vertices (fun v acc -> max acc (degree g v)) g 0
+
+let bfs_distances g src =
+  check g src;
+  let dist = Array.make g.n max_int in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Int_set.iter
+      (fun w ->
+        if dist.(w) = max_int then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      g.adj.(v)
+  done;
+  dist
+
+let connected_components g =
+  let seen = Array.make g.n false in
+  let components = ref [] in
+  for v = 0 to g.n - 1 do
+    if not seen.(v) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      seen.(v) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        comp := u :: !comp;
+        Int_set.iter
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          g.adj.(u)
+      done;
+      components := List.sort compare !comp :: !components
+    end
+  done;
+  List.rev !components
+
+let is_connected g = List.length (connected_components g) <= 1
+
+let copy g = { n = g.n; adj = Array.copy g.adj; edges = g.edges }

@@ -1,0 +1,47 @@
+(** Undirected interaction graphs.
+
+    Minor embedding treats both the problem (which variables are coupled)
+    and the hardware (which qubits are wired) as plain undirected graphs;
+    this module is that shared representation. Vertices are [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph on [n] vertices. *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] adds each edge; self-loops and duplicates are
+    ignored.
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val of_qubo : Qubo.t -> t
+(** One vertex per variable, one edge per nonzero coupler. *)
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; ignores self-loops. *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+val mem_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+(** Ascending order. *)
+
+val degree : t -> int -> int
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each edge once, [i < j]. *)
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val max_degree : t -> int
+
+val connected_components : t -> int list list
+(** Vertex sets of the components, each sorted ascending; components
+    ordered by smallest member. *)
+
+val is_connected : t -> bool
+(** [true] for the empty graph and any single-component graph. *)
+
+val bfs_distances : t -> int -> int array
+(** [bfs_distances g src] is hop distance from [src] to every vertex
+    ([max_int] where unreachable). *)
+
+val copy : t -> t

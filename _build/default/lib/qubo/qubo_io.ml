@@ -1,0 +1,68 @@
+let pp ppf q =
+  Format.fprintf ppf "qubo %d@\n" (Qubo.num_vars q);
+  if Qubo.offset q <> 0. then Format.fprintf ppf "offset %h@\n" (Qubo.offset q);
+  Qubo.iter_linear q (fun i v -> Format.fprintf ppf "%d %d %h@\n" i i v);
+  Qubo.iter_quadratic q (fun i j v -> Format.fprintf ppf "%d %d %h@\n" i j v)
+
+let to_string q = Format.asprintf "%a" pp q
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let b = Qubo.builder () in
+  let declared_vars = ref None in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let parse_float s = float_of_string_opt s in
+  let rec loop lineno = function
+    | [] -> begin
+      match !declared_vars with
+      | None -> Error "missing 'qubo <n>' header"
+      | Some n -> (
+        try Ok (Qubo.freeze ~num_vars:n b) with Invalid_argument m -> Error m)
+    end
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop (lineno + 1) rest
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "qubo"; n ] -> begin
+          match int_of_string_opt n with
+          | Some n when n >= 0 ->
+            declared_vars := Some n;
+            loop (lineno + 1) rest
+          | _ -> error lineno "bad variable count"
+        end
+        | [ "offset"; v ] -> begin
+          match parse_float v with
+          | Some v ->
+            Qubo.add_offset b v;
+            loop (lineno + 1) rest
+          | None -> error lineno "bad offset"
+        end
+        | [ i; j; v ] -> begin
+          match (int_of_string_opt i, int_of_string_opt j, parse_float v) with
+          | Some i, Some j, Some v when i >= 0 && j >= 0 ->
+            Qubo.add b i j v;
+            loop (lineno + 1) rest
+          | _ -> error lineno "bad entry row"
+        end
+        | _ -> error lineno (Printf.sprintf "unrecognized line %S" line)
+      end
+  in
+  loop 1 lines
+
+let of_string_exn text =
+  match of_string text with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Qubo_io.of_string_exn: " ^ msg)
+
+let write_file path q =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string q))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

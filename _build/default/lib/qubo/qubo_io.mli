@@ -1,0 +1,28 @@
+(** Text serialization of QUBO instances (COO format).
+
+    The format is line-oriented and git-diff friendly:
+
+    {v
+    # optional comments
+    qubo <num_vars>
+    offset <float>
+    <i> <j> <coefficient>
+    ...
+    v}
+
+    with [i <= j]; [i = j] rows are linear terms. It exists so benchmark
+    workloads can be dumped, inspected and re-loaded, and so problems can
+    be shipped to out-of-process solvers. *)
+
+val to_string : Qubo.t -> string
+val pp : Format.formatter -> Qubo.t -> unit
+
+val of_string : string -> (Qubo.t, string) result
+(** Parses the format above. Duplicate [(i, j)] rows sum. Returns
+    [Error msg] with a line number on malformed input. *)
+
+val of_string_exn : string -> Qubo.t
+(** @raise Invalid_argument on malformed input. *)
+
+val write_file : string -> Qubo.t -> unit
+val read_file : string -> (Qubo.t, string) result

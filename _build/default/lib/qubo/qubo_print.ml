@@ -1,0 +1,45 @@
+let format_coeff ~precision v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" precision v
+
+let pp_dense ?(max_dim = 16) ?(precision = 2) ppf q =
+  let n = Qubo.num_vars q in
+  let dim = min n max_dim in
+  let m = Qubo.to_dense q in
+  let cells = Array.init dim (fun i -> Array.init dim (fun j -> format_coeff ~precision m.(i).(j))) in
+  let width =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc s -> max acc (String.length s)) acc row)
+      1 cells
+  in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      if j > 0 then Format.pp_print_char ppf ' ';
+      Format.fprintf ppf "%*s" width cells.(i).(j)
+    done;
+    if n > dim && i = dim - 1 then Format.fprintf ppf " ...";
+    if i < dim - 1 then Format.pp_print_newline ppf ()
+  done;
+  if n > dim then Format.fprintf ppf "@\n(showing %dx%d of %dx%d)" dim dim n n
+
+let pp_sparse ppf q =
+  let first = ref true in
+  let line fmt =
+    if !first then first := false else Format.pp_print_newline ppf ();
+    Format.fprintf ppf fmt
+  in
+  Qubo.iter_linear q (fun i v -> line "Q[%d,%d] = %g" i i v);
+  Qubo.iter_quadratic q (fun i j v -> line "Q[%d,%d] = %g" i j v);
+  if !first then Format.fprintf ppf "(empty)"
+
+let dense_string ?max_dim ?precision q =
+  Format.asprintf "%a" (fun ppf -> pp_dense ?max_dim ?precision ppf) q
+
+let pp_diagonal ppf q =
+  let n = Qubo.num_vars q in
+  Format.pp_print_char ppf '[';
+  for i = 0 to n - 1 do
+    if i > 0 then Format.pp_print_string ppf ", ";
+    Format.pp_print_string ppf (format_coeff ~precision:2 (Qubo.linear q i))
+  done;
+  Format.pp_print_char ppf ']'

@@ -1,0 +1,26 @@
+(** Human-readable rendering of QUBO matrices.
+
+    Table 1 of the paper displays (abbreviated) dense QUBO matrices for
+    each sample constraint; this module regenerates that presentation:
+    a dense grid of coefficients, optionally truncated to the top-left
+    [k × k] block with an ellipsis marker, plus sparse listings for
+    problems too large to show densely. *)
+
+val pp_dense : ?max_dim:int -> ?precision:int -> Format.formatter -> Qubo.t -> unit
+(** [pp_dense ~max_dim ~precision ppf q] prints the dense matrix, one row
+    per line, columns space-aligned. If the problem has more than
+    [max_dim] (default 16) variables only the leading block is shown,
+    followed by a ["..."] marker — the paper's "abbreviated due to space
+    limitations" rendering. [precision] (default 2) is the number of
+    digits after the decimal point; integral values print without a
+    fractional part. *)
+
+val pp_sparse : Format.formatter -> Qubo.t -> unit
+(** One entry per line: [Q[i,j] = v], diagonal first, then couplers. *)
+
+val dense_string : ?max_dim:int -> ?precision:int -> Qubo.t -> string
+(** {!pp_dense} into a string. *)
+
+val pp_diagonal : Format.formatter -> Qubo.t -> unit
+(** Just the diagonal as a bracketed row vector — the form the paper uses
+    for string-equality examples (e.g. [[-A, -A, +A, ...]]). *)

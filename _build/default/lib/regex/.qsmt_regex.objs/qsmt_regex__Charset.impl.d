@@ -1,0 +1,1 @@
+lib/regex/charset.ml: Char Format Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/regex/dfa.ml: Array Bytes Char Charset Hashtbl List Nfa Qsmt_util Queue String

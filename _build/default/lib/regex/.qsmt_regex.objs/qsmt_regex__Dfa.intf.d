@@ -1,0 +1,1 @@
+lib/regex/dfa.mli: Charset Nfa Qsmt_util Syntax

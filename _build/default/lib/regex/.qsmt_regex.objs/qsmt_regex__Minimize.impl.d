@@ -1,0 +1,1 @@
+lib/regex/minimize.ml: Array Char Dfa Hashtbl Queue

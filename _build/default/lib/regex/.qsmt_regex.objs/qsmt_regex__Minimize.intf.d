@@ -1,0 +1,1 @@
+lib/regex/minimize.mli: Dfa

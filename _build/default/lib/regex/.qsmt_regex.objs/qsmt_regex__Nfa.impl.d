@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Charset List String Syntax

@@ -1,0 +1,1 @@
+lib/regex/syntax.ml: Charset Format List Printf String

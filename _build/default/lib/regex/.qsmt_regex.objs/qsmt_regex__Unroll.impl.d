@@ -1,0 +1,1 @@
+lib/regex/unroll.ml: Array Charset Format List Printf Syntax

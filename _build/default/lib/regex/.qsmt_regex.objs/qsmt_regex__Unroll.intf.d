@@ -1,0 +1,1 @@
+lib/regex/unroll.mli: Charset Format Syntax

@@ -1,0 +1,85 @@
+(* Two 64-bit words cover codes 0..127. word 0 holds codes 0-63. *)
+type t = { lo : int64; hi : int64 }
+
+let empty = { lo = 0L; hi = 0L }
+let full = { lo = -1L; hi = -1L }
+
+let check c =
+  let code = Char.code c in
+  if code > 127 then invalid_arg (Printf.sprintf "Charset: %C is not 7-bit ASCII" c);
+  code
+
+let singleton c =
+  let code = check c in
+  if code < 64 then { lo = Int64.shift_left 1L code; hi = 0L }
+  else { lo = 0L; hi = Int64.shift_left 1L (code - 64) }
+
+let mem c t =
+  let code = check c in
+  if code < 64 then Int64.logand t.lo (Int64.shift_left 1L code) <> 0L
+  else Int64.logand t.hi (Int64.shift_left 1L (code - 64)) <> 0L
+
+let union a b = { lo = Int64.logor a.lo b.lo; hi = Int64.logor a.hi b.hi }
+let inter a b = { lo = Int64.logand a.lo b.lo; hi = Int64.logand a.hi b.hi }
+
+let diff a b =
+  { lo = Int64.logand a.lo (Int64.lognot b.lo); hi = Int64.logand a.hi (Int64.lognot b.hi) }
+
+let complement t = diff full t
+let add c t = union (singleton c) t
+let remove c t = diff t (singleton c)
+let is_empty t = t.lo = 0L && t.hi = 0L
+
+let popcount64 x =
+  let rec loop x acc = if x = 0L then acc else loop (Int64.logand x (Int64.sub x 1L)) (acc + 1) in
+  loop x 0
+
+let cardinal t = popcount64 t.lo + popcount64 t.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let compare a b = Stdlib.compare (a.lo, a.hi) (b.lo, b.hi)
+
+let of_list chars = List.fold_left (fun acc c -> add c acc) empty chars
+
+let of_range lo hi =
+  if lo > hi then invalid_arg "Charset.of_range: lo > hi";
+  let acc = ref empty in
+  for code = Char.code lo to Char.code hi do
+    acc := add (Char.chr code) !acc
+  done;
+  !acc
+
+let of_string s = String.fold_left (fun acc c -> add c acc) empty s
+let printable = of_range ' ' '~'
+
+let fold f t acc =
+  let acc = ref acc in
+  for code = 0 to 127 do
+    let c = Char.chr code in
+    if mem c t then acc := f c !acc
+  done;
+  !acc
+
+let iter f t = fold (fun c () -> f c) t ()
+let to_list t = List.rev (fold (fun c acc -> c :: acc) t [])
+let choose t = match to_list t with [] -> None | c :: _ -> Some c
+let for_all p t = fold (fun c acc -> acc && p c) t true
+
+let pp ppf t =
+  (* Render as ranges: [a-c x 0-9]. *)
+  let chars = to_list t in
+  let rec ranges = function
+    | [] -> []
+    | c :: rest ->
+      let rec extend last = function
+        | d :: more when Char.code d = Char.code last + 1 -> extend d more
+        | remaining -> (last, remaining)
+      in
+      let last, remaining = extend c rest in
+      (c, last) :: ranges remaining
+  in
+  let render (a, b) =
+    if a = b then Printf.sprintf "%c" a
+    else if Char.code b = Char.code a + 1 then Printf.sprintf "%c%c" a b
+    else Printf.sprintf "%c-%c" a b
+  in
+  Format.fprintf ppf "[%s]" (String.concat " " (List.map render (ranges chars)))

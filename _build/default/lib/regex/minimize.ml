@@ -1,0 +1,115 @@
+(* Moore-style partition refinement. Hopcroft's worklist optimization is
+   unnecessary at our sizes (tens of states, 128 symbols); the O(n^2 * sigma)
+   refinement below is simpler to audit. The implicit dead state
+   participates as class -1 so states differing only in definedness
+   split correctly. *)
+
+let reachable_states dfa =
+  let n = Dfa.num_states dfa in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let start = Dfa.start_state dfa in
+  seen.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    for code = 0 to 127 do
+      match Dfa.transition dfa s (Char.chr code) with
+      | Some target when not seen.(target) ->
+        seen.(target) <- true;
+        Queue.add target queue
+      | Some _ | None -> ()
+    done
+  done;
+  seen
+
+let minimize dfa =
+  let n = Dfa.num_states dfa in
+  let reachable = reachable_states dfa in
+  (* class of each state; unreachable states are parked in class of the
+     dead state (-1) and never emitted *)
+  let cls = Array.make n 0 in
+  for s = 0 to n - 1 do
+    cls.(s) <- (if (not reachable.(s)) then -1 else if Dfa.is_accepting dfa s then 1 else 0)
+  done;
+  let class_of s = if s < 0 then -1 else cls.(s) in
+  let changed = ref true in
+  let num_classes = ref 2 in
+  while !changed do
+    changed := false;
+    (* signature: own class + successor classes on every symbol *)
+    let signature s =
+      let sig_ = Array.make 129 0 in
+      sig_.(0) <- cls.(s);
+      for code = 0 to 127 do
+        sig_.(code + 1) <-
+          (match Dfa.transition dfa s (Char.chr code) with Some t -> class_of t | None -> -1)
+      done;
+      sig_
+    in
+    let table = Hashtbl.create 16 in
+    let next_cls = Array.make n (-1) in
+    let next_count = ref 0 in
+    for s = 0 to n - 1 do
+      if reachable.(s) then begin
+        let key = signature s in
+        match Hashtbl.find_opt table key with
+        | Some c -> next_cls.(s) <- c
+        | None ->
+          Hashtbl.add table key !next_count;
+          next_cls.(s) <- !next_count;
+          incr next_count
+      end
+    done;
+    if !next_count <> !num_classes then changed := true;
+    for s = 0 to n - 1 do
+      if reachable.(s) && cls.(s) <> next_cls.(s) then begin
+        cls.(s) <- next_cls.(s);
+        changed := true
+      end
+    done;
+    num_classes := !next_count
+  done;
+  (* rebuild: one representative per class *)
+  let k = !num_classes in
+  let repr = Array.make k (-1) in
+  for s = n - 1 downto 0 do
+    if reachable.(s) then repr.(cls.(s)) <- s
+  done;
+  let trans =
+    Array.init k (fun c ->
+        Array.init 128 (fun code ->
+            match Dfa.transition dfa repr.(c) (Char.chr code) with
+            | Some t -> cls.(t)
+            | None -> -1))
+  in
+  let accepting = Array.init k (fun c -> Dfa.is_accepting dfa repr.(c)) in
+  Dfa.of_raw ~trans ~accepting ~start:cls.(Dfa.start_state dfa)
+
+let equivalent a b =
+  (* BFS over reachable pairs of the product automaton, dead state = -1;
+     a distinguishing pair has differing acceptance. *)
+  let accept dfa s = s >= 0 && Dfa.is_accepting dfa s in
+  let step dfa s c =
+    if s < 0 then -1 else match Dfa.transition dfa s c with Some t -> t | None -> -1
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let start = (Dfa.start_state a, Dfa.start_state b) in
+  Hashtbl.replace seen start ();
+  Queue.add start queue;
+  let ok = ref true in
+  while !ok && not (Queue.is_empty queue) do
+    let sa, sb = Queue.pop queue in
+    if accept a sa <> accept b sb then ok := false
+    else
+      for code = 0 to 127 do
+        let c = Char.chr code in
+        let pair = (step a sa c, step b sb c) in
+        if pair <> (-1, -1) && not (Hashtbl.mem seen pair) then begin
+          Hashtbl.replace seen pair ();
+          Queue.add pair queue
+        end
+      done
+  done;
+  !ok

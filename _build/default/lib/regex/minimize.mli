@@ -1,0 +1,16 @@
+(** DFA minimization (Hopcroft partition refinement).
+
+    Subset construction can produce many redundant states; minimizing
+    before the SAT bit-blaster's unrolled-automaton encoding shrinks its
+    CNF by a factor of [states_before / states_after] per position, and
+    the canonical minimal DFA also gives a decidable language-equivalence
+    check used by the property tests. *)
+
+val minimize : Dfa.t -> Dfa.t
+(** Language-preserving; the result has the minimum number of states for
+    the language (unreachable states dropped, equivalent states merged,
+    dead states left implicit). *)
+
+val equivalent : Dfa.t -> Dfa.t -> bool
+(** Do two DFAs accept the same language? Decided by product-construction
+    search for a distinguishing state pair (no minimization needed). *)

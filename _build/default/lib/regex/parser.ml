@@ -1,0 +1,182 @@
+exception Parse_error of int * string
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+let fail st msg = raise (Parse_error (st.pos, msg))
+
+let class_of_escape st c =
+  match c with
+  | 'n' -> Charset.singleton '\n'
+  | 't' -> Charset.singleton '\t'
+  | 'r' -> Charset.singleton '\r'
+  | 'd' -> Charset.of_range '0' '9'
+  | 'w' ->
+    Charset.union
+      (Charset.union (Charset.of_range 'a' 'z') (Charset.of_range 'A' 'Z'))
+      (Charset.add '_' (Charset.of_range '0' '9'))
+  | 's' -> Charset.of_list [ ' '; '\t'; '\n'; '\r' ]
+  | '\\' | '(' | ')' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '|' | '.' | '^' | '$' | '-' ->
+    Charset.singleton c
+  | _ -> fail st (Printf.sprintf "unknown escape \\%c" c)
+
+let parse_escape st =
+  advance st;
+  match peek st with
+  | None -> fail st "dangling backslash"
+  | Some c ->
+    advance st;
+    class_of_escape st c
+
+(* One item of a character class: a char, a range, or an escape. *)
+let parse_class_item st =
+  match peek st with
+  | None -> fail st "unterminated character class"
+  | Some '\\' -> parse_escape st
+  | Some c ->
+    advance st;
+    (* possible range c '-' d, but '-' before ']' is a literal dash *)
+    (match (peek st, st.pos + 1 < String.length st.input) with
+    | Some '-', true when st.input.[st.pos + 1] <> ']' ->
+      advance st;
+      (match peek st with
+      | Some '\\' ->
+        (* ranges with escaped endpoints: allow \] etc., require singleton *)
+        let set = parse_escape st in
+        (match Charset.to_list set with
+        | [ d ] when c <= d -> Charset.of_range c d
+        | [ _ ] -> fail st "invalid range (lo > hi)"
+        | _ -> fail st "range endpoint must be a single character")
+      | Some d when c <= d ->
+        advance st;
+        Charset.of_range c d
+      | Some _ -> fail st "invalid range (lo > hi)"
+      | None -> fail st "unterminated character class")
+    | _ -> Charset.singleton c)
+
+let parse_class st =
+  advance st (* '[' *);
+  let negated = peek st = Some '^' in
+  if negated then advance st;
+  let rec items acc =
+    match peek st with
+    | None -> fail st "unterminated character class"
+    | Some ']' ->
+      advance st;
+      acc
+    | Some _ -> items (Charset.union acc (parse_class_item st))
+  in
+  let set = items Charset.empty in
+  if Charset.is_empty set then fail st "empty character class";
+  Syntax.Chars (if negated then Charset.complement set else set)
+
+let rec parse_alt st =
+  let first = parse_concat st in
+  let rec more acc =
+    match peek st with
+    | Some '|' ->
+      advance st;
+      more (parse_concat st :: acc)
+    | _ -> List.rev acc
+  in
+  match more [ first ] with [ single ] -> single | branches -> Syntax.Alt branches
+
+and parse_concat st =
+  let rec pieces acc =
+    match peek st with
+    | None | Some ')' | Some '|' -> List.rev acc
+    | Some _ -> pieces (parse_piece st :: acc)
+  in
+  match pieces [] with
+  | [] -> Syntax.Epsilon
+  | [ single ] -> single
+  | parts -> Syntax.Concat parts
+
+and parse_piece st =
+  let atom = parse_atom st in
+  let parse_number () =
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start then fail st "expected a number in {...}"
+    else int_of_string (String.sub st.input start (st.pos - start))
+  in
+  let rec postfix r =
+    match peek st with
+    | Some '*' ->
+      advance st;
+      postfix (Syntax.Star r)
+    | Some '+' ->
+      advance st;
+      postfix (Syntax.Plus r)
+    | Some '?' ->
+      advance st;
+      postfix (Syntax.Opt r)
+    | Some '{' ->
+      advance st;
+      let lo = parse_number () in
+      let rep =
+        match peek st with
+        | Some '}' ->
+          advance st;
+          Syntax.Rep (r, lo, Some lo)
+        | Some ',' -> begin
+          advance st;
+          match peek st with
+          | Some '}' ->
+            advance st;
+            Syntax.Rep (r, lo, None)
+          | Some _ ->
+            let hi = parse_number () in
+            if hi < lo then fail st "repetition upper bound below lower";
+            (match peek st with
+            | Some '}' -> advance st
+            | _ -> fail st "unterminated {m,n}");
+            Syntax.Rep (r, lo, Some hi)
+          | None -> fail st "unterminated {m,n}"
+        end
+        | _ -> fail st "unterminated {m,n}"
+      in
+      postfix rep
+    | _ -> r
+  in
+  postfix atom
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st "expected an atom"
+  | Some '(' ->
+    advance st;
+    let inner = parse_alt st in
+    (match peek st with
+    | Some ')' ->
+      advance st;
+      inner
+    | _ -> fail st "unclosed group")
+  | Some '[' -> parse_class st
+  | Some '.' ->
+    advance st;
+    Syntax.any
+  | Some '\\' -> Syntax.Chars (parse_escape st)
+  | Some (('*' | '+' | '?') as c) -> fail st (Printf.sprintf "dangling %c" c)
+  | Some ')' -> fail st "unmatched )"
+  | Some c ->
+    advance st;
+    if Char.code c > 127 then fail st "non-ASCII character";
+    Syntax.literal c
+
+let parse input =
+  let st = { input; pos = 0 } in
+  try
+    let r = parse_alt st in
+    match peek st with
+    | None -> Ok r
+    | Some c -> Error (Printf.sprintf "at %d: unexpected %c" st.pos c)
+  with Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+
+let parse_exn input =
+  match parse input with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Regex parse error " ^ msg)

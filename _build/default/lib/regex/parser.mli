@@ -1,0 +1,20 @@
+(** Concrete-syntax parser for regular expressions.
+
+    Grammar (standard precedence: alternation < concatenation < postfix):
+
+    {v
+    regex   ::= branch ('|' branch)*
+    branch  ::= piece*
+    piece   ::= atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+    atom    ::= literal | '.' | '(' regex ')' | class | '\' escaped
+    class   ::= '[' '^'? item+ ']'      item ::= c | c '-' c | '\' escaped
+    v}
+
+    Escapes: [\n \t \r \\ \d \w \s] plus any punctuation escaping itself.
+    [\d] = [0-9], [\w] = [A-Za-z0-9_], [\s] = space/tab/newline/CR. *)
+
+val parse : string -> (Syntax.t, string) result
+(** [Error msg] carries a character position. *)
+
+val parse_exn : string -> Syntax.t
+(** @raise Invalid_argument on a malformed pattern. *)

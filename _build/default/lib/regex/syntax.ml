@@ -1,0 +1,116 @@
+type t =
+  | Epsilon
+  | Chars of Charset.t
+  | Concat of t list
+  | Alt of t list
+  | Star of t
+  | Plus of t
+  | Opt of t
+  | Rep of t * int * int option
+
+let literal c = Chars (Charset.singleton c)
+let string s = Concat (List.map literal (List.init (String.length s) (String.get s)))
+let char_class chars = Chars (Charset.of_list chars)
+let any = Chars Charset.full
+
+let rec equal a b =
+  match (a, b) with
+  | Epsilon, Epsilon -> true
+  | Chars x, Chars y -> Charset.equal x y
+  | Concat xs, Concat ys | Alt xs, Alt ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Star x, Star y | Plus x, Plus y | Opt x, Opt y -> equal x y
+  | Rep (x, a, b), Rep (y, c, d) -> a = c && b = d && equal x y
+  | (Epsilon | Chars _ | Concat _ | Alt _ | Star _ | Plus _ | Opt _ | Rep _), _ -> false
+
+let rec nullable = function
+  | Epsilon -> true
+  | Chars _ -> false
+  | Concat parts -> List.for_all nullable parts
+  | Alt parts -> List.exists nullable parts
+  | Star _ | Opt _ -> true
+  | Plus r -> nullable r
+  | Rep (r, lo, _) -> lo = 0 || nullable r
+
+let rec min_length = function
+  | Epsilon -> 0
+  | Chars _ -> 1
+  | Concat parts -> List.fold_left (fun acc r -> acc + min_length r) 0 parts
+  | Alt parts -> List.fold_left (fun acc r -> min acc (min_length r)) max_int parts
+  | Star _ | Opt _ -> 0
+  | Plus r -> min_length r
+  | Rep (r, lo, _) -> lo * min_length r
+
+let rec max_length = function
+  | Epsilon -> Some 0
+  | Chars _ -> Some 1
+  | Concat parts ->
+    List.fold_left
+      (fun acc r ->
+        match (acc, max_length r) with Some a, Some b -> Some (a + b) | _, _ -> None)
+      (Some 0) parts
+  | Alt parts ->
+    List.fold_left
+      (fun acc r ->
+        match (acc, max_length r) with Some a, Some b -> Some (max a b) | _, _ -> None)
+      (Some 0) parts
+  | Star r | Plus r -> ( match max_length r with Some 0 -> Some 0 | _ -> None)
+  | Opt r -> max_length r
+  | Rep (_, _, None) -> None
+  | Rep (r, _, Some hi) -> ( match max_length r with Some m -> Some (hi * m) | None -> None)
+
+let needs_group = function
+  | Alt (_ :: _ :: _) | Concat (_ :: _ :: _) -> true
+  | Epsilon | Chars _ | Concat ([] | [ _ ]) | Alt ([] | [ _ ]) | Star _ | Plus _ | Opt _ | Rep _
+    ->
+    false
+
+let escape_literal c =
+  match c with
+  | '(' | ')' | '[' | ']' | '{' | '}' | '*' | '+' | '?' | '|' | '.' | '\\' | '^' | '$' ->
+    Printf.sprintf "\\%c" c
+  | _ -> String.make 1 c
+
+let pp_charset_concrete ppf set =
+  match Charset.to_list set with
+  | [ c ] -> Format.pp_print_string ppf (escape_literal c)
+  | _ when Charset.equal set Charset.full -> Format.pp_print_char ppf '.'
+  | chars ->
+    Format.pp_print_char ppf '[';
+    List.iter
+      (fun c ->
+        match c with
+        | ']' | '\\' | '^' | '-' -> Format.fprintf ppf "\\%c" c
+        | _ -> Format.pp_print_char ppf c)
+      chars;
+    Format.pp_print_char ppf ']'
+
+let rec pp ppf = function
+  | Epsilon -> ()
+  | Chars set -> pp_charset_concrete ppf set
+  | Concat parts -> List.iter (pp_grouped_if_alt ppf) parts
+  | Alt [] -> ()
+  | Alt (first :: rest) ->
+    pp ppf first;
+    List.iter (fun r -> Format.fprintf ppf "|%a" pp r) rest
+  | Star r -> pp_postfix ppf r '*'
+  | Plus r -> pp_postfix ppf r '+'
+  | Opt r -> pp_postfix ppf r '?'
+  | Rep (r, lo, hi) ->
+    let braces =
+      match hi with
+      | Some hi when hi = lo -> Printf.sprintf "{%d}" lo
+      | Some hi -> Printf.sprintf "{%d,%d}" lo hi
+      | None -> Printf.sprintf "{%d,}" lo
+    in
+    if needs_group r then Format.fprintf ppf "(%a)%s" pp r braces
+    else Format.fprintf ppf "%a%s" pp r braces
+
+and pp_grouped_if_alt ppf r =
+  match r with Alt (_ :: _ :: _) -> Format.fprintf ppf "(%a)" pp r | _ -> pp ppf r
+
+and pp_postfix ppf r op =
+  if needs_group r then Format.fprintf ppf "(%a)%c" pp r op
+  else Format.fprintf ppf "%a%c" pp r op
+
+let to_string r = Format.asprintf "%a" pp r

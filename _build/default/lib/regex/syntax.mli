@@ -1,0 +1,43 @@
+(** Regular-expression abstract syntax.
+
+    The surface language is the subset the paper's QUBO encoder targets —
+    literals, character classes, [+] — extended to the operators any
+    practical front-end needs ([*], [?], [|], grouping, ranges, negated
+    classes, [.]). The NFA/DFA backend supports all of it; the QUBO
+    unroller ({!Unroll}) accepts the product-form fragment and reports a
+    clean error otherwise. *)
+
+type t =
+  | Epsilon  (** matches the empty string *)
+  | Chars of Charset.t  (** one character from the set (literals included) *)
+  | Concat of t list  (** sequence; [Concat \[\]] = {!Epsilon} *)
+  | Alt of t list  (** alternation; must be non-empty *)
+  | Star of t  (** zero or more *)
+  | Plus of t  (** one or more *)
+  | Opt of t  (** zero or one *)
+  | Rep of t * int * int option  (** bounded repetition [r{m,n}]; [None] = unbounded *)
+
+val literal : char -> t
+val string : string -> t
+(** Concatenation of literals. *)
+
+val char_class : char list -> t
+val any : t
+(** [.] — any 7-bit ASCII character. *)
+
+val equal : t -> t -> bool
+
+val nullable : t -> bool
+(** Does the language contain the empty string? *)
+
+val min_length : t -> int
+(** Length of the shortest string in the language. *)
+
+val max_length : t -> int option
+(** Length of the longest string, [None] if unbounded. *)
+
+val pp : Format.formatter -> t -> unit
+(** Re-prints in concrete syntax (parseable by {!Parser} up to
+    grouping). *)
+
+val to_string : t -> string

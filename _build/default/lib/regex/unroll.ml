@@ -1,0 +1,114 @@
+type item = { set : Charset.t; min_reps : int; max_reps : int option }
+
+let items_of_syntax syntax =
+  let exception Not_product of string in
+  (* A sub-regex usable as a repeated atom: one character from a set.
+     Alternations of single characters ([(b|c)] ≡ [[bc]]) qualify, which
+     is the shape SMT-LIB's re.union produces. *)
+  let rec atom_set = function
+    | Syntax.Chars set -> Some set
+    | Syntax.Concat [ r ] -> atom_set r
+    | Syntax.Alt parts ->
+      List.fold_left
+        (fun acc part ->
+          match (acc, atom_set part) with
+          | Some acc, Some set -> Some (Charset.union acc set)
+          | _, _ -> None)
+        (Some Charset.empty) parts
+    | Syntax.Epsilon | Syntax.Concat _ | Syntax.Star _ | Syntax.Plus _ | Syntax.Opt _
+    | Syntax.Rep _ ->
+      None
+  in
+  let rec flatten r =
+    match r with
+    | Syntax.Epsilon -> []
+    | Syntax.Chars set -> [ { set; min_reps = 1; max_reps = Some 1 } ]
+    | Syntax.Concat parts -> List.concat_map flatten parts
+    | Syntax.Plus inner -> begin
+      match atom_set inner with
+      | Some set -> [ { set; min_reps = 1; max_reps = None } ]
+      | None -> raise (Not_product "+ applied to a non-atom (group or alternation)")
+    end
+    | Syntax.Star inner -> begin
+      match atom_set inner with
+      | Some set -> [ { set; min_reps = 0; max_reps = None } ]
+      | None -> raise (Not_product "* applied to a non-atom (group or alternation)")
+    end
+    | Syntax.Opt inner -> begin
+      match atom_set inner with
+      | Some set -> [ { set; min_reps = 0; max_reps = Some 1 } ]
+      | None -> raise (Not_product "? applied to a non-atom (group or alternation)")
+    end
+    | Syntax.Alt _ as r -> begin
+      match atom_set r with
+      | Some set -> [ { set; min_reps = 1; max_reps = Some 1 } ]
+      | None -> raise (Not_product "alternation is not product-form")
+    end
+    | Syntax.Rep (inner, lo, hi) -> begin
+      match atom_set inner with
+      | Some set ->
+        (match hi with
+        | Some hi when hi < lo -> raise (Not_product "repetition upper bound below lower")
+        | _ -> ());
+        [ { set; min_reps = lo; max_reps = hi } ]
+      | None -> raise (Not_product "{m,n} applied to a non-atom (group or alternation)")
+    end
+  in
+  try Ok (flatten syntax) with Not_product msg -> Error msg
+
+let to_position_sets syntax ~len =
+  if len < 0 then invalid_arg "Unroll.to_position_sets: negative length";
+  match items_of_syntax syntax with
+  | Error _ as e -> e
+  | Ok items ->
+    let total_min = List.fold_left (fun acc it -> acc + it.min_reps) 0 items in
+    let total_max =
+      List.fold_left
+        (fun acc it ->
+          match (acc, it.max_reps) with Some a, Some m -> Some (a + m) | _, _ -> None)
+        (Some 0) items
+    in
+    if total_min > len then
+      Error (Printf.sprintf "regex needs at least %d characters, asked for %d" total_min len)
+    else begin
+      match total_max with
+      | Some m when m < len ->
+        Error (Printf.sprintf "regex admits at most %d characters, asked for %d" m len)
+      | Some _ | None ->
+        (* Greedy left-to-right: each item takes its minimum; then the
+           leftmost expandable items absorb the slack. *)
+        let slack = ref (len - total_min) in
+        let counts =
+          List.map
+            (fun it ->
+              let headroom =
+                match it.max_reps with None -> !slack | Some m -> min !slack (m - it.min_reps)
+              in
+              slack := !slack - headroom;
+              it.min_reps + headroom)
+            items
+        in
+        let out = Array.make len Charset.empty in
+        let pos = ref 0 in
+        List.iter2
+          (fun it count ->
+            for _ = 1 to count do
+              out.(!pos) <- it.set;
+              incr pos
+            done)
+          items counts;
+        assert (!pos = len);
+        Ok out
+    end
+
+let pp_item ppf it =
+  let reps =
+    match (it.min_reps, it.max_reps) with
+    | 1, Some 1 -> ""
+    | 1, None -> "+"
+    | 0, None -> "*"
+    | 0, Some 1 -> "?"
+    | lo, Some hi -> Printf.sprintf "{%d,%d}" lo hi
+    | lo, None -> Printf.sprintf "{%d,}" lo
+  in
+  Format.fprintf ppf "%a%s" Charset.pp it.set reps

@@ -1,0 +1,32 @@
+(** Fixed-length unrolling of product-form regexes.
+
+    The paper's QUBO encoder (§4.11) needs a regex plus a target length
+    to yield an independent character set per string position — every
+    combination of choices must match. That holds exactly for the
+    "product-form" fragment: a concatenation of single-character items
+    (literal, class, [.]), each optionally repeated by [+], [*] or [?].
+    [a\[bc\]+] at length 5 unrolls to [a], then four positions of
+    [\[bc\]] — the paper's own example.
+
+    Repetition slack is distributed greedily left to right (the first
+    expandable item absorbs as much as possible), which is deterministic
+    and documented so experiments are reproducible. *)
+
+type item = {
+  set : Charset.t;  (** characters this item may produce *)
+  min_reps : int;  (** 1 for bare / [+], 0 for [*] / [?] *)
+  max_reps : int option;  (** [Some 1] for bare / [?], [None] for [+] / [*] *)
+}
+
+val items_of_syntax : Syntax.t -> (item list, string) result
+(** Flattens a product-form regex; [Error] names the offending construct
+    (alternation, grouped repetition, nested repetition of non-atoms). *)
+
+val to_position_sets : Syntax.t -> len:int -> (Charset.t array, string) result
+(** [to_position_sets r ~len] is the per-position character sets of the
+    length-[len] unrolling, or [Error] if the regex is not product-form
+    or admits no string of that length. The empty-set-free array has
+    exactly [len] entries; choosing any member at each position yields a
+    string matching [r]. *)
+
+val pp_item : Format.formatter -> item -> unit

@@ -1,0 +1,1 @@
+lib/smtlib/ast.ml: Format List

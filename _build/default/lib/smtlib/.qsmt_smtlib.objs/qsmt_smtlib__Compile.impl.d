@@ -1,0 +1,1 @@
+lib/smtlib/compile.ml: Ast Eval Hashtbl List Printf Qsmt_regex Qsmt_strtheory Result String Typecheck

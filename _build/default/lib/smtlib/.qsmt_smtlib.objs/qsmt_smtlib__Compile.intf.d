@@ -1,0 +1,1 @@
+lib/smtlib/compile.mli: Ast Eval Qsmt_strtheory Typecheck

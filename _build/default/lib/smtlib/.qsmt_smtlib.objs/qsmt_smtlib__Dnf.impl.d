@@ -1,0 +1,1 @@
+lib/smtlib/dnf.ml: Ast Hashtbl List Result

@@ -1,0 +1,1 @@
+lib/smtlib/eval.ml: Ast Buffer Format Fun List Printf Qsmt_regex Qsmt_strtheory Result String

@@ -1,0 +1,1 @@
+lib/smtlib/eval.mli: Ast Format Qsmt_regex

@@ -1,0 +1,1 @@
+lib/smtlib/interp.mli: Ast Eval Qsmt_anneal Qsmt_strtheory

@@ -1,0 +1,1 @@
+lib/smtlib/parser.ml: Ast List Printf Result Sexp

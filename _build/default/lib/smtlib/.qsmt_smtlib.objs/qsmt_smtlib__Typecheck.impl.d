@@ -1,0 +1,1 @@
+lib/smtlib/typecheck.ml: Ast List Printf Result String

@@ -1,0 +1,36 @@
+(** SMT-LIB abstract syntax (QF_S fragment plus extensions).
+
+    Terms keep operator applications symbolic ([App]); {!Typecheck}
+    validates them against the known signatures and {!Compile} interprets
+    them. Two non-standard symbols extend the theory the way the paper
+    does: [str.rev] (reversal, §4.9) and [str.palindrome] (palindrome
+    predicate, §4.10) — both flagged in {!Typecheck.known_extensions}. *)
+
+type sort = S_string | S_int | S_bool | S_reglan
+
+type term =
+  | Var of string
+  | Str of string  (** string literal *)
+  | Int of int
+  | Bool of bool
+  | App of string * term list  (** operator application *)
+
+type command =
+  | Set_logic of string
+  | Set_info  (** contents ignored *)
+  | Set_option  (** contents ignored *)
+  | Declare_const of string * sort
+  | Assert of term
+  | Push of int
+  | Pop of int
+  | Check_sat
+  | Get_model
+  | Get_value of term list
+  | Echo of string
+  | Exit
+
+val sort_of_string : string -> sort option
+val string_of_sort : sort -> string
+val pp_term : Format.formatter -> term -> unit
+val pp_command : Format.formatter -> command -> unit
+val term_to_string : term -> string

@@ -1,0 +1,35 @@
+(** Boolean-structure handling: bounded DNF expansion.
+
+    The DPLL(T) story the paper retells has the SAT engine enumerate
+    boolean skeletons and a theory solver decide each conjunction of
+    atoms. For the generative annealing backend the analogue is: expand
+    the assertion set's [and]/[or]/[not] structure into disjunctive
+    normal form, hand each cube (a conjunction of literals) to the
+    constraint compiler, and answer with the first satisfiable cube.
+
+    Expansion is bounded ([max_cubes], default 64) because DNF can blow
+    up exponentially; hitting the bound is an [Error] so callers answer
+    [unknown] rather than silently dropping cases. [not] is pushed
+    inward over [and]/[or] (De Morgan); a negation landing on a
+    non-ground atom stays as a negative literal for the caller to deal
+    with (the interpreter rejects cubes containing them as unsupported,
+    except ground literals which evaluate away). *)
+
+type literal = {
+  positive : bool;  (** [false] = the atom appears under an odd number of [not] *)
+  atom : Ast.term;  (** an atom: any term that is not [and]/[or]/[not] *)
+}
+
+type cube = literal list
+(** A conjunction of literals. *)
+
+val expand : ?max_cubes:int -> Ast.term list -> (cube list, string) result
+(** DNF of the conjunction of the given assertions. No cube is returned
+    twice (syntactic dedup); an empty cube list means the formula is
+    syntactically [false] (e.g. an empty [or]). *)
+
+val cube_terms : cube -> (Ast.term list, string) result
+(** The cube as plain terms, negative literals wrapped as [(not atom)].
+    Ground negations evaluate away in the compiler; negated equalities
+    over an unknown become verify-later disequality facts; any other
+    non-ground negation makes the compiler answer unsupported. *)

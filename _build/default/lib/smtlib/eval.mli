@@ -1,0 +1,24 @@
+(** Ground-term evaluation (the reference semantics of the vocabulary).
+
+    Evaluates variable-free terms: literal folding inside assertions
+    ([str.++] of literals, [str.replace_all] of literals, ...), the
+    [get-value] command under a model, and the trivial-satisfiability
+    path of the compiler. String operations follow SMT-LIB 2.6 where it
+    defines them ([str.replace] replaces the first occurrence of a whole
+    substring; [str.indexof] returns −1 when absent; out-of-range
+    [str.at]/[str.substr] yield [""]). *)
+
+type value = V_str of string | V_int of int | V_bool of bool
+
+val term : ?model:(string * value) list -> Ast.term -> (value, string) result
+(** Evaluates under an optional variable assignment; unbound variables
+    and RegLan-sorted terms are errors. *)
+
+val regex : Ast.term -> (Qsmt_regex.Syntax.t, string) result
+(** Interprets a ground RegLan term as a syntax tree: [str.to_re],
+    [re.++], [re.union], [re.*], [re.+], [re.opt], [re.range],
+    [re.allchar]. *)
+
+val pp_value : Format.formatter -> value -> unit
+(** SMT-LIB literal syntax ([""]-escaped strings, negative numerals as
+    [(- n)]). *)

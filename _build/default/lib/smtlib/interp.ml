@@ -1,0 +1,210 @@
+module Constr = Qsmt_strtheory.Constr
+module Solver = Qsmt_strtheory.Solver
+
+let ( let* ) = Result.bind
+
+type state = {
+  params : Qsmt_strtheory.Params.t option;
+  sampler : Qsmt_anneal.Sampler.t;
+  mutable env : Typecheck.env;
+  mutable assertions : Ast.term list; (* newest first *)
+  mutable last_model : (string * Eval.value) list option;
+  mutable stack : (Typecheck.env * Ast.term list) list; (* push/pop frames *)
+  mutable exited : bool;
+}
+
+let create ?params ?sampler () =
+  let sampler =
+    match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
+  in
+  {
+    params;
+    sampler;
+    env = Typecheck.empty_env;
+    assertions = [];
+    last_model = None;
+    stack = [];
+    exited = false;
+  }
+
+let model st = st.last_model
+
+(* Default values for declared-but-unconstrained variables, so a model
+   always covers every declaration. *)
+let default_value = function
+  | Ast.S_string -> Some (Eval.V_str "")
+  | Ast.S_int -> Some (Eval.V_int 0)
+  | Ast.S_bool -> Some (Eval.V_bool true)
+  | Ast.S_reglan -> None
+
+let complete_model st partial =
+  List.filter_map
+    (fun (name, sort) ->
+      match List.assoc_opt name partial with
+      | Some v -> Some (name, v)
+      | None -> Option.map (fun v -> (name, v)) (default_value sort))
+    (Typecheck.declared st.env)
+
+(* Classical double-check of a candidate model against every assertion. *)
+let model_satisfies st model =
+  List.for_all
+    (fun a -> match Eval.term ~model a with Ok (Eval.V_bool true) -> true | _ -> false)
+    (List.rev st.assertions)
+
+let value_of_constr_value = function
+  | Constr.Str s -> Some (Eval.V_str s)
+  | Constr.Pos (Some i) -> Some (Eval.V_int i)
+  | Constr.Pos None -> None
+
+(* Attempt one conjunction of atoms (a DNF cube). `Unsat is only
+   reported when it is a classical proof; solver failure is `Unknown. *)
+let attempt_cube st terms =
+  match Compile.compile st.env terms with
+  | Error _ -> `Unknown
+  | Ok (Compile.Trivial false) -> `Unsat
+  | Ok (Compile.Trivial true) -> `Sat (complete_model st [])
+  | Ok (Compile.Solved { var; value }) ->
+    let candidate = complete_model st [ (var, value) ] in
+    (* verify against the cube, not the full boolean assertion set: the
+       cube is what this branch claims *)
+    if List.for_all (fun t -> Eval.term ~model:candidate t = Ok (Eval.V_bool true)) terms then
+      `Sat candidate
+    else `Unknown
+  | Ok (Compile.Generate_joint { var; conjuncts }) -> begin
+    match Qsmt_strtheory.Joint.solve ?params:st.params ~sampler:st.sampler conjuncts with
+    | Error _ -> `Unknown
+    | Ok outcome ->
+      if outcome.Qsmt_strtheory.Joint.satisfied then
+        `Sat (complete_model st [ (var, Eval.V_str outcome.Qsmt_strtheory.Joint.value) ])
+      else `Unknown
+  end
+  | Ok (Compile.Generate { var; constr } | Compile.Locate { var; constr }) -> begin
+    let outcome = Solver.solve ?params:st.params ~sampler:st.sampler constr in
+    match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
+    | true, Some v -> `Sat (complete_model st [ (var, v) ])
+    | _, _ -> `Unknown
+  end
+
+let check_sat st =
+  st.last_model <- None;
+  (* DPLL(T)-style split: expand the boolean structure into cubes, then
+     decide each conjunction with the theory (annealing) backend. *)
+  match Dnf.expand (List.rev st.assertions) with
+  | Error _ -> [ "unknown" ]
+  | Ok [] -> [ "unsat" ]
+  | Ok cubes ->
+    let rec try_cubes saw_unknown = function
+      | [] -> if saw_unknown then [ "unknown" ] else [ "unsat" ]
+      | cube :: rest -> begin
+        match Dnf.cube_terms cube with
+        | Error _ -> try_cubes true rest
+        | Ok terms -> begin
+          match attempt_cube st terms with
+          | `Sat candidate ->
+            (* final word: the model must satisfy the *original*
+               assertions (Eval handles and/or/not) *)
+            if model_satisfies st candidate then begin
+              st.last_model <- Some candidate;
+              [ "sat" ]
+            end
+            else try_cubes true rest
+          | `Unsat -> try_cubes saw_unknown rest
+          | `Unknown -> try_cubes true rest
+        end
+      end
+    in
+    try_cubes false cubes
+
+let sort_of_value = function
+  | Eval.V_str _ -> Ast.S_string
+  | Eval.V_int _ -> Ast.S_int
+  | Eval.V_bool _ -> Ast.S_bool
+
+let exec st command =
+  if st.exited then Error "solver has exited"
+  else begin
+    match command with
+    | Ast.Set_logic _ | Ast.Set_info | Ast.Set_option -> Ok []
+    | Ast.Declare_const (name, sort) ->
+      let* env = Typecheck.declare st.env name sort in
+      st.env <- env;
+      Ok []
+    | Ast.Assert term ->
+      let* () = Typecheck.check_assertion st.env term in
+      st.assertions <- term :: st.assertions;
+      Ok []
+    | Ast.Push n ->
+      for _ = 1 to n do
+        st.stack <- (st.env, st.assertions) :: st.stack
+      done;
+      Ok []
+    | Ast.Pop n ->
+      let rec pop k =
+        if k = 0 then Ok []
+        else begin
+          match st.stack with
+          | [] -> Error "pop without matching push"
+          | (env, assertions) :: rest ->
+            st.env <- env;
+            st.assertions <- assertions;
+            st.stack <- rest;
+            pop (k - 1)
+        end
+      in
+      pop n
+    | Ast.Check_sat -> Ok (check_sat st)
+    | Ast.Get_model -> begin
+      match st.last_model with
+      | None -> Error "no model available (run (check-sat) first, it must answer sat)"
+      | Some model ->
+        let lines =
+          List.map
+            (fun (name, v) ->
+              Format.asprintf "(define-fun %s () %s %a)" name
+                (Ast.string_of_sort (sort_of_value v))
+                Eval.pp_value v)
+            model
+        in
+        Ok (("(" :: List.map (fun l -> "  " ^ l) lines) @ [ ")" ])
+    end
+    | Ast.Get_value targets -> begin
+      match st.last_model with
+      | None -> Error "no model available (run (check-sat) first, it must answer sat)"
+      | Some model ->
+        let* pairs =
+          List.fold_left
+            (fun acc t ->
+              let* acc = acc in
+              let* v = Eval.term ~model t in
+              Ok ((t, v) :: acc))
+            (Ok []) targets
+        in
+        let rendered =
+          List.rev_map
+            (fun (t, v) -> Format.asprintf "(%s %a)" (Ast.term_to_string t) Eval.pp_value v)
+            pairs
+        in
+        Ok [ "(" ^ String.concat " " rendered ^ ")" ]
+    end
+    | Ast.Echo s -> Ok [ s ]
+    | Ast.Exit ->
+      st.exited <- true;
+      Ok []
+  end
+
+let run_script st commands =
+  let rec go acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | cmd :: rest ->
+      if st.exited then Ok (List.concat (List.rev acc))
+      else begin
+        match exec st cmd with
+        | Error _ as e -> e
+        | Ok lines -> go (lines :: acc) rest
+      end
+  in
+  go [] commands
+
+let run_string ?params ?sampler source =
+  let* commands = Parser.parse_script source in
+  run_script (create ?params ?sampler ()) commands

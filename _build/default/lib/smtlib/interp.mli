@@ -1,0 +1,38 @@
+(** SMT-LIB script interpreter.
+
+    Executes a command list the way an SMT solver's REPL would:
+    declarations build the sort environment, assertions accumulate (and
+    are sort-checked on entry), [check-sat] compiles the assertion set
+    and runs the annealing solver, [get-model] / [get-value] read the
+    model produced by the last [check-sat]. Output is returned as lines
+    (what a solver would print to stdout).
+
+    Answer discipline: [sat] is only reported when the decoded model has
+    been verified classically against every assertion; an annealer
+    failure or an unsupported fragment yields [unknown], never a wrong
+    [sat]/[unsat]. *)
+
+type state
+
+val create :
+  ?params:Qsmt_strtheory.Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> unit -> state
+(** The sampler defaults to {!Qsmt_strtheory.Solver.default_sampler}
+    with seed 0. *)
+
+val exec : state -> Ast.command -> (string list, string) result
+(** Output lines of one command. [Error] is a solver-level error
+    (redeclaration, sort error, get-model before check-sat, ...). *)
+
+val run_script : state -> Ast.command list -> (string list, string) result
+(** Executes until the end or the first [Exit]; concatenates output.
+    Stops at the first error. *)
+
+val run_string :
+  ?params:Qsmt_strtheory.Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  string ->
+  (string list, string) result
+(** Parse and run a whole script from source text. *)
+
+val model : state -> (string * Eval.value) list option
+(** Model from the last [check-sat], if it answered [sat]. *)

@@ -1,0 +1,112 @@
+let ( let* ) = Result.bind
+
+let rec term_of_sexp = function
+  | Sexp.String s -> Ok (Ast.Str s)
+  | Sexp.Atom "true" -> Ok (Ast.Bool true)
+  | Sexp.Atom "false" -> Ok (Ast.Bool false)
+  | Sexp.Atom a -> begin
+    match int_of_string_opt a with Some n -> Ok (Ast.Int n) | None -> Ok (Ast.Var a)
+  end
+  | Sexp.List (Sexp.Atom "-" :: [ Sexp.Atom a ]) -> begin
+    (* (- 3) negative numeral *)
+    match int_of_string_opt a with
+    | Some n -> Ok (Ast.Int (-n))
+    | None -> Error "expected a numeral after unary -"
+  end
+  | Sexp.List (Sexp.List (Sexp.Atom "_" :: Sexp.Atom op :: indices) :: operands) ->
+    (* indexed identifier, e.g. ((_ re.loop 2 4) r): indices become
+       leading integer arguments *)
+    let* index_terms =
+      List.fold_left
+        (fun acc idx ->
+          let* acc = acc in
+          match idx with
+          | Sexp.Atom a -> begin
+            match int_of_string_opt a with
+            | Some n -> Ok (Ast.Int n :: acc)
+            | None -> Error "indexed identifier indices must be numerals"
+          end
+          | Sexp.String _ | Sexp.List _ -> Error "indexed identifier indices must be numerals")
+        (Ok []) indices
+    in
+    let* operand_terms =
+      List.fold_left
+        (fun acc arg ->
+          let* acc = acc in
+          let* t = term_of_sexp arg in
+          Ok (t :: acc))
+        (Ok []) operands
+    in
+    Ok (Ast.App (op, List.rev index_terms @ List.rev operand_terms))
+  | Sexp.List (Sexp.Atom op :: args) ->
+    let* args =
+      List.fold_left
+        (fun acc arg ->
+          let* acc = acc in
+          let* t = term_of_sexp arg in
+          Ok (t :: acc))
+        (Ok []) args
+    in
+    Ok (Ast.App (op, List.rev args))
+  | Sexp.List _ -> Error "expected an operator application"
+
+let command_of_sexp sexp =
+  match sexp with
+  | Sexp.List [ Sexp.Atom "set-logic"; Sexp.Atom logic ] -> Ok (Ast.Set_logic logic)
+  | Sexp.List (Sexp.Atom "set-info" :: _) -> Ok Ast.Set_info
+  | Sexp.List (Sexp.Atom "set-option" :: _) -> Ok Ast.Set_option
+  | Sexp.List [ Sexp.Atom "declare-const"; Sexp.Atom name; Sexp.Atom sort ] -> begin
+    match Ast.sort_of_string sort with
+    | Some s -> Ok (Ast.Declare_const (name, s))
+    | None -> Error (Printf.sprintf "unknown sort %s" sort)
+  end
+  | Sexp.List [ Sexp.Atom "declare-fun"; Sexp.Atom name; Sexp.List []; Sexp.Atom sort ] -> begin
+    (* nullary declare-fun is declare-const *)
+    match Ast.sort_of_string sort with
+    | Some s -> Ok (Ast.Declare_const (name, s))
+    | None -> Error (Printf.sprintf "unknown sort %s" sort)
+  end
+  | Sexp.List [ Sexp.Atom "assert"; body ] ->
+    let* t = term_of_sexp body in
+    Ok (Ast.Assert t)
+  | Sexp.List [ Sexp.Atom "push" ] -> Ok (Ast.Push 1)
+  | Sexp.List [ Sexp.Atom "push"; Sexp.Atom n ] -> begin
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (Ast.Push n)
+    | _ -> Error "push expects a non-negative numeral"
+  end
+  | Sexp.List [ Sexp.Atom "pop" ] -> Ok (Ast.Pop 1)
+  | Sexp.List [ Sexp.Atom "pop"; Sexp.Atom n ] -> begin
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> Ok (Ast.Pop n)
+    | _ -> Error "pop expects a non-negative numeral"
+  end
+  | Sexp.List [ Sexp.Atom "check-sat" ] -> Ok Ast.Check_sat
+  | Sexp.List [ Sexp.Atom "get-model" ] -> Ok Ast.Get_model
+  | Sexp.List [ Sexp.Atom "get-value"; Sexp.List targets ] ->
+    let* ts =
+      List.fold_left
+        (fun acc target ->
+          let* acc = acc in
+          let* t = term_of_sexp target in
+          Ok (t :: acc))
+        (Ok []) targets
+    in
+    Ok (Ast.Get_value (List.rev ts))
+  | Sexp.List [ Sexp.Atom "echo"; Sexp.String s ] -> Ok (Ast.Echo s)
+  | Sexp.List [ Sexp.Atom "exit" ] -> Ok Ast.Exit
+  | Sexp.List (Sexp.Atom cmd :: _) -> Error (Printf.sprintf "unsupported command %s" cmd)
+  | Sexp.Atom a -> Error (Printf.sprintf "expected a command, got atom %s" a)
+  | Sexp.String _ -> Error "expected a command, got a string"
+  | Sexp.List [] -> Error "empty command"
+  | Sexp.List ((Sexp.String _ | Sexp.List _) :: _) -> Error "command must start with a symbol"
+
+let parse_script input =
+  let* sexps = Sexp.parse_all input in
+  List.fold_left
+    (fun acc sexp ->
+      let* acc = acc in
+      let* cmd = command_of_sexp sexp in
+      Ok (cmd :: acc))
+    (Ok []) sexps
+  |> Result.map List.rev

@@ -1,0 +1,7 @@
+(** Sexp → AST translation for SMT-LIB scripts. *)
+
+val term_of_sexp : Sexp.t -> (Ast.term, string) result
+val command_of_sexp : Sexp.t -> (Ast.command, string) result
+
+val parse_script : string -> (Ast.command list, string) result
+(** Lexes and parses a whole script. *)

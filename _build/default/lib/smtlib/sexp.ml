@@ -1,0 +1,144 @@
+type t = Atom of string | String of string | List of t list
+
+exception Error of int * string (* line, message *)
+
+type state = { input : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let fail st msg = raise (Error (st.line, msg))
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_trivia st
+  | Some ';' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let is_symbol_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '=' | '<' | '>' | '.' | '?'
+  | '/' | ':' ->
+    true
+  | _ -> false
+
+let parse_string_lit st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' ->
+      advance st;
+      (* doubled quote is an escaped quote *)
+      if peek st = Some '"' then begin
+        Buffer.add_char buf '"';
+        advance st;
+        go ()
+      end
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  String (Buffer.contents buf)
+
+let parse_quoted_symbol st =
+  advance st (* opening pipe *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated |symbol|"
+    | Some '|' -> advance st
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Atom (Buffer.contents buf)
+
+let rec parse_expr st =
+  skip_trivia st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '(' ->
+    advance st;
+    let rec items acc =
+      skip_trivia st;
+      match peek st with
+      | None -> fail st "unclosed ("
+      | Some ')' ->
+        advance st;
+        List (List.rev acc)
+      | Some _ -> items (parse_expr st :: acc)
+    in
+    items []
+  | Some ')' -> fail st "unmatched )"
+  | Some '"' -> parse_string_lit st
+  | Some '|' -> parse_quoted_symbol st
+  | Some c when is_symbol_char c ->
+    let buf = Buffer.create 8 in
+    let rec go () =
+      match peek st with
+      | Some c when is_symbol_char c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | Some _ | None -> ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse_all input =
+  let st = { input; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_trivia st;
+    if st.pos >= String.length input then Ok (List.rev acc)
+    else begin
+      match parse_expr st with
+      | expr -> go (expr :: acc)
+      | exception Error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+    end
+  in
+  go []
+
+let parse_one input =
+  match parse_all input with
+  | Error _ as e -> e
+  | Ok [ e ] -> Ok e
+  | Ok [] -> Error "empty input"
+  | Ok _ -> Error "expected exactly one expression"
+
+let rec pp ppf = function
+  | Atom a -> Format.pp_print_string ppf a
+  | String s ->
+    let escaped = String.concat "\"\"" (String.split_on_char '"' s) in
+    Format.fprintf ppf "\"%s\"" escaped
+  | List items ->
+    Format.pp_print_char ppf '(';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Format.pp_print_char ppf ' ';
+        pp ppf item)
+      items;
+    Format.pp_print_char ppf ')'
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,21 @@
+(** S-expressions, SMT-LIB flavour.
+
+    SMT-LIB scripts are s-expressions with two lexical quirks this lexer
+    handles: string literals use [""] (doubled quote) as the escape for
+    an embedded quote, and [|...|] delimits quoted symbols. Comments run
+    from [;] to end of line. *)
+
+type t =
+  | Atom of string  (** symbol, keyword, or numeral — undistinguished *)
+  | String of string  (** ["..."] literal, unescaped *)
+  | List of t list
+
+val parse_all : string -> (t list, string) result
+(** Every top-level expression in the input. Errors carry a line
+    number. *)
+
+val parse_one : string -> (t, string) result
+(** Exactly one expression (trailing whitespace/comments allowed). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

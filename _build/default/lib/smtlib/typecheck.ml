@@ -1,0 +1,98 @@
+let ( let* ) = Result.bind
+
+type env = (string * Ast.sort) list (* newest last *)
+
+let empty_env = []
+
+let declare env name sort =
+  if List.mem_assoc name env then Error (Printf.sprintf "constant %s already declared" name)
+  else Ok (env @ [ (name, sort) ])
+
+let lookup env name = List.assoc_opt name env
+let declared env = env
+
+let known_extensions = [ "str.rev"; "str.palindrome" ]
+
+open Ast
+
+(* (argument sorts, result). Variadic operators are special-cased. *)
+let fixed_signature = function
+  | "str.len" -> Some ([ S_string ], S_int)
+  | "str.replace" | "str.replace_all" -> Some ([ S_string; S_string; S_string ], S_string)
+  | "str.contains" | "str.prefixof" | "str.suffixof" -> Some ([ S_string; S_string ], S_bool)
+  | "str.indexof" -> Some ([ S_string; S_string; S_int ], S_int)
+  | "str.at" -> Some ([ S_string; S_int ], S_string)
+  | "str.substr" -> Some ([ S_string; S_int; S_int ], S_string)
+  | "str.in_re" -> Some ([ S_string; S_reglan ], S_bool)
+  | "str.to_re" -> Some ([ S_string ], S_reglan)
+  | "re.range" -> Some ([ S_string; S_string ], S_reglan)
+  | "re.loop" -> Some ([ S_int; S_int; S_reglan ], S_reglan)
+  | "re.*" | "re.+" | "re.opt" -> Some ([ S_reglan ], S_reglan)
+  | "re.allchar" -> Some ([], S_reglan)
+  | "str.rev" -> Some ([ S_string ], S_string)
+  | "str.palindrome" -> Some ([ S_string ], S_bool)
+  | "not" -> Some ([ S_bool ], S_bool)
+  | _ -> None
+
+let rec sort_of_term env term =
+  match term with
+  | Var v -> begin
+    match lookup env v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "undeclared constant %s" v)
+  end
+  | Str _ -> Ok S_string
+  | Int _ -> Ok S_int
+  | Bool _ -> Ok S_bool
+  | App (op, args) -> sort_of_app env op args
+
+and sorts_of env args =
+  List.fold_left
+    (fun acc arg ->
+      let* acc = acc in
+      let* s = sort_of_term env arg in
+      Ok (s :: acc))
+    (Ok []) args
+  |> Result.map List.rev
+
+and sort_of_app env op args =
+  let mismatch expected =
+    Error
+      (Printf.sprintf "%s expects (%s), got %s" op
+         (String.concat " " (List.map string_of_sort expected))
+         (term_to_string (App (op, args))))
+  in
+  match op with
+  | "str.++" ->
+    let* sorts = sorts_of env args in
+    if args = [] then Error "str.++ needs at least one argument"
+    else if List.for_all (fun s -> s = S_string) sorts then Ok S_string
+    else mismatch (List.map (fun _ -> S_string) args)
+  | "re.++" | "re.union" ->
+    let* sorts = sorts_of env args in
+    if args = [] then Error (op ^ " needs at least one argument")
+    else if List.for_all (fun s -> s = S_reglan) sorts then Ok S_reglan
+    else mismatch (List.map (fun _ -> S_reglan) args)
+  | "and" | "or" ->
+    let* sorts = sorts_of env args in
+    if List.for_all (fun s -> s = S_bool) sorts then Ok S_bool
+    else mismatch (List.map (fun _ -> S_bool) args)
+  | "=" -> begin
+    let* sorts = sorts_of env args in
+    match sorts with
+    | [ a; b ] when a = b -> Ok S_bool
+    | [ _; _ ] -> Error (Printf.sprintf "= applied to different sorts in %s" (term_to_string (App (op, args))))
+    | _ -> Error "= expects exactly two arguments"
+  end
+  | _ -> begin
+    match fixed_signature op with
+    | None -> Error (Printf.sprintf "unknown operator %s" op)
+    | Some (expected, result) ->
+      let* sorts = sorts_of env args in
+      if sorts = expected then Ok result else mismatch expected
+  end
+
+let check_assertion env term =
+  let* sort = sort_of_term env term in
+  if sort = S_bool then Ok ()
+  else Error (Printf.sprintf "assertion is %s, expected Bool: %s" (string_of_sort sort) (term_to_string term))

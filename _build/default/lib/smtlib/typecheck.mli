@@ -1,0 +1,26 @@
+(** Sort checking for the supported operator vocabulary.
+
+    Implements the SMT-LIB Strings signatures for the operators the
+    compiler understands, plus the two paper extensions. Unknown
+    operators and arity/sort mismatches are reported with the offending
+    term. *)
+
+type env
+(** Declared constants and their sorts. *)
+
+val empty_env : env
+val declare : env -> string -> Ast.sort -> (env, string) result
+(** Rejects redeclaration. *)
+
+val lookup : env -> string -> Ast.sort option
+val declared : env -> (string * Ast.sort) list
+(** In declaration order. *)
+
+val sort_of_term : env -> Ast.term -> (Ast.sort, string) result
+
+val check_assertion : env -> Ast.term -> (unit, string) result
+(** The term must sort-check to [Bool]. *)
+
+val known_extensions : string list
+(** Non-standard operators this implementation adds: [str.rev],
+    [str.palindrome]. *)

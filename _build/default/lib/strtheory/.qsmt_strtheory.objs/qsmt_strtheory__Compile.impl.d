@@ -1,0 +1,1 @@
+lib/strtheory/compile.ml: Constr Op_concat Op_equality Op_includes Op_indexof Op_length Op_palindrome Op_regex Op_replace Op_reverse Op_substring Printf Qsmt_util

@@ -1,0 +1,1 @@
+lib/strtheory/compile.mli: Constr Params Qsmt_qubo Qsmt_util

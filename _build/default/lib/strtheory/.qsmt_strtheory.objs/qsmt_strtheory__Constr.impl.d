@@ -1,0 +1,1 @@
+lib/strtheory/constr.ml: Char Format List Printf Qsmt_regex Qsmt_util Semantics String

@@ -1,0 +1,1 @@
+lib/strtheory/constr.mli: Format Qsmt_regex

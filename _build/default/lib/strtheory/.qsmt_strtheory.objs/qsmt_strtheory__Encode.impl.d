@@ -1,0 +1,1 @@
+lib/strtheory/encode.ml: Array List Qsmt_qubo Qsmt_util String

@@ -1,0 +1,1 @@
+lib/strtheory/encode.mli: Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/strtheory/joint.ml: Compile Constr List Printf Qsmt_anneal Qsmt_qubo Qsmt_util Result Solver

@@ -1,0 +1,1 @@
+lib/strtheory/joint.mli: Constr Params Qsmt_anneal Qsmt_qubo

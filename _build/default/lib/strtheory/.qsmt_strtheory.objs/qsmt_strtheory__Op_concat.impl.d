@@ -1,0 +1,1 @@
+lib/strtheory/op_concat.ml: Op_equality Semantics

@@ -1,0 +1,1 @@
+lib/strtheory/op_concat.mli: Params Qsmt_qubo

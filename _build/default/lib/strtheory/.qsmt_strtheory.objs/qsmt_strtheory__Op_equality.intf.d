@@ -1,0 +1,1 @@
+lib/strtheory/op_equality.mli: Params Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/strtheory/op_includes.ml: Float Params Qsmt_qubo Qsmt_util String

@@ -1,0 +1,1 @@
+lib/strtheory/op_includes.mli: Params Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/strtheory/op_indexof.ml: Encode Params Qsmt_qubo String

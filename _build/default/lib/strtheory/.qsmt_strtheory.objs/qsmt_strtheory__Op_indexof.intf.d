@@ -1,0 +1,1 @@
+lib/strtheory/op_indexof.mli: Params Qsmt_qubo

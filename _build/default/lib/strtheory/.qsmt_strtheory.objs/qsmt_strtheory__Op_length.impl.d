@@ -1,0 +1,1 @@
+lib/strtheory/op_length.ml: Params Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/strtheory/op_length.mli: Params Qsmt_qubo

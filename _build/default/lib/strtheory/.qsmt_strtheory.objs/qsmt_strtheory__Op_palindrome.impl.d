@@ -1,0 +1,1 @@
+lib/strtheory/op_palindrome.ml: Encode Params Qsmt_qubo Qsmt_util

@@ -1,0 +1,1 @@
+lib/strtheory/op_palindrome.mli: Params Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/strtheory/op_regex.ml: Array Encode Params Qsmt_qubo Qsmt_regex

@@ -1,0 +1,1 @@
+lib/strtheory/op_regex.mli: Params Qsmt_qubo Qsmt_regex

@@ -1,0 +1,1 @@
+lib/strtheory/op_replace.ml: Op_equality Semantics

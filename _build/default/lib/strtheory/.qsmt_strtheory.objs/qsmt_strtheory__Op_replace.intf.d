@@ -1,0 +1,1 @@
+lib/strtheory/op_replace.mli: Params Qsmt_qubo

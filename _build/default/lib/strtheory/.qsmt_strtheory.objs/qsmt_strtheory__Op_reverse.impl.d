@@ -1,0 +1,1 @@
+lib/strtheory/op_reverse.ml: Op_equality Semantics

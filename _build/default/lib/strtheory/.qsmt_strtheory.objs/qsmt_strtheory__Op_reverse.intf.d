@@ -1,0 +1,1 @@
+lib/strtheory/op_reverse.mli: Params Qsmt_qubo

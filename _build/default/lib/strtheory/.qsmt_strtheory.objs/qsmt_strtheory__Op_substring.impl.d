@@ -1,0 +1,1 @@
+lib/strtheory/op_substring.ml: Bytes Encode Params Qsmt_qubo String

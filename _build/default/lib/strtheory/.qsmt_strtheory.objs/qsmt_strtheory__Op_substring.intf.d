@@ -1,0 +1,1 @@
+lib/strtheory/op_substring.mli: Encode Params Qsmt_qubo

@@ -1,0 +1,1 @@
+lib/strtheory/params.ml: Format Printf

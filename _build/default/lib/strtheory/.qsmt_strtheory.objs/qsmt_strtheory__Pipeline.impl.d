@@ -1,0 +1,1 @@
+lib/strtheory/pipeline.ml: Constr Format List Semantics String

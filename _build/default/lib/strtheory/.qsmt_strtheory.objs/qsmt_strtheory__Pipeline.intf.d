@@ -1,0 +1,1 @@
+lib/strtheory/pipeline.mli: Constr Format

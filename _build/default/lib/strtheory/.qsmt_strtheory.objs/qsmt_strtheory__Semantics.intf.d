@@ -1,0 +1,1 @@
+lib/strtheory/semantics.mli:

@@ -1,0 +1,1 @@
+lib/strtheory/smtgen.ml: Char Constr List Printf Qsmt_regex Result String

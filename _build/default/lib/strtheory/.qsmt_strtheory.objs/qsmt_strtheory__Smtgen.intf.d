@@ -1,0 +1,1 @@
+lib/strtheory/smtgen.mli: Constr Qsmt_regex

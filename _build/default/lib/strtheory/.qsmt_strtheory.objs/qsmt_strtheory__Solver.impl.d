@@ -1,0 +1,1 @@
+lib/strtheory/solver.ml: Compile Constr List Pipeline Qsmt_anneal Qsmt_qubo Unix

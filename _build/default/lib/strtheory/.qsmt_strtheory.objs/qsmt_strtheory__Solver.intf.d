@@ -1,0 +1,1 @@
+lib/strtheory/solver.mli: Constr Params Pipeline Qsmt_anneal Qsmt_qubo

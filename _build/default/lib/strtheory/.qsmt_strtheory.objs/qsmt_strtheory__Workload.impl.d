@@ -1,0 +1,1 @@
+lib/strtheory/workload.ml: Array Char Constr List Qsmt_regex Qsmt_util String

@@ -1,0 +1,1 @@
+lib/strtheory/workload.mli: Constr Qsmt_util

@@ -1,0 +1,17 @@
+(** Constraint → QUBO compilation and sample decoding.
+
+    The single dispatch point between the constraint AST and the
+    per-operation encoders; the inverse direction turns an annealer
+    sample (a bit vector over the constraint's variables) back into a
+    {!Constr.value}. *)
+
+val to_qubo : ?params:Params.t -> Constr.t -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument if the constraint fails
+    {!Constr.validate}. *)
+
+val decode : Constr.t -> Qsmt_util.Bitvec.t -> Constr.value
+(** String constraints decode all [7n] bits through the ASCII codec
+    (unconstrained bits fall where the sampler left them); {!Constr.Includes}
+    decodes the one-hot position.
+    @raise Invalid_argument if the sample length does not match
+    [Constr.num_vars]. *)

@@ -1,0 +1,38 @@
+module Qubo = Qsmt_qubo.Qubo
+module Ascii7 = Qsmt_util.Ascii7
+
+type combine = Overwrite | Sum
+
+let write_bit b ~combine var coeff =
+  match combine with Overwrite -> Qubo.set b var var coeff | Sum -> Qubo.add b var var coeff
+
+let write_char b ~combine ~strength ~char_index c =
+  let bits = Ascii7.char_to_bits c in
+  Array.iteri
+    (fun i bit ->
+      let var = Ascii7.var_of ~char_index ~bit:i in
+      write_bit b ~combine var (if bit then -.strength else strength))
+    bits
+
+let write_string b ~combine ~strength ~start s =
+  String.iteri (fun j c -> write_char b ~combine ~strength ~char_index:(start + j) c) s
+
+let add_char_superposition b ~strength ~char_index chars =
+  let k = List.length chars in
+  if k = 0 then invalid_arg "Encode.add_char_superposition: empty class";
+  let share = strength /. float_of_int k in
+  List.iter
+    (fun c ->
+      let bits = Ascii7.char_to_bits c in
+      Array.iteri
+        (fun i bit ->
+          let var = Ascii7.var_of ~char_index ~bit:i in
+          Qubo.add b var var (if bit then -.share else share))
+        bits)
+    chars
+
+let add_lowercase_bias b ~strength ~char_index =
+  (* Bits 0 and 1 (values 64 and 32) pulled to 1: characters land in
+     96-127, mostly lowercase letters. The other five bits stay free. *)
+  Qubo.add b (Ascii7.var_of ~char_index ~bit:0) (Ascii7.var_of ~char_index ~bit:0) (-.strength);
+  Qubo.add b (Ascii7.var_of ~char_index ~bit:1) (Ascii7.var_of ~char_index ~bit:1) (-.strength)

@@ -1,0 +1,34 @@
+(** Shared encoding primitives (paper §4 preamble).
+
+    Every string-producing operation shares the same variable layout —
+    bit [i] of character [j] is QUBO variable [7j + i], MSB first — and
+    the same diagonal recipe: a variable whose target bit is 1 gets
+    [-A], a 0 gets [+A]. These helpers write that pattern with either
+    overwrite ([set]) or additive ([add]) semantics; substring matching
+    needs the distinction (§4.3 overwrites on conflict). *)
+
+type combine =
+  | Overwrite  (** last write wins — the paper's semantics *)
+  | Sum  (** coefficients add — the ablation alternative *)
+
+val write_char :
+  Qsmt_qubo.Qubo.builder -> combine:combine -> strength:float -> char_index:int -> char -> unit
+(** Writes the seven diagonal entries for one character: [-strength]
+    where the character's bit is 1, [+strength] where it is 0. *)
+
+val write_string :
+  Qsmt_qubo.Qubo.builder -> combine:combine -> strength:float -> start:int -> string -> unit
+(** [write_string b ~combine ~strength ~start s] writes [s] with its
+    first character at character index [start]. *)
+
+val add_char_superposition :
+  Qsmt_qubo.Qubo.builder -> strength:float -> char_index:int -> char list -> unit
+(** §4.11 character classes: adds each candidate's diagonal pattern at
+    [strength / k] for a [k]-character class, so the class members share
+    preference (bits on which they disagree cancel toward 0). *)
+
+val add_lowercase_bias : Qsmt_qubo.Qubo.builder -> strength:float -> char_index:int -> unit
+(** §4.5's "softer constraint": a weak pull toward the lowercase range —
+    the two high bits of the character are biased to 1 (codes 96-127),
+    remaining bits free. Applied where any character is acceptable so
+    samples come back roughly printable. *)

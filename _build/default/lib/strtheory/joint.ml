@@ -1,0 +1,77 @@
+module Qubo = Qsmt_qubo.Qubo
+module Ascii7 = Qsmt_util.Ascii7
+module Sampleset = Qsmt_anneal.Sampleset
+module Sampler = Qsmt_anneal.Sampler
+
+let ( let* ) = Result.bind
+
+let compatible c =
+  match c with
+  | Constr.Includes _ -> None
+  | Constr.Equals _ | Constr.Concat _ | Constr.Contains _ | Constr.Index_of _
+  | Constr.Has_length _ | Constr.Replace_all _ | Constr.Replace_first _ | Constr.Reverse _
+  | Constr.Palindrome _ | Constr.Regex _ -> begin
+    match Constr.validate c with Ok () -> Some (Constr.num_vars c / 7) | Error _ -> None
+  end
+
+let common_length cs =
+  match cs with
+  | [] -> Error "Joint.encode: empty conjunction"
+  | first :: rest -> begin
+    match compatible first with
+    | None -> Error ("not joint-encodable: " ^ Constr.describe first)
+    | Some len ->
+      List.fold_left
+        (fun acc c ->
+          let* len = acc in
+          match compatible c with
+          | Some l when l = len -> Ok len
+          | Some l ->
+            Error
+              (Printf.sprintf "length mismatch: %s has length %d, expected %d"
+                 (Constr.describe c) l len)
+          | None -> Error ("not joint-encodable: " ^ Constr.describe c))
+        (Ok len) rest
+  end
+
+let encode ?params cs =
+  let* length = common_length cs in
+  let merged = Qubo.builder () in
+  List.iter
+    (fun c ->
+      let q = Compile.to_qubo ?params c in
+      Qubo.iter_linear q (fun i v -> Qubo.add merged i i v);
+      Qubo.iter_quadratic q (fun i j v -> Qubo.add merged i j v);
+      Qubo.add_offset merged (Qubo.offset q))
+    cs;
+  Ok (Qubo.freeze ~num_vars:(7 * length) merged, length)
+
+type outcome = {
+  qubo : Qubo.t;
+  samples : Sampleset.t;
+  value : string;
+  satisfied : bool;
+  per_constraint : (Constr.t * bool) list;
+}
+
+let verdicts cs s = List.map (fun c -> (c, Constr.verify c (Constr.Str s))) cs
+
+let solve ?params ?sampler cs =
+  let sampler =
+    match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
+  in
+  let* qubo, _length = encode ?params cs in
+  let samples = Sampler.run sampler qubo in
+  let decoded =
+    List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
+  in
+  match decoded with
+  | [] -> Error "sampler returned an empty sample set"
+  | first :: _ -> begin
+    let all_ok s = List.for_all (fun c -> Constr.verify c (Constr.Str s)) cs in
+    match List.find_opt all_ok decoded with
+    | Some s ->
+      Ok { qubo; samples; value = s; satisfied = true; per_constraint = verdicts cs s }
+    | None ->
+      Ok { qubo; samples; value = first; satisfied = false; per_constraint = verdicts cs first }
+  end

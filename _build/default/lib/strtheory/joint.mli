@@ -1,0 +1,44 @@
+(** Joint encoding of constraint conjunctions (extension of §4.12).
+
+    The paper combines constraints sequentially — each operation is its
+    own annealing run and strings flow between them. That cannot express
+    a {e conjunction} ("a palindrome that contains 'ab'"): transformation
+    pipelines compose functions, not predicates. This module provides the
+    alternative the paper leaves open: merge the QUBOs of several
+    string-generating constraints over the {e same} [7·L] variables by
+    adding their coefficient matrices, then anneal once.
+
+    Additive merging is sound in the sense that any string satisfying all
+    conjuncts sits at the sum of their (individually minimal) energies;
+    it is not complete — penalties from one constraint can overwhelm
+    another's and the joint ground state may satisfy neither exactly
+    (measured in the Ext-5 bench). The solver therefore verifies each
+    conjunct classically, as always. *)
+
+val compatible : Constr.t -> int option
+(** [compatible c] is [Some length] if [c] generates a string of a fixed
+    known length (every operation except {!Constr.Includes}), [None]
+    otherwise. *)
+
+val encode : ?params:Params.t -> Constr.t list -> (Qsmt_qubo.Qubo.t * int, string) result
+(** [encode cs] merges the encodings; the result's second component is
+    the common string length. [Error] if the list is empty, a conjunct
+    is {!Constr.Includes}, lengths disagree, or any conjunct fails its
+    own validation. *)
+
+type outcome = {
+  qubo : Qsmt_qubo.Qubo.t;
+  samples : Qsmt_anneal.Sampleset.t;
+  value : string;  (** decoded best candidate *)
+  satisfied : bool;  (** all conjuncts verified *)
+  per_constraint : (Constr.t * bool) list;  (** which conjuncts the value satisfies *)
+}
+
+val solve :
+  ?params:Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  Constr.t list ->
+  (outcome, string) result
+(** Samples once over the merged QUBO and scans in energy order for the
+    first string satisfying {e all} conjuncts; if none does, the
+    lowest-energy decode is reported with its per-conjunct verdicts. *)

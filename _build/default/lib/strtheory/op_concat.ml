@@ -1,0 +1,1 @@
+let encode ?params parts = Op_equality.encode ?params (Semantics.concat parts)

@@ -1,0 +1,6 @@
+(** §4.2 String concatenation: generate [s1 ^ s2 ^ ...].
+
+    "We approach this constraint in the same way as string equality": the
+    desired concatenated string is encoded directly into the diagonal. *)
+
+val encode : ?params:Params.t -> string list -> Qsmt_qubo.Qubo.t

@@ -1,0 +1,11 @@
+module Qubo = Qsmt_qubo.Qubo
+module Ascii7 = Qsmt_util.Ascii7
+
+let encode ?(params = Params.default) target =
+  let b = Qubo.builder () in
+  Encode.write_string b ~combine:Encode.Overwrite ~strength:params.Params.a ~start:0 target;
+  (* Ground energy of the diagonal pattern is -(number of 1 bits)·A;
+     shift it to zero. *)
+  let ones = Qsmt_util.Bitvec.popcount (Ascii7.encode target) in
+  Qubo.set_offset b (params.Params.a *. float_of_int ones);
+  Qubo.freeze ~num_vars:(7 * String.length target) b

@@ -1,0 +1,10 @@
+(** §4.1 String equality: generate a string S equal to a target T.
+
+    Diagonal-only QUBO of size [7n × 7n]: entry [(i,i)] is [-A] if bit
+    [i] of the target is 1, [+A] if 0. The unique ground state is the
+    target's bit pattern at energy [-A · 7n] plus a constant; we add an
+    offset so the ground energy is exactly 0 (a satisfied constraint has
+    zero energy, which makes success checks uniform across operations). *)
+
+val encode : ?params:Params.t -> string -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument on non-7-bit characters. *)

@@ -1,0 +1,47 @@
+module Qubo = Qsmt_qubo.Qubo
+module Bitvec = Qsmt_util.Bitvec
+
+let match_count ~haystack ~needle ~at =
+  let m = String.length needle in
+  let count = ref 0 in
+  for j = 0 to m - 1 do
+    if haystack.[at + j] = needle.[j] then incr count
+  done;
+  !count
+
+let encode ?(params = Params.default) ~haystack ~needle () =
+  let n = String.length haystack and m = String.length needle in
+  if m = 0 then invalid_arg "Op_includes: empty needle";
+  if m > n then invalid_arg "Op_includes: needle longer than haystack";
+  let positions = n - m + 1 in
+  let b = Qubo.builder () in
+  (* Reward per position, plus the escalating penalty on later full
+     matches: C_i starts at 0 and grows by D after every full match. *)
+  let c_i = ref 0. in
+  for i = 0 to positions - 1 do
+    let matches = match_count ~haystack ~needle ~at:i in
+    Qubo.add b i i (-.params.Params.a *. float_of_int matches);
+    if matches = m then begin
+      Qubo.add b i i !c_i;
+      c_i := !c_i +. params.Params.includes_d
+    end
+  done;
+  (* One-hot pairwise penalty. The configured B is floored at A·m + D:
+     with a weaker B, turning on a second full match (reward A·m, extra
+     first-match penalty ≥ D) could tie or beat the single first match,
+     leaving the ground state degenerate. *)
+  let b_strength =
+    Float.max params.Params.includes_b
+      ((params.Params.a *. float_of_int m) +. params.Params.includes_d)
+  in
+  for i = 0 to positions - 1 do
+    for j = i + 1 to positions - 1 do
+      Qubo.add b i j b_strength
+    done
+  done;
+  Qubo.freeze ~num_vars:positions b
+
+let decode bits =
+  let n = Bitvec.length bits in
+  let rec first i = if i >= n then None else if Bitvec.get bits i then Some i else first (i + 1) in
+  first 0

@@ -1,0 +1,30 @@
+(** §4.4 String includes: where does a substring S start within T?
+
+    One binary variable per candidate start position
+    [i ∈ 0 .. n−m]; [x_i = 1] means "S starts at i". Three energy terms:
+
+    - reward: the diagonal of [x_i] gets [−A · (matching characters of S
+      against T at offset i)], so full matches are the deepest wells;
+    - one-hot penalty: every pair gets [+B x_i x_j], punishing the
+      selection of more than one start. [B] is floored at [A·m + D]
+      (needle length [m]) so that adding a second full match can never
+      tie the single first match — below that floor the ground state is
+      degenerate;
+    - first-match preference: the [k]-th full match (counting from 0)
+      carries an extra [+k·D] on its diagonal, so among full matches the
+      earliest has strictly the lowest energy.
+
+    Ground state: exactly the first full occurrence (when one exists). *)
+
+val encode : ?params:Params.t -> haystack:string -> needle:string -> unit -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument if the needle is empty or longer than the
+    haystack. *)
+
+val decode : Qsmt_util.Bitvec.t -> int option
+(** Position read-out: the single set bit's index; with several set bits
+    the lowest (the one-hot penalty was violated, the earliest position
+    is the canonical repair); [None] when no bit is set. *)
+
+val match_count : haystack:string -> needle:string -> at:int -> int
+(** Matching characters of the needle at the offset — the reward weight.
+    Exposed for tests. *)

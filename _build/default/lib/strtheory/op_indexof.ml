@@ -1,0 +1,14 @@
+module Qubo = Qsmt_qubo.Qubo
+
+let encode ?(params = Params.default) ~length ~substring ~index () =
+  let m = String.length substring in
+  if m = 0 then invalid_arg "Op_indexof: empty substring";
+  if index < 0 || index + m > length then invalid_arg "Op_indexof: substring does not fit at index";
+  let b = Qubo.builder () in
+  let strong = params.Params.strong_scale *. params.Params.a in
+  let soft = params.Params.soft_scale *. params.Params.a in
+  Encode.write_string b ~combine:Encode.Overwrite ~strength:strong ~start:index substring;
+  for p = 0 to length - 1 do
+    if p < index || p >= index + m then Encode.add_lowercase_bias b ~strength:soft ~char_index:p
+  done;
+  Qubo.freeze ~num_vars:(7 * length) b

@@ -1,0 +1,18 @@
+(** §4.5 Substring indexOf: generate a [length]-character string with a
+    substring forced at a given index.
+
+    Two constraint strengths on the diagonal (paper: "wherever we require
+    a specific string to appear, we encode a stronger or higher penalty
+    (for example 2× the penalty strength A), and the rest of the string
+    ... a softer constraint (for example 0.1× A)"):
+
+    - forced positions: the substring's bit pattern at
+      [strong_scale · A];
+    - free positions: {!Encode.add_lowercase_bias} at [soft_scale · A] —
+      a weak pull into the printable range, all other bits free, so each
+      read fills them with arbitrary (roughly lowercase) characters, as
+      in the paper's ["qphiqp"] example. *)
+
+val encode :
+  ?params:Params.t -> length:int -> substring:string -> index:int -> unit -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument if the substring does not fit at [index]. *)

@@ -1,0 +1,14 @@
+module Qubo = Qsmt_qubo.Qubo
+
+let encode ?(params = Params.default) ~num_chars ~target_length () =
+  if num_chars < 0 then invalid_arg "Op_length: negative num_chars";
+  if target_length < 0 || target_length > num_chars then
+    invalid_arg "Op_length: target_length outside [0, num_chars]";
+  let b = Qubo.builder () in
+  let total_bits = 7 * num_chars and boundary = 7 * target_length in
+  for i = 0 to total_bits - 1 do
+    Qubo.set b i i (if i < boundary then -.params.Params.a else params.Params.a)
+  done;
+  (* Ground energy is -A per forced-one bit; shift to zero. *)
+  Qubo.set_offset b (params.Params.a *. float_of_int boundary);
+  Qubo.freeze ~num_vars:total_bits b

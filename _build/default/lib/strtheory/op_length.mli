@@ -1,0 +1,14 @@
+(** §4.6 String length, reproduced as published.
+
+    The paper checks "is this string of length L" with a unary bit
+    recipe over the [7n] string variables: the first [7·L] diagonal
+    entries get [−A] (bits pushed to 1) and the rest [+A] (pushed to 0).
+    Note what this means at the character level: the ground state is [L]
+    DEL characters (1111111) followed by NULs — the formulation treats
+    "length" as a prefix of saturated bit groups rather than interacting
+    with the other encodings' ASCII semantics. DESIGN.md discusses the
+    oddity; we reproduce it faithfully, and {!Constr.verify} checks the
+    published bit-level semantics. *)
+
+val encode : ?params:Params.t -> num_chars:int -> target_length:int -> unit -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument unless [0 <= target_length <= num_chars]. *)

@@ -1,0 +1,22 @@
+module Qubo = Qsmt_qubo.Qubo
+module Ascii7 = Qsmt_util.Ascii7
+
+let encode ?(params = Params.default) ?(printable_bias = 0.) ~length () =
+  if length < 0 then invalid_arg "Op_palindrome: negative length";
+  if printable_bias < 0. then invalid_arg "Op_palindrome: negative printable_bias";
+  let b = Qubo.builder () in
+  let a = params.Params.a in
+  for j = 0 to (length / 2) - 1 do
+    for i = 0 to 6 do
+      let front = Ascii7.var_of ~char_index:j ~bit:i in
+      let back = Ascii7.var_of ~char_index:(length - 1 - j) ~bit:i in
+      Qubo.add b front front a;
+      Qubo.add b back back a;
+      Qubo.add b front back (-2. *. a)
+    done
+  done;
+  if printable_bias > 0. then
+    for j = 0 to length - 1 do
+      Encode.add_lowercase_bias b ~strength:printable_bias ~char_index:j
+    done;
+  Qubo.freeze ~num_vars:(7 * length) b

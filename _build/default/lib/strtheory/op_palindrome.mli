@@ -1,0 +1,17 @@
+(** §4.10 Palindrome generation.
+
+    For each mirrored bit pair [(a, b)] — bit [i] of character [j] and
+    bit [i] of character [N−1−j] — the energy term
+    [A·(x_a + x_b − 2 x_a x_b)] is 0 when the bits agree and [A] when
+    they differ: [+A] on both diagonals, [−2A] on the coupler, exactly
+    the matrix shown in Table 1's palindrome row. Any mirrored bit
+    pattern is a ground state (energy 0), so each read returns a
+    different palindrome. The middle character of an odd-length string
+    is unconstrained.
+
+    [printable_bias] (an extension, default [0.] = paper-faithful) adds
+    {!Encode.add_lowercase_bias} to every character so the sampled
+    palindromes land in the printable range. *)
+
+val encode : ?params:Params.t -> ?printable_bias:float -> length:int -> unit -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument on negative length or negative bias. *)

@@ -1,0 +1,24 @@
+module Qubo = Qsmt_qubo.Qubo
+module Charset = Qsmt_regex.Charset
+module Unroll = Qsmt_regex.Unroll
+
+let encode ?(params = Params.default) ~pattern ~length () =
+  match Unroll.to_position_sets pattern ~len:length with
+  | Error _ as e -> e
+  | Ok sets ->
+    let b = Qubo.builder () in
+    Array.iteri
+      (fun pos set ->
+        match Charset.to_list set with
+        | [] -> assert false (* Unroll never yields empty sets *)
+        | [ c ] ->
+          Encode.write_char b ~combine:Encode.Overwrite ~strength:params.Params.a
+            ~char_index:pos c
+        | chars -> Encode.add_char_superposition b ~strength:params.Params.a ~char_index:pos chars)
+      sets;
+    Ok (Qubo.freeze ~num_vars:(7 * length) b)
+
+let encode_exn ?params ~pattern ~length () =
+  match encode ?params ~pattern ~length () with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Op_regex: " ^ msg)

@@ -1,0 +1,32 @@
+(** §4.11 Regex matching: generate a [length]-character string matching
+    a product-form pattern.
+
+    The pattern is unrolled to one character set per position
+    ({!Qsmt_regex.Unroll}); then per position:
+
+    - singleton set (a literal, or a [+]/[*] repeat of one): the
+      standard [±A] diagonal pattern;
+    - a [k]-character class: each member's pattern added at [A/k]
+      ("divide the strength of our penalty coefficient by the number of
+      characters in our character class to give equal and shared
+      preference"). Bits on which the members disagree cancel toward
+      zero and come back random — which is why wide classes can decode
+      to non-members. That fidelity-vs-class-width trade-off is measured
+      in the Ext benches.
+
+    The paper treats [+] after a literal as more of that literal and [+]
+    after a class as more of that class; the unroller generalizes this
+    (slack absorbed left to right). *)
+
+val encode :
+  ?params:Params.t ->
+  pattern:Qsmt_regex.Syntax.t ->
+  length:int ->
+  unit ->
+  (Qsmt_qubo.Qubo.t, string) result
+(** [Error] if the pattern is not product-form or admits no string of
+    the requested length. *)
+
+val encode_exn :
+  ?params:Params.t -> pattern:Qsmt_regex.Syntax.t -> length:int -> unit -> Qsmt_qubo.Qubo.t
+(** @raise Invalid_argument where {!encode} returns [Error]. *)

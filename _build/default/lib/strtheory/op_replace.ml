@@ -1,0 +1,5 @@
+let encode_all ?params ~source ~find ~replace () =
+  Op_equality.encode ?params (Semantics.replace_all source ~find ~replace)
+
+let encode_first ?params ~source ~find ~replace () =
+  Op_equality.encode ?params (Semantics.replace_first source ~find ~replace)

@@ -1,0 +1,15 @@
+(** §4.7 replaceAll and §4.8 replace.
+
+    "We generate our desired string": the encoder computes, per
+    character position, whether the source character is the one to be
+    replaced, and writes the replacement's (or original's) bit pattern —
+    exactly string equality against the classically-computed result. The
+    paper highlights replaceAll because z3 lacked it. *)
+
+val encode_all :
+  ?params:Params.t -> source:string -> find:char -> replace:char -> unit -> Qsmt_qubo.Qubo.t
+(** Every occurrence replaced (§4.7). *)
+
+val encode_first :
+  ?params:Params.t -> source:string -> find:char -> replace:char -> unit -> Qsmt_qubo.Qubo.t
+(** Only the first occurrence replaced (§4.8). *)

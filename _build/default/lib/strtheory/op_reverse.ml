@@ -1,0 +1,1 @@
+let encode ?params source = Op_equality.encode ?params (Semantics.reverse source)

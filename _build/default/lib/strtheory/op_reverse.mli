@@ -1,0 +1,6 @@
+(** §4.9 String reversal: generate the reverse of the input.
+
+    "We encode our string backwards into the QUBO matrix" — equality
+    against the reversed string. *)
+
+val encode : ?params:Params.t -> string -> Qsmt_qubo.Qubo.t

@@ -1,0 +1,32 @@
+module Qubo = Qsmt_qubo.Qubo
+
+let check ~length ~substring =
+  let m = String.length substring in
+  if m = 0 then invalid_arg "Op_substring: empty substring";
+  if m > length then invalid_arg "Op_substring: substring longer than the string"
+
+let encode ?(params = Params.default) ?(combine = Encode.Overwrite) ~length ~substring () =
+  check ~length ~substring;
+  let b = Qubo.builder () in
+  let m = String.length substring in
+  (* Write S at every start position 0 .. length-m; with Overwrite the
+     last write wins cell-by-cell. *)
+  for start = 0 to length - m do
+    Encode.write_string b ~combine ~strength:params.Params.a ~start substring
+  done;
+  Qubo.freeze ~num_vars:(7 * length) b
+
+let encoded_target ~length ~substring =
+  let m = String.length substring in
+  if m = 0 || m > length then None
+  else begin
+    (* Simulate the overwrite order: position p gets the character from
+       the latest start position that reaches it. *)
+    let out = Bytes.create length in
+    for p = 0 to length - 1 do
+      let last_start = min (length - m) p in
+      (* the write at [last_start] put substring.[p - last_start] here *)
+      Bytes.set out p substring.[p - last_start]
+    done;
+    Some (Bytes.to_string out)
+  end

@@ -1,0 +1,32 @@
+(** §4.3 Substring matching: generate a [length]-character string T that
+    contains a substring S.
+
+    The paper writes S's diagonal pattern at {e every} feasible start
+    position and resolves conflicting cells by {e overwriting}, so the
+    substring effectively lands at the {e last} start position and
+    residue of earlier writes survives where later writes did not reach —
+    the paper's own example: a 4-character string containing ["cat"]
+    encodes to ["ccat"]. Positions never written stay unconstrained
+    (free bits).
+
+    [combine = Sum] is the ablation variant where conflicting writes add
+    instead (a superposition across start positions, like the regex class
+    encoding); the Ext-2 bench compares the two. *)
+
+val encode :
+  ?params:Params.t ->
+  ?combine:Encode.combine ->
+  length:int ->
+  substring:string ->
+  unit ->
+  Qsmt_qubo.Qubo.t
+(** Default [combine] is [Overwrite] (paper-faithful).
+    @raise Invalid_argument if the substring is empty or longer than
+    [length]. *)
+
+val encoded_target : length:int -> substring:string -> string option
+(** The string the overwrite encoding actually pins down where it
+    constrains anything — ["ccat"] in the paper's example — with
+    unconstrained positions (there are none for overwrite when
+    [length >= |substring|]) left out. Used by tests. Returns [None]
+    when inputs are invalid. *)

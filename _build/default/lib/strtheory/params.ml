@@ -1,0 +1,22 @@
+type t = {
+  a : float;
+  strong_scale : float;
+  soft_scale : float;
+  includes_b : float;
+  includes_d : float;
+}
+
+let default = { a = 1.0; strong_scale = 2.0; soft_scale = 0.1; includes_b = 2.0; includes_d = 1.0 }
+
+let validate t =
+  let bad name v = Error (Printf.sprintf "Params.%s must be positive, got %g" name v) in
+  if t.a <= 0. then bad "a" t.a
+  else if t.strong_scale <= 0. then bad "strong_scale" t.strong_scale
+  else if t.soft_scale <= 0. then bad "soft_scale" t.soft_scale
+  else if t.includes_b <= 0. then bad "includes_b" t.includes_b
+  else if t.includes_d <= 0. then bad "includes_d" t.includes_d
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf "A=%g strong=%g soft=%g B=%g D=%g" t.a t.strong_scale t.soft_scale
+    t.includes_b t.includes_d

@@ -1,0 +1,24 @@
+(** Encoding parameters (penalty strengths).
+
+    The paper fixes the base penalty strength to [A = 1] ("we find that
+    this coefficient works best with our simulated annealer") and derives
+    the others from it: substring-indexOf uses [2A] where the substring
+    is forced and [0.1A] as the soft printable bias elsewhere (§4.5);
+    string-includes uses a quadratic one-hot penalty [B] and a
+    first-match increment [D] (§4.4). All of them are exposed so the
+    ablation benches can sweep them. *)
+
+type t = {
+  a : float;  (** base penalty strength A (default 1.0) *)
+  strong_scale : float;  (** multiplier for forced positions in indexOf (default 2.0) *)
+  soft_scale : float;  (** multiplier for soft bias positions (default 0.1) *)
+  includes_b : float;  (** one-hot pairwise penalty B for includes (default 2.0) *)
+  includes_d : float;  (** per-later-match increment D for includes (default 1.0) *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** All strengths must be positive. *)
+
+val pp : Format.formatter -> t -> unit

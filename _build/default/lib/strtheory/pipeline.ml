@@ -1,0 +1,52 @@
+type stage =
+  | Reverse
+  | Replace_all of { find : char; replace : char }
+  | Replace_first of { find : char; replace : char }
+  | Append of string
+  | Prepend of string
+
+type t = { initial : Constr.t; stages : stage list }
+
+let constraint_for stage ~input =
+  match stage with
+  | Reverse -> Constr.Reverse input
+  | Replace_all { find; replace } -> Constr.Replace_all { source = input; find; replace }
+  | Replace_first { find; replace } -> Constr.Replace_first { source = input; find; replace }
+  | Append suffix -> Constr.Concat [ input; suffix ]
+  | Prepend prefix -> Constr.Concat [ prefix; input ]
+
+let apply_classical stage input =
+  match stage with
+  | Reverse -> Semantics.reverse input
+  | Replace_all { find; replace } -> Semantics.replace_all input ~find ~replace
+  | Replace_first { find; replace } -> Semantics.replace_first input ~find ~replace
+  | Append suffix -> input ^ suffix
+  | Prepend prefix -> prefix ^ input
+
+let initial_classical = function
+  | Constr.Equals s -> Some s
+  | Constr.Concat parts -> Some (Semantics.concat parts)
+  | Constr.Replace_all { source; find; replace } ->
+    Some (Semantics.replace_all source ~find ~replace)
+  | Constr.Replace_first { source; find; replace } ->
+    Some (Semantics.replace_first source ~find ~replace)
+  | Constr.Reverse source -> Some (Semantics.reverse source)
+  | Constr.Contains _ | Constr.Includes _ | Constr.Index_of _ | Constr.Has_length _
+  | Constr.Palindrome _ | Constr.Regex _ ->
+    None
+
+let expected_output t =
+  match initial_classical t.initial with
+  | None -> None
+  | Some start -> Some (List.fold_left (fun acc stage -> apply_classical stage acc) start t.stages)
+
+let pp_stage ppf = function
+  | Reverse -> Format.fprintf ppf "reverse"
+  | Replace_all { find; replace } -> Format.fprintf ppf "replace all %C -> %C" find replace
+  | Replace_first { find; replace } -> Format.fprintf ppf "replace first %C -> %C" find replace
+  | Append s -> Format.fprintf ppf "append %S" s
+  | Prepend s -> Format.fprintf ppf "prepend %S" s
+
+let describe t =
+  let stage_strs = List.map (fun s -> Format.asprintf "%a" pp_stage s) t.stages in
+  String.concat ", then " (Constr.describe t.initial :: stage_strs)

@@ -1,0 +1,34 @@
+(** §4.12 Combining constraints: sequential composition.
+
+    "We perform each operation sequentially": the decoded output string
+    of one solve becomes the input of the next. A pipeline is an initial
+    constraint plus a list of string-transforming stages; Table 1's
+    combined rows are pipelines of two stages (reverse ∘ replaceAll,
+    concat ∘ replaceAll). No joint QUBO is built — each stage is its own
+    annealing run, exactly as published. *)
+
+type stage =
+  | Reverse  (** reverse the previous output *)
+  | Replace_all of { find : char; replace : char }
+  | Replace_first of { find : char; replace : char }
+  | Append of string  (** concatenate: previous ^ suffix *)
+  | Prepend of string  (** concatenate: prefix ^ previous *)
+
+type t = {
+  initial : Constr.t;  (** the first solve *)
+  stages : stage list;  (** applied left to right to each previous output *)
+}
+
+val constraint_for : stage -> input:string -> Constr.t
+(** The constraint a stage poses given the previous stage's output. *)
+
+val expected_output : t -> string option
+(** Classical end-to-end result, when the initial constraint pins down a
+    unique string ({!Constr.Equals}, {!Constr.Concat},
+    {!Constr.Replace_all}, {!Constr.Replace_first}, {!Constr.Reverse});
+    [None] when the initial constraint is generative (palindrome, regex,
+    contains, ...). Used to judge whole-pipeline success. *)
+
+val describe : t -> string
+
+val pp_stage : Format.formatter -> stage -> unit

@@ -1,0 +1,31 @@
+let reverse s =
+  let n = String.length s in
+  String.init n (fun i -> s.[n - 1 - i])
+
+let replace_all s ~find ~replace = String.map (fun c -> if c = find then replace else c) s
+
+let replace_first s ~find ~replace =
+  match String.index_opt s find with
+  | None -> s
+  | Some i -> String.mapi (fun j c -> if j = i then replace else c) s
+
+let occurs_at s ~sub i =
+  let n = String.length s and m = String.length sub in
+  i >= 0 && i + m <= n
+  &&
+  let rec go j = j >= m || (s.[i + j] = sub.[j] && go (j + 1)) in
+  go 0
+
+let index_of s ~sub =
+  let n = String.length s in
+  let rec go i = if i > n then None else if occurs_at s ~sub i then Some i else go (i + 1) in
+  go 0
+
+let contains s ~sub = index_of s ~sub <> None
+
+let is_palindrome s =
+  let n = String.length s in
+  let rec go i = i >= n / 2 || (s.[i] = s.[n - 1 - i] && go (i + 1)) in
+  go 0
+
+let concat = String.concat ""

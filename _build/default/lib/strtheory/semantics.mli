@@ -1,0 +1,31 @@
+(** Classical (reference) semantics of the string operations.
+
+    The deterministic string functions the paper's operations are
+    supposed to realize, following SMT-LIB's definitions where SMT-LIB
+    has one. The verifier judges annealer outputs against these, the
+    classical baseline executes them directly, and property tests use
+    them as oracles. *)
+
+val reverse : string -> string
+
+val replace_all : string -> find:char -> replace:char -> string
+(** Every occurrence of [find] becomes [replace]. *)
+
+val replace_first : string -> find:char -> replace:char -> string
+(** Only the first occurrence (if any) is replaced — SMT-LIB
+    [str.replace] semantics restricted to single characters. *)
+
+val contains : string -> sub:string -> bool
+(** Does the string contain [sub]? The empty string is contained in
+    everything. *)
+
+val index_of : string -> sub:string -> int option
+(** Smallest [i] with [sub] starting at [i]; [Some 0] for the empty
+    needle. *)
+
+val occurs_at : string -> sub:string -> int -> bool
+(** Does [sub] occur starting at the given index? *)
+
+val is_palindrome : string -> bool
+
+val concat : string list -> string

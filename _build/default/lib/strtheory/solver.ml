@@ -1,0 +1,70 @@
+module Sampleset = Qsmt_anneal.Sampleset
+module Sampler = Qsmt_anneal.Sampler
+module Sa = Qsmt_anneal.Sa
+
+type outcome = {
+  constr : Constr.t;
+  qubo : Qsmt_qubo.Qubo.t;
+  samples : Sampleset.t;
+  value : Constr.value;
+  satisfied : bool;
+  energy : float;
+}
+
+type stage_timing = { encode_s : float; sample_s : float; decode_s : float }
+
+let default_sampler ~seed =
+  Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed } ()
+
+let pick_value constr samples =
+  (* First (= lowest-energy) sample whose decode verifies; otherwise the
+     overall best sample. *)
+  let entries = Sampleset.entries samples in
+  let decoded =
+    List.map (fun e -> (Compile.decode constr e.Sampleset.bits, e.Sampleset.energy)) entries
+  in
+  match List.find_opt (fun (v, _) -> Constr.verify constr v) decoded with
+  | Some (value, energy) -> (value, true, energy)
+  | None -> begin
+    match decoded with
+    | (value, energy) :: _ -> (value, false, energy)
+    | [] -> invalid_arg "Solver: sampler returned an empty sample set"
+  end
+
+let now () = Unix.gettimeofday ()
+
+let solve_timed ?params ?sampler constr =
+  let sampler = match sampler with Some s -> s | None -> default_sampler ~seed:0 in
+  let t0 = now () in
+  let qubo = Compile.to_qubo ?params constr in
+  let t1 = now () in
+  let samples = Sampler.run sampler qubo in
+  let t2 = now () in
+  let value, satisfied, energy = pick_value constr samples in
+  let t3 = now () in
+  ( { constr; qubo; samples; value; satisfied; energy },
+    { encode_s = t1 -. t0; sample_s = t2 -. t1; decode_s = t3 -. t2 } )
+
+let solve ?params ?sampler constr = fst (solve_timed ?params ?sampler constr)
+
+let solve_pipeline ?params ?sampler pipeline =
+  let first = solve ?params ?sampler pipeline.Pipeline.initial in
+  let string_of_value = function
+    | Constr.Str s -> s
+    | Constr.Pos _ -> "" (* non-string value: stages degrade to empty input *)
+  in
+  let _, outcomes =
+    List.fold_left
+      (fun (input, acc) stage ->
+        let constr = Pipeline.constraint_for stage ~input in
+        let outcome = solve ?params ?sampler constr in
+        (string_of_value outcome.value, outcome :: acc))
+      (string_of_value first.value, [ first ])
+      pipeline.Pipeline.stages
+  in
+  List.rev outcomes
+
+let pipeline_output outcomes =
+  match List.rev outcomes with
+  | [] -> None
+  | last :: _ -> ( match last.value with Constr.Str s -> Some s | Constr.Pos _ -> None)

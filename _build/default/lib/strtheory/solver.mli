@@ -1,0 +1,48 @@
+(** The quantum-annealing string solver (Figure 1 end to end).
+
+    Encode the constraint to QUBO, hand it to a sampler, decode samples
+    back to values, verify classically. The returned {!outcome} keeps
+    every intermediate artifact so callers (CLI, benches, tests) can
+    inspect the pipeline the way the paper's Table 1 presents it:
+    constraint → matrix → output. *)
+
+type outcome = {
+  constr : Constr.t;
+  qubo : Qsmt_qubo.Qubo.t;
+  samples : Qsmt_anneal.Sampleset.t;
+  value : Constr.value;  (** see [solve] for how it is chosen *)
+  satisfied : bool;  (** [Constr.verify constr value] *)
+  energy : float;  (** energy of the sample behind [value] *)
+}
+
+type stage_timing = {
+  encode_s : float;  (** wall-clock seconds building the QUBO *)
+  sample_s : float;  (** annealing *)
+  decode_s : float;  (** decoding + verification over the sample set *)
+}
+
+val default_sampler : seed:int -> Qsmt_anneal.Sampler.t
+(** Simulated annealing, 32 reads × 1000 sweeps — the configuration the
+    experiments use unless stated otherwise. *)
+
+val solve : ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> outcome
+(** Samples once and scans the sample set in ascending energy order for
+    the first decoded value that verifies; if none verifies, the
+    lowest-energy decode is returned with [satisfied = false]. The
+    sampler defaults to [default_sampler ~seed:0]. *)
+
+val solve_timed :
+  ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> outcome * stage_timing
+(** {!solve} plus per-stage wall-clock timing (the Figure 1 trace). *)
+
+val solve_pipeline :
+  ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Pipeline.t -> outcome list
+(** Runs the initial constraint, then each stage on the previous decoded
+    string (§4.12). Outcomes are returned in stage order. If a stage
+    decodes to a non-string value the remaining stages still run on the
+    best-effort decode; per-stage [satisfied] flags record where things
+    went wrong. *)
+
+val pipeline_output : outcome list -> string option
+(** Final decoded string of a pipeline run, [None] for an empty run or a
+    non-string final value. *)

@@ -1,0 +1,37 @@
+(** Random constraint workloads.
+
+    Seeded generators of valid constraints for stress testing and
+    benchmarking: the agreement suite (annealer vs CDCL vs brute force on
+    the same random instances), coverage sweeps, and throughput numbers
+    all draw from here rather than hand-picked examples, so the solvers
+    are exercised on shapes nobody tuned for. *)
+
+type kind =
+  | K_equals
+  | K_concat
+  | K_contains
+  | K_includes
+  | K_index_of
+  | K_replace_all
+  | K_replace_first
+  | K_reverse
+  | K_palindrome
+  | K_regex
+
+val all_kinds : kind list
+
+val generate : rng:Qsmt_util.Prng.t -> ?kinds:kind list -> max_length:int -> unit -> Constr.t
+(** A uniformly-kinded random constraint, always passing
+    {!Constr.validate}: strings are lowercase, lengths in
+    [\[1, max_length\]], regexes product-form with a feasible length.
+    @raise Invalid_argument if [kinds] is empty or [max_length < 1]. *)
+
+val generate_satisfiable : rng:Qsmt_util.Prng.t -> ?kinds:kind list -> max_length:int -> unit -> Constr.t
+(** Like {!generate} but guaranteed to have at least one satisfying
+    value (e.g. {!Constr.Includes} needles are planted in their
+    haystacks). Every kind this module produces is satisfiable by
+    construction except Includes with an unplanted needle, so this mainly
+    differs on that kind. *)
+
+val suite : seed:int -> ?kinds:kind list -> max_length:int -> count:int -> unit -> Constr.t list
+(** [count] satisfiable constraints from one seed. *)

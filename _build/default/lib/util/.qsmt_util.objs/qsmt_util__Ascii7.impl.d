@@ -1,0 +1,1 @@
+lib/util/ascii7.ml: Array Bitvec Char Printf String

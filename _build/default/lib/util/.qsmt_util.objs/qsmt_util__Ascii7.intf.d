@@ -1,0 +1,1 @@
+lib/util/ascii7.mli: Bitvec

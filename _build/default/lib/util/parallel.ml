@@ -1,0 +1,42 @@
+let recommended_domains () = min 16 (Domain.recommended_domain_count ())
+
+(* Static block partition: worker [k] of [d] handles indices
+   [lo_k, lo_k + size_k). All workers get within one element of each other,
+   which is fine because per-element cost is uniform for our callers
+   (identical annealing reads). *)
+let partition n d =
+  let d = max 1 (min d n) in
+  let base = n / d and extra = n mod d in
+  List.init d (fun k ->
+      let lo = (k * base) + min k extra in
+      let size = base + if k < extra then 1 else 0 in
+      (lo, size))
+
+let init_array ?(domains = 1) n f =
+  if n = 0 then [||]
+  else if domains <= 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let work (lo, size) =
+      for i = lo to lo + size - 1 do
+        results.(i) <- Some (f i)
+      done
+    in
+    match partition n domains with
+    | [] -> [||]
+    | first :: rest ->
+      let handles = List.map (fun blk -> Domain.spawn (fun () -> work blk)) rest in
+      work first;
+      List.iter Domain.join handles;
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false)
+        results
+  end
+
+let map_array ?(domains = 1) f a = init_array ~domains (Array.length a) (fun i -> f a.(i))
+
+let reduce ?(domains = 1) f combine zero a =
+  let mapped = map_array ~domains f a in
+  Array.fold_left combine zero mapped

@@ -1,0 +1,29 @@
+(** Fork-join parallelism over OCaml 5 domains.
+
+    The annealers are embarrassingly parallel across reads: each read is an
+    independent Markov chain with its own PRNG stream. This module provides
+    the small fork-join helpers they need without pulling in domainslib
+    (not available in the sealed container).
+
+    Domains are spawned per call; for the workloads here (reads that run
+    for milliseconds to seconds) spawn cost is negligible. Callers pass
+    [~domains:1] to run sequentially (the default), which is what tests use
+    for full determinism of shared-PRNG call sites. *)
+
+val recommended_domains : unit -> int
+(** Number of domains worth spawning on this machine:
+    [Domain.recommended_domain_count], capped at 16. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array ~domains f a] maps [f] over [a], splitting the work across
+    up to [domains] domains ([1] = sequential, the default). [f] must be
+    safe to run concurrently on distinct elements. Preserves order.
+    Exceptions raised by [f] are re-raised in the caller. *)
+
+val init_array : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init_array ~domains n f] is [Array.init n f] with the same parallel
+    contract as {!map_array}. *)
+
+val reduce : ?domains:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+(** [reduce ~domains f combine zero a] maps then folds with [combine]
+    (which must be associative); [zero] is the unit. *)

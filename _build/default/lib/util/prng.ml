@@ -1,0 +1,79 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand a seed into the four xoshiro words, and
+   to implement [split]. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_splitmix state =
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  (* xoshiro requires a nonzero state; splitmix output is zero for at most
+     one of the four draws, so forcing one word nonzero is enough. *)
+  let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+  { s0; s1; s2; s3 }
+
+let create seed = of_splitmix (ref (Int64.of_int seed))
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = bits64 t in
+  of_splitmix (ref seed)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)
+  let bound = Int64.of_int n in
+  let rec loop () =
+    let r = Int64.shift_right_logical (bits64 t) 2 in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float t =
+  (* 53 high bits scaled to [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let char_printable t = Char.chr (32 + int t 95)
+let string_printable t n = String.init n (fun _ -> char_printable t)
+let string_lowercase t n = String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))

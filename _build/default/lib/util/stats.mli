@@ -1,0 +1,43 @@
+(** Small descriptive-statistics helpers for the benchmark harness and
+    experiment reports (success rates, timing summaries, energy
+    distributions). *)
+
+val mean : float array -> float
+(** Arithmetic mean. [nan] on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n-1]); [0.] for fewer than two
+    samples. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics. Does not mutate [a].
+    @raise Invalid_argument on empty input or [p] outside [\[0,100\]]. *)
+
+val median : float array -> float
+(** [percentile a 50.]. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins a] is an array of [(lo, hi, count)] rows covering
+    [\[min a, max a\]].
+    @raise Invalid_argument if [bins <= 0] or [a] is empty. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  median : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on empty input. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,12 @@
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 | grep -v timing
+  $ ../../bin/qsmt.exe gen replace-all hello l x --seed 1 | grep -v timing
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --seed 1 | grep -v timing
+  $ ../../bin/qsmt.exe matrix equals a
+  $ ../../bin/qsmt.exe export equals hi --format smt2
+  $ ../../bin/qsmt.exe export palindrome 1 --format qubo
+  $ ../../bin/qsmt.exe export includes ab a --format dimacs
+  $ echo '(declare-const x String)(assert (= x "ok"))(check-sat)(get-value (x))' | ../../bin/qsmt.exe run -
+  $ echo '(declare-const x String)(assert (= x "a"))(assert (= x "b"))(check-sat)' | ../../bin/qsmt.exe run -
+  $ ../../bin/qsmt.exe gen includes aaaa xyz --sampler classical
+  $ ../../bin/qsmt.exe gen contains 2 cat 2>&1
+  $ ../../bin/qsmt.exe gen frobnicate x 2>&1 | head -1

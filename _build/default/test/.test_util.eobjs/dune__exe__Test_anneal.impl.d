@@ -1,0 +1,1 @@
+test/test_anneal.ml: Alcotest Array Float Format Fun List Option QCheck2 QCheck_alcotest Qsmt_anneal Qsmt_qubo Qsmt_util String

@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Char Filename Format Fun List QCheck2 QCheck_alcotest Qsmt_classical Qsmt_regex Qsmt_strtheory Qsmt_util String Sys

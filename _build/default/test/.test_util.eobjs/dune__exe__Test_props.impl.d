@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Char Float List QCheck2 QCheck_alcotest Qsmt_anneal Qsmt_classical Qsmt_qubo Qsmt_regex Qsmt_strtheory Qsmt_util String

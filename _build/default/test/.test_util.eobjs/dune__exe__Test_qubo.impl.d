@@ -1,0 +1,1 @@
+test/test_qubo.ml: Alcotest Array Filename Float Format Fun List QCheck2 QCheck_alcotest Qsmt_qubo Qsmt_util String Sys

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Array Char List Option QCheck2 QCheck_alcotest Qsmt_regex Qsmt_util String

@@ -1,0 +1,1 @@
+test/test_strtheory.ml: Alcotest Char Float Format List QCheck2 QCheck_alcotest Qsmt_anneal Qsmt_classical Qsmt_qubo Qsmt_regex Qsmt_smtlib Qsmt_strtheory Qsmt_util String

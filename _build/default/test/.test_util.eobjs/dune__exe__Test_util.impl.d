@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Char List QCheck2 QCheck_alcotest Qsmt_util String

@@ -1,0 +1,76 @@
+The qsmt CLI end to end. Everything here is seeded, so outputs are
+byte-stable; timing lines are filtered out.
+
+Deterministic generation:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 | grep -v timing
+  constraint: reverse "hello"
+  qubo      : qubo(vars=35, interactions=0, offset=21)
+  result    : "olleh" (energy 0, verified)
+
+  $ ../../bin/qsmt.exe gen replace-all hello l x --seed 1 | grep -v timing
+  constraint: replace all 'l' with 'x' in "hello"
+  qubo      : qubo(vars=35, interactions=0, offset=21)
+  result    : "hexxo" (energy 0, verified)
+
+Position search (string includes):
+
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --seed 1 | grep -v timing
+  constraint: find "world" within "hello world"
+  qubo      : qubo(vars=7, interactions=21, offset=0)
+  result    : position 6 (energy -5, verified)
+
+Table-1-style matrix printing (the paper's 'a' example):
+
+  $ ../../bin/qsmt.exe matrix equals a
+  generate the string "a"
+  qubo(vars=7, interactions=0, offset=3)
+  -1  0  0  0  0  0  0
+   0 -1  0  0  0  0  0
+   0  0  1  0  0  0  0
+   0  0  0  1  0  0  0
+   0  0  0  0  1  0  0
+   0  0  0  0  0  1  0
+   0  0  0  0  0  0 -1
+
+Exports:
+
+  $ ../../bin/qsmt.exe export equals hi --format smt2
+  (set-logic QF_S)
+  (declare-const x String)
+  (assert (= x "hi"))
+  (check-sat)
+  (get-value (x))
+
+  $ ../../bin/qsmt.exe export palindrome 1 --format qubo
+  qubo 7
+
+  $ ../../bin/qsmt.exe export includes ab a --format dimacs
+  p cnf 2 3
+  -2 0
+  1 2 0
+  -1 -2 0
+
+SMT-LIB scripts from stdin:
+
+  $ echo '(declare-const x String)(assert (= x "ok"))(check-sat)(get-value (x))' | ../../bin/qsmt.exe run -
+  sat
+  ((x "ok"))
+
+  $ echo '(declare-const x String)(assert (= x "a"))(assert (= x "b"))(check-sat)' | ../../bin/qsmt.exe run -
+  unsat
+
+Classical backend proves unsat:
+
+  $ ../../bin/qsmt.exe gen includes aaaa xyz --sampler classical
+  constraint: find "xyz" within "aaaa"
+  result    : unsat
+
+Errors are reported, not crashed on:
+
+  $ ../../bin/qsmt.exe gen contains 2 cat 2>&1
+  qsmt: invalid constraint: substring longer than the string
+  [2]
+
+  $ ../../bin/qsmt.exe gen frobnicate x 2>&1 | head -1
+  qsmt: unknown operation "frobnicate" or wrong arguments. Operations: equals S | concat S... | contains LEN SUB | includes HAY NEEDLE | indexof LEN SUB IDX | length CHARS TARGET | replace-all SRC C D | replace SRC C D | reverse S | palindrome LEN | regex PAT LEN

@@ -1,0 +1,562 @@
+(* Unit and property tests for qsmt_qubo: builder/frozen QUBO semantics,
+   energy evaluation, QUBO<->Ising equivalence, serialization, printing,
+   and interaction graphs. *)
+
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+module Qubo_io = Qsmt_qubo.Qubo_io
+module Qubo_print = Qsmt_qubo.Qubo_print
+module Qgraph = Qsmt_qubo.Qgraph
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random QUBO generator for property tests: up to [max_n] vars, random
+   integral-ish coefficients (exact in float arithmetic). *)
+let gen_qubo ~max_n =
+  let open QCheck2.Gen in
+  let* n = int_range 1 max_n in
+  let* entries =
+    list_size (int_range 0 (3 * n))
+      (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (map float_of_int (int_range (-8) 8)))
+  in
+  let* offset = map float_of_int (int_range (-4) 4) in
+  return
+    (let b = Qubo.builder () in
+     List.iter (fun (i, j, v) -> Qubo.add b i j v) entries;
+     Qubo.set_offset b offset;
+     Qubo.freeze ~num_vars:n b)
+
+let gen_qubo_with_bits ~max_n =
+  let open QCheck2.Gen in
+  let* q = gen_qubo ~max_n in
+  let* seed = int_range 0 10_000 in
+  return (q, Bitvec.random (Prng.create seed) (Qubo.num_vars q))
+
+(* Reference O(n^2) energy over the dense matrix. *)
+let dense_energy q x =
+  let m = Qubo.to_dense q in
+  let n = Qubo.num_vars q in
+  let e = ref (Qubo.offset q) in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      if Bitvec.get x i && Bitvec.get x j then e := !e +. m.(i).(j)
+    done
+  done;
+  !e
+
+(* ------------------------------------------------------------------ *)
+(* Builder semantics *)
+
+let test_set_overwrites () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 2.;
+  Qubo.set b 0 0 (-1.);
+  check (Alcotest.float 0.) "last write wins" (-1.) (Qubo.get b 0 0)
+
+let test_add_sums () =
+  let b = Qubo.builder () in
+  Qubo.add b 0 1 2.;
+  Qubo.add b 1 0 3.;
+  (* (0,1) and (1,0) are the same coefficient *)
+  check (Alcotest.float 0.) "summed across orderings" 5. (Qubo.get b 0 1)
+
+let test_get_default_zero () =
+  let b = Qubo.builder () in
+  check (Alcotest.float 0.) "unset is zero" 0. (Qubo.get b 3 5)
+
+let test_negative_index_rejected () =
+  let b = Qubo.builder () in
+  Alcotest.check_raises "negative" (Invalid_argument "Qubo: negative variable index") (fun () ->
+      Qubo.set b (-1) 0 1.)
+
+let test_merge () =
+  let a = Qubo.builder () and b = Qubo.builder () in
+  Qubo.set a 0 0 1.;
+  Qubo.set b 0 0 2.;
+  Qubo.set b 1 1 5.;
+  Qubo.add_offset b 3.;
+  Qubo.merge ~into:a b;
+  check (Alcotest.float 0.) "summed" 3. (Qubo.get a 0 0);
+  check (Alcotest.float 0.) "copied" 5. (Qubo.get a 1 1)
+
+let test_freeze_num_vars () =
+  let b = Qubo.builder () in
+  Qubo.set b 2 2 1.;
+  check Alcotest.int "inferred" 3 (Qubo.num_vars (Qubo.freeze b));
+  check Alcotest.int "forced" 10 (Qubo.num_vars (Qubo.freeze ~num_vars:10 b));
+  Alcotest.check_raises "too small" (Invalid_argument "Qubo.freeze: num_vars 2 < highest index + 1 (3)")
+    (fun () -> ignore (Qubo.freeze ~num_vars:2 b))
+
+let test_freeze_drops_zeros () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 1 0.;
+  Qubo.set b 0 0 0.;
+  let q = Qubo.freeze b in
+  check Alcotest.int "no interactions" 0 (Qubo.num_interactions q);
+  check Alcotest.int "vars still counted" 2 (Qubo.num_vars q)
+
+let test_builder_reusable_after_freeze () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 1.;
+  let q1 = Qubo.freeze b in
+  Qubo.set b 1 1 2.;
+  let q2 = Qubo.freeze b in
+  check Alcotest.int "first freeze unchanged" 1 (Qubo.num_vars q1);
+  check Alcotest.int "second sees new var" 2 (Qubo.num_vars q2)
+
+(* ------------------------------------------------------------------ *)
+(* Frozen inspection *)
+
+let example () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 2.;
+  Qubo.set b 0 1 (-2.);
+  Qubo.set b 1 2 0.5;
+  Qubo.set_offset b 1.;
+  Qubo.freeze b
+
+let test_linear_and_quadratic () =
+  let q = example () in
+  check (Alcotest.float 0.) "lin 0" (-1.) (Qubo.linear q 0);
+  check (Alcotest.float 0.) "lin 2" 0. (Qubo.linear q 2);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.float 0.)))
+    "couplers"
+    [ (0, 1, -2.); (1, 2, 0.5) ]
+    (Qubo.quadratic q);
+  check Alcotest.int "count" 2 (Qubo.num_interactions q)
+
+let test_degree_neighbors () =
+  let q = example () in
+  check Alcotest.int "degree 1" 2 (Qubo.degree q 1);
+  check Alcotest.int "degree 0" 1 (Qubo.degree q 0);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 0.)))
+    "neighbors of 1"
+    [ (0, -2.); (2, 0.5) ]
+    (Qubo.neighbors q 1)
+
+let test_energy_known () =
+  let q = example () in
+  (* E(x) = 1 - x0 + 2 x1 - 2 x0 x1 + 0.5 x1 x2 *)
+  let e bits = Qubo.energy q (Bitvec.of_string bits) in
+  check (Alcotest.float 1e-12) "000" 1. (e "000");
+  check (Alcotest.float 1e-12) "100" 0. (e "100");
+  check (Alcotest.float 1e-12) "110" 0. (e "110");
+  check (Alcotest.float 1e-12) "111" 0.5 (e "111");
+  check (Alcotest.float 1e-12) "011" 3.5 (e "011")
+
+let test_energy_length_mismatch () =
+  let q = example () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Qubo.energy: assignment has 2 bits, problem has 3 vars") (fun () ->
+      ignore (Qubo.energy q (Bitvec.create 2)))
+
+let test_scale () =
+  let q = Qubo.scale (example ()) 2. in
+  check (Alcotest.float 0.) "lin scaled" (-2.) (Qubo.linear q 0);
+  check (Alcotest.float 0.) "offset scaled" 2. (Qubo.offset q);
+  check (Alcotest.float 1e-12) "energy scaled" 7. (Qubo.energy q (Bitvec.of_string "011"))
+
+let test_relabel () =
+  let q = example () in
+  let r = Qubo.relabel q (fun i -> 2 - i) ~num_vars:3 in
+  check (Alcotest.float 0.) "lin moved" (-1.) (Qubo.linear r 2);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.float 0.)))
+    "couplers mirrored"
+    [ (0, 1, 0.5); (1, 2, -2.) ]
+    (Qubo.quadratic r)
+
+let test_relabel_rejects_collision () =
+  let q = example () in
+  Alcotest.check_raises "collision" (Invalid_argument "Qubo.relabel: mapping not injective")
+    (fun () -> ignore (Qubo.relabel q (fun _ -> 0) ~num_vars:3))
+
+let test_dense_roundtrip () =
+  let q = example () in
+  let q' = Qubo.of_dense (Qubo.to_dense q) in
+  (* offset is not part of the dense form *)
+  check Alcotest.bool "coefficients preserved" true
+    (Qubo.quadratic q = Qubo.quadratic q'
+    && List.init 3 (Qubo.linear q) = List.init 3 (Qubo.linear q'))
+
+let test_max_abs () =
+  check (Alcotest.float 0.) "max abs" 2. (Qubo.max_abs_coefficient (example ()));
+  check (Alcotest.float 0.) "empty" 0. (Qubo.max_abs_coefficient (Qubo.freeze (Qubo.builder ())))
+
+let prop_flip_delta_consistent =
+  qtest "flip_delta equals energy difference" (gen_qubo_with_bits ~max_n:12) (fun (q, x) ->
+      let n = Qubo.num_vars q in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let d = Qubo.flip_delta q x i in
+        let x' = Bitvec.copy x in
+        Bitvec.flip x' i;
+        if Float.abs (Qubo.energy q x' -. Qubo.energy q x -. d) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_energy_matches_dense =
+  qtest "CSR energy equals dense reference" (gen_qubo_with_bits ~max_n:12) (fun (q, x) ->
+      Float.abs (Qubo.energy q x -. dense_energy q x) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Ising *)
+
+let prop_ising_energy_equal =
+  qtest "QUBO and Ising energies agree" (gen_qubo_with_bits ~max_n:12) (fun (q, x) ->
+      let ising = Ising.of_qubo q in
+      Float.abs (Qubo.energy q x -. Ising.energy ising (Ising.spins_of_bits x)) < 1e-9)
+
+let prop_ising_roundtrip =
+  qtest "of_qubo |> to_qubo preserves energies" (gen_qubo_with_bits ~max_n:10) (fun (q, x) ->
+      let q' = Ising.to_qubo (Ising.of_qubo q) in
+      Float.abs (Qubo.energy q x -. Qubo.energy q' x) < 1e-9)
+
+let prop_ising_flip_delta =
+  qtest "Ising flip_delta equals energy difference" (gen_qubo_with_bits ~max_n:10)
+    (fun (q, x) ->
+      let ising = Ising.of_qubo q in
+      let n = Ising.num_spins ising in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let d = Ising.flip_delta ising x i in
+        let x' = Bitvec.copy x in
+        Bitvec.flip x' i;
+        if Float.abs (Ising.energy ising x' -. Ising.energy ising x -. d) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_ising_known_conversion () =
+  (* E(x) = x0 + 2 x0 x1. With x=(1+s)/2: fields h0 = 1/2 + 1/2 = 1,
+     h1 = 1/2, J01 = 1/2, offset = 1/2 + 1/2 = 1. *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 1.;
+  Qubo.set b 0 1 2.;
+  let ising = Ising.of_qubo (Qubo.freeze b) in
+  check (Alcotest.float 1e-12) "h0" 1. (Ising.field ising 0);
+  check (Alcotest.float 1e-12) "h1" 0.5 (Ising.field ising 1);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.float 1e-12)))
+    "J" [ (0, 1, 0.5) ] (Ising.couplings ising);
+  check (Alcotest.float 1e-12) "offset" 1. (Ising.offset ising)
+
+let test_ising_local_field () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 1.;
+  Qubo.set b 0 1 2.;
+  let ising = Ising.of_qubo (Qubo.freeze b) in
+  let spins = Bitvec.of_string "11" in
+  (* local field at 0: h0 + J01 * s1 = 1 + 0.5 = 1.5 *)
+  check (Alcotest.float 1e-12) "local field" 1.5 (Ising.local_field ising spins 0);
+  check (Alcotest.float 1e-12) "flip delta" (-3.) (Ising.flip_delta ising spins 0)
+
+let test_ising_extrema () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 4.;
+  Qubo.set b 0 1 (-0.5);
+  let ising = Ising.of_qubo (Qubo.freeze b) in
+  check Alcotest.bool "max >= min" true (Ising.max_abs_field ising >= Ising.min_abs_nonzero ising);
+  check (Alcotest.float 0.) "all-zero default" 1.
+    (Ising.min_abs_nonzero (Ising.of_qubo (Qubo.freeze (Qubo.builder ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let prop_io_roundtrip =
+  qtest "COO text roundtrip" (gen_qubo ~max_n:10) (fun q ->
+      match Qubo_io.of_string (Qubo_io.to_string q) with
+      | Error _ -> false
+      | Ok q' -> Qubo.equal q q')
+
+let test_io_parse_errors () =
+  let is_error s = match Qubo_io.of_string s with Error _ -> true | Ok _ -> false in
+  check Alcotest.bool "missing header" true (is_error "0 0 1.0");
+  check Alcotest.bool "bad count" true (is_error "qubo x");
+  check Alcotest.bool "bad row" true (is_error "qubo 2\n0 zero 1.0");
+  check Alcotest.bool "garbage" true (is_error "qubo 2\nhello world extra junk here")
+
+let test_io_comments_and_blanks () =
+  let text = "# a comment\n\nqubo 2\n# another\n0 0 -1.0\n0 1 2.0\n" in
+  match Qubo_io.of_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok q ->
+    check Alcotest.int "vars" 2 (Qubo.num_vars q);
+    check (Alcotest.float 0.) "lin" (-1.) (Qubo.linear q 0)
+
+let test_io_duplicates_sum () =
+  let text = "qubo 2\n0 1 1.0\n1 0 2.0\n" in
+  match Qubo_io.of_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok q -> check (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int (Alcotest.float 0.)))
+              "summed" [ (0, 1, 3.) ] (Qubo.quadratic q)
+
+let test_io_file_roundtrip () =
+  let q = example () in
+  let path = Filename.temp_file "qsmt" ".qubo" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Qubo_io.write_file path q;
+      match Qubo_io.read_file path with
+      | Error e -> Alcotest.failf "read failed: %s" e
+      | Ok q' -> check Alcotest.bool "equal" true (Qubo.equal q q'))
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let test_print_dense_small () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 0 1 2.;
+  Qubo.set b 1 1 1.5;
+  let s = Qubo_print.dense_string (Qubo.freeze b) in
+  check Alcotest.string "dense grid" "  -1    2\n   0 1.50" s
+
+let test_print_dense_abbreviated () =
+  let b = Qubo.builder () in
+  for i = 0 to 19 do
+    Qubo.set b i i 1.
+  done;
+  let s = Qubo_print.dense_string ~max_dim:4 (Qubo.freeze b) in
+  check Alcotest.bool "has ellipsis" true
+    (String.length s >= 3
+    &&
+    let re_found = ref false in
+    String.iteri (fun i _ -> if i + 3 <= String.length s && String.sub s i 3 = "..." then re_found := true) s;
+    !re_found)
+
+let test_print_diagonal () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 1.;
+  let s = Format.asprintf "%a" Qubo_print.pp_diagonal (Qubo.freeze b) in
+  check Alcotest.string "diagonal" "[-1, 1]" s
+
+(* ------------------------------------------------------------------ *)
+(* Qgraph *)
+
+let test_graph_basics () =
+  let g = Qgraph.of_edges 4 [ (0, 1); (1, 2); (1, 2); (3, 3) ] in
+  check Alcotest.int "dedup + no self-loop" 2 (Qgraph.num_edges g);
+  check Alcotest.bool "mem" true (Qgraph.mem_edge g 2 1);
+  check Alcotest.bool "not mem" false (Qgraph.mem_edge g 0 3);
+  check (Alcotest.list Alcotest.int) "neighbors sorted" [ 0; 2 ] (Qgraph.neighbors g 1);
+  check Alcotest.int "degree" 2 (Qgraph.degree g 1);
+  check Alcotest.int "max degree" 2 (Qgraph.max_degree g)
+
+let test_graph_components () =
+  let g = Qgraph.of_edges 6 [ (0, 1); (1, 2); (4, 5) ] in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "components"
+    [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ]
+    (Qgraph.connected_components g);
+  check Alcotest.bool "not connected" false (Qgraph.is_connected g);
+  check Alcotest.bool "path connected" true (Qgraph.is_connected (Qgraph.of_edges 3 [ (0, 1); (1, 2) ]))
+
+let test_graph_bfs () =
+  let g = Qgraph.of_edges 5 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Qgraph.bfs_distances g 0 in
+  check (Alcotest.array Alcotest.int) "distances" [| 0; 1; 2; 3; max_int |] d
+
+let test_graph_of_qubo () =
+  let g = Qgraph.of_qubo (example ()) in
+  check Alcotest.int "vertices" 3 (Qgraph.num_vertices g);
+  check Alcotest.int "edges" 2 (Qgraph.num_edges g)
+
+let test_graph_bounds () =
+  let g = Qgraph.create 3 in
+  Alcotest.check_raises "oob" (Invalid_argument "Qgraph: vertex 3 out of [0,3)") (fun () ->
+      Qgraph.add_edge g 0 3)
+
+
+(* exhaustive minimum over all assignments; test-local oracle *)
+let qsmt_exhaustive_min q =
+  let n = Qubo.num_vars q in
+  let best = ref infinity in
+  for v = 0 to (1 lsl n) - 1 do
+    let bits = Bitvec.init n (fun i -> v land (1 lsl i) <> 0) in
+    let e = Qubo.energy q bits in
+    if e < !best then best := e
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Preprocess *)
+
+module Preprocess = Qsmt_qubo.Preprocess
+
+let test_preprocess_diagonal_collapses () =
+  (* diagonal-only problems fix completely: preprocessing alone solves
+     string-equality-style encodings *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 1.;
+  Qubo.set b 2 2 (-2.);
+  let q = Qubo.freeze b in
+  let t = Preprocess.reduce q in
+  check Alcotest.int "all fixed" 3 (Preprocess.num_fixed t);
+  check Alcotest.int "none free" 0 (Preprocess.num_free t);
+  check (Alcotest.option Alcotest.bool) "x0 = 1" (Some true) (Preprocess.fixed_value t 0);
+  check (Alcotest.option Alcotest.bool) "x1 = 0" (Some false) (Preprocess.fixed_value t 1);
+  let x = Preprocess.expand t (Bitvec.create 0) in
+  check (Alcotest.float 1e-12) "expanded is ground" (-3.) (Qubo.energy q x)
+
+let test_preprocess_keeps_coupled_vars () =
+  (* x0 x1 coupler with zero diagonals: neither rule fires on the
+     coupled pair... lin + neg >= 0 -> 0 + (-1) < 0, lin + pos <= 0 ->
+     0 + 0 <= 0 fires, so the rules do fix; use a frustrated pair
+     instead where neither fires *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 (-1.);
+  Qubo.set b 0 1 3.;
+  let q = Qubo.freeze b in
+  let t = Preprocess.reduce q in
+  (* lin+neg = -1 < 0 and lin+pos = 2 > 0 for both: nothing fixes *)
+  check Alcotest.int "none fixed" 0 (Preprocess.num_fixed t);
+  check Alcotest.bool "residual equals original energies" true
+    (let r = Preprocess.residual t in
+     List.for_all
+       (fun bits ->
+         let y = Bitvec.of_string bits in
+         Float.abs (Qubo.energy r y -. Qubo.energy q (Preprocess.expand t y)) < 1e-9)
+       [ "00"; "01"; "10"; "11" ])
+
+let test_preprocess_expand_length_check () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 (-1.);
+  Qubo.set b 0 1 3.;
+  let t = Preprocess.reduce (Qubo.freeze b) in
+  check Alcotest.bool "bad length raises" true
+    (try
+       ignore (Preprocess.expand t (Bitvec.create 5));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_preprocess_residual_energy_consistent =
+  qtest ~count:100 "residual energy = original energy of expansion" (gen_qubo ~max_n:10)
+    (fun q ->
+      let t = Preprocess.reduce q in
+      let r = Preprocess.residual t in
+      let rng = Qsmt_util.Prng.create 7 in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let y = Bitvec.random rng (Preprocess.num_free t) in
+        if Float.abs (Qubo.energy r y -. Qubo.energy q (Preprocess.expand t y)) > 1e-9 then
+          ok := false
+      done;
+      !ok)
+
+let prop_preprocess_preserves_optimum =
+  qtest ~count:80 "reduction preserves the minimum energy" (gen_qubo ~max_n:9) (fun q ->
+      let t = Preprocess.reduce q in
+      let original = qsmt_exhaustive_min q in
+      let reduced =
+        if Preprocess.num_free t = 0 then Qubo.energy q (Preprocess.expand t (Bitvec.create 0))
+        else qsmt_exhaustive_min (Preprocess.residual t)
+      in
+      Float.abs (original -. reduced) < 1e-9)
+
+let test_preprocess_solve_with () =
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  Qubo.set b 1 1 (-1.);
+  Qubo.set b 0 1 3.;
+  Qubo.set b 2 2 (-5.);
+  let q = Qubo.freeze b in
+  (* solver callback: brute force over the residual *)
+  let brute r =
+    let n = Qubo.num_vars r in
+    let best = ref (Bitvec.create n) and best_e = ref (Qubo.energy r (Bitvec.create n)) in
+    for v = 1 to (1 lsl n) - 1 do
+      let bits = Bitvec.init n (fun i -> v land (1 lsl i) <> 0) in
+      let e = Qubo.energy r bits in
+      if e < !best_e then begin
+        best := bits;
+        best_e := e
+      end
+    done;
+    !best
+  in
+  let x = Preprocess.solve_with brute q in
+  check (Alcotest.float 1e-12) "global minimum" (-6.) (Qubo.energy q x)
+
+let () =
+  Alcotest.run "qsmt_qubo"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "set overwrites" `Quick test_set_overwrites;
+          Alcotest.test_case "add sums" `Quick test_add_sums;
+          Alcotest.test_case "get default" `Quick test_get_default_zero;
+          Alcotest.test_case "negative index" `Quick test_negative_index_rejected;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "freeze num_vars" `Quick test_freeze_num_vars;
+          Alcotest.test_case "freeze drops zeros" `Quick test_freeze_drops_zeros;
+          Alcotest.test_case "builder reusable" `Quick test_builder_reusable_after_freeze;
+        ] );
+      ( "frozen",
+        [
+          Alcotest.test_case "linear/quadratic" `Quick test_linear_and_quadratic;
+          Alcotest.test_case "degree/neighbors" `Quick test_degree_neighbors;
+          Alcotest.test_case "energy known values" `Quick test_energy_known;
+          Alcotest.test_case "energy length check" `Quick test_energy_length_mismatch;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "relabel collision" `Quick test_relabel_rejects_collision;
+          Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+          Alcotest.test_case "max abs coefficient" `Quick test_max_abs;
+          prop_flip_delta_consistent;
+          prop_energy_matches_dense;
+        ] );
+      ( "ising",
+        [
+          Alcotest.test_case "known conversion" `Quick test_ising_known_conversion;
+          Alcotest.test_case "local field" `Quick test_ising_local_field;
+          Alcotest.test_case "extrema" `Quick test_ising_extrema;
+          prop_ising_energy_equal;
+          prop_ising_roundtrip;
+          prop_ising_flip_delta;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "duplicates sum" `Quick test_io_duplicates_sum;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          prop_io_roundtrip;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "dense small" `Quick test_print_dense_small;
+          Alcotest.test_case "dense abbreviated" `Quick test_print_dense_abbreviated;
+          Alcotest.test_case "diagonal" `Quick test_print_diagonal;
+        ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "diagonal collapses" `Quick test_preprocess_diagonal_collapses;
+          Alcotest.test_case "coupled stays" `Quick test_preprocess_keeps_coupled_vars;
+          Alcotest.test_case "expand length" `Quick test_preprocess_expand_length_check;
+          Alcotest.test_case "solve_with" `Quick test_preprocess_solve_with;
+          prop_preprocess_residual_energy_consistent;
+          prop_preprocess_preserves_optimum;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "components" `Quick test_graph_components;
+          Alcotest.test_case "bfs" `Quick test_graph_bfs;
+          Alcotest.test_case "of_qubo" `Quick test_graph_of_qubo;
+          Alcotest.test_case "bounds" `Quick test_graph_bounds;
+        ] );
+    ]
