@@ -22,6 +22,8 @@
      [Ext-6]    QUBO preprocessing (Lewis-Glover fixing, paper ref [37])
      [Ext-7]    time-to-solution, convergence, frustrated spin glasses
      [Ext-8]    random-workload throughput, annealer vs CDCL
+     [Ext-9]    portfolio racing (concurrent samplers, early exit) vs the
+                sequential sampler sweep; batched multi-constraint solving
      [Timing]   Bechamel micro-benchmarks *)
 
 module Bitvec = Qsmt_util.Bitvec
@@ -37,6 +39,7 @@ module Tabu = Qsmt_anneal.Tabu
 module Greedy = Qsmt_anneal.Greedy
 module Exact = Qsmt_anneal.Exact
 module Pt = Qsmt_anneal.Pt
+module Portfolio = Qsmt_anneal.Portfolio
 module Metrics = Qsmt_anneal.Metrics
 module Spinglass = Qsmt_anneal.Spinglass
 module Convergence = Qsmt_anneal.Convergence
@@ -110,7 +113,14 @@ let run_single constr seed =
   (outcome.Solver.value, outcome.Solver.satisfied, outcome.Solver.qubo)
 
 let run_pipeline pipeline seed =
-  let outcomes = Solver.solve_pipeline ~sampler:(sa_sampler ~seed) pipeline in
+  (* Benchmark pipelines are all string-valued, so a positional block is
+     a bug worth failing loudly on, not a case to report. *)
+  let outcomes =
+    match Solver.solve_pipeline ~sampler:(sa_sampler ~seed) pipeline with
+    | Ok outcomes -> outcomes
+    | Error { Solver.stage_index; _ } ->
+      failwith (Printf.sprintf "pipeline blocked on a positional decode at stage %d" stage_index)
+  in
   let all_ok = List.for_all (fun o -> o.Solver.satisfied) outcomes in
   match List.rev outcomes with
   | last :: _ -> (last.Solver.value, all_ok, last.Solver.qubo)
@@ -572,6 +582,77 @@ let ext8 () =
     kinds
 
 (* ================================================================== *)
+(* Ext-9: portfolio racing and batched solving *)
+
+let ext9 () =
+  header "Ext-9: portfolio racing vs sequential sampler sweep (Table-1 workload)";
+  Format.printf "pool: %d worker domains (+ the caller)@."
+    (Qsmt_util.Parallel.Pool.size (Qsmt_util.Parallel.Pool.global ()));
+  let workload =
+    [
+      ("reverse hello", Constr.Reverse "hello");
+      ("palindrome 6", Constr.Palindrome { length = 6 });
+      ("regex a[bc]+ 5", Constr.Regex { pattern = Rparser.parse_exn "a[bc]+"; length = 5 });
+      ("concat hello world", Constr.Concat [ "hello"; " "; "world" ]);
+      ("indexof hi@2 len6", Constr.Index_of { length = 6; substring = "hi"; index = 2 });
+      ("includes world", Constr.Includes { haystack = "hello world"; needle = "world" });
+    ]
+  in
+  let seed = 5 in
+  subheader
+    "sequential sweep = every default-suite sampler to completion; portfolio = same members \
+     raced concurrently, first verified read cancels the rest";
+  Format.printf "%-20s %12s %12s %8s %9s %11s@." "constraint" "sweep" "portfolio" "speedup"
+    "winner" "cancelled";
+  let total_seq = ref 0. and total_port = ref 0. in
+  List.iter
+    (fun (label, constr) ->
+      let qubo = Compile.to_qubo constr in
+      let verify bits = Constr.verify constr (Compile.decode constr bits) in
+      let _, seq_t =
+        time_it (fun () ->
+            List.iter (fun s -> ignore (Sampler.run s qubo)) (Sampler.default_suite ~seed))
+      in
+      let result, port_t =
+        time_it (fun () ->
+            Portfolio.run
+              ~params:
+                { Portfolio.members = Portfolio.default_members ~seed; jobs = 0; budget = Some 30. }
+              ~verify qubo)
+      in
+      let cancelled =
+        List.length (List.filter (fun r -> r.Portfolio.cancelled) result.Portfolio.reports)
+      in
+      total_seq := !total_seq +. seq_t;
+      total_port := !total_port +. port_t;
+      Format.printf "%-20s %10.1fms %10.1fms %7.1fx %9s %8d/%d@." label (1e3 *. seq_t)
+        (1e3 *. port_t)
+        (seq_t /. port_t)
+        (match result.Portfolio.winner with Some (name, _) -> name | None -> "-")
+        cancelled
+        (List.length result.Portfolio.reports))
+    workload;
+  Format.printf "%-20s %10.1fms %10.1fms %7.1fx@." "TOTAL" (1e3 *. !total_seq)
+    (1e3 *. !total_port)
+    (!total_seq /. !total_port);
+  subheader "solve_batch: the same six constraints, one solver call, pooled domains";
+  let constrs = List.map snd workload in
+  let sampler = sa_sampler ~seed in
+  let _, one_by_one_t =
+    time_it (fun () -> List.iter (fun c -> ignore (Solver.solve ~sampler c)) constrs)
+  in
+  let batched, batch_t = time_it (fun () -> Solver.solve_batch ~sampler constrs) in
+  List.iter2
+    (fun (label, _) (outcome, timing) ->
+      Format.printf "  %-20s %s  sample %.1fms@." label
+        (if outcome.Solver.satisfied then "ok " else "MISS")
+        (1e3 *. timing.Solver.sample_s))
+    workload batched;
+  Format.printf "one-by-one %.1fms  batched %.1fms  speedup %.1fx@." (1e3 *. one_by_one_t)
+    (1e3 *. batch_t)
+    (one_by_one_t /. batch_t)
+
+(* ================================================================== *)
 (* Bechamel micro timings *)
 
 let bechamel_section () =
@@ -682,5 +763,6 @@ let () =
   ext6 ();
   ext7 ();
   ext8 ();
+  ext9 ();
   bechamel_section ();
   Format.printf "@.total wall clock: %.1f s@." (now () -. t0)

@@ -18,7 +18,9 @@ module Sa = Qsmt_anneal.Sa
 module Sqa = Qsmt_anneal.Sqa
 module Tabu = Qsmt_anneal.Tabu
 module Greedy = Qsmt_anneal.Greedy
+module Portfolio = Qsmt_anneal.Portfolio
 module Interp = Qsmt_smtlib.Interp
+module Eval = Qsmt_smtlib.Eval
 module Strsolver = Qsmt_classical.Strsolver
 module Smtgen = Qsmt_strtheory.Smtgen
 module Qubo_io = Qsmt_qubo.Qubo_io
@@ -42,15 +44,42 @@ let sweeps_arg =
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for reads.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Concurrent portfolio members (0 = one per available core). Only meaningful with $(b,--sampler portfolio).")
+
+let budget_arg =
+  let positive_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some b when b > 0. -> Ok b
+      | Some _ -> Error (`Msg "budget must be positive")
+      | None -> Error (`Msg (s ^ " is not a number"))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  Arg.(
+    value & opt (some positive_float) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:"Per-member wall-clock budget for the portfolio sampler; members exceeding it are cancelled cooperatively.")
+
 let sampler_arg =
-  let choices = [ ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu); ("greedy", `Greedy); ("exact", `Exact); ("classical", `Classical) ] in
+  let choices =
+    [ ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu); ("greedy", `Greedy); ("exact", `Exact);
+      ("portfolio", `Portfolio); ("classical", `Classical) ]
+  in
   Arg.(
     value
     & opt (enum choices) `Sa
     & info [ "sampler" ] ~docv:"NAME"
-        ~doc:"Solver backend: $(b,sa) (simulated annealing), $(b,sqa) (simulated quantum annealing), $(b,tabu), $(b,greedy), $(b,exact) (exhaustive, small problems), $(b,classical) (CDCL bit-blasting).")
+        ~doc:"Solver backend: $(b,sa) (simulated annealing), $(b,sqa) (simulated quantum annealing), $(b,tabu), $(b,greedy), $(b,exact) (exhaustive, small problems), $(b,portfolio) (race sa/sqa/pt/tabu/greedy concurrently, first verified read wins), $(b,classical) (CDCL bit-blasting).")
 
-let build_sampler kind ~seed ~reads ~sweeps ~domains =
+(* Callers must route [`Classical] to the CDCL bit-blasting path before
+   coming here — it is a different solver family, not a sampler, and an
+   earlier revision silently handed such requests to [Sampler.exact]. *)
+let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget =
   match kind with
   | `Sa -> Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed; reads; sweeps; domains } ()
   | `Sqa ->
@@ -61,7 +90,55 @@ let build_sampler kind ~seed ~reads ~sweeps ~domains =
     ignore Greedy.default;
     Sampler.greedy ~params:{ Greedy.seed; restarts = reads; domains } ()
   | `Exact -> Sampler.exact ()
-  | `Classical -> Sampler.exact () (* placeholder; classical handled separately *)
+  | `Portfolio ->
+    Sampler.portfolio
+      ~params:{ Portfolio.members = Portfolio.default_members ~seed; jobs; budget } ()
+  | `Classical -> invalid_arg "build_sampler: classical is not a sampler"
+
+(* CDCL bit-blasting as an SMT-LIB theory backend: complete on the
+   supported fragment, so (unlike the samplers) it may answer `Unsat. *)
+let classical_backend () =
+  let value_of = function
+    | Constr.Str s -> Some (Eval.V_str s)
+    | Constr.Pos (Some i) -> Some (Eval.V_int i)
+    | Constr.Pos None -> None
+  in
+  let solve_one constr =
+    let o = Strsolver.solve constr in
+    match o.Strsolver.result with
+    | `Unsat -> `Unsat
+    | `Sat when o.Strsolver.satisfied -> begin
+      match Option.bind o.Strsolver.value value_of with
+      | Some v -> `Value v
+      | None -> `Unknown
+    end
+    | `Sat | `Unknown -> `Unknown
+  in
+  {
+    Interp.backend_name = "classical";
+    solve_generate = solve_one;
+    solve_joint =
+      (fun conjuncts ->
+        (* Solve each conjunct independently; any refuted conjunct
+           refutes the conjunction, and any conjunct's model that
+           verifies against all conjuncts is a model of the
+           conjunction. Anything else stays unknown. *)
+        let outcomes = List.map Strsolver.solve conjuncts in
+        if List.exists (fun o -> o.Strsolver.result = `Unsat) outcomes then `Unsat
+        else begin
+          let candidate_ok v = List.for_all (fun c -> Constr.verify c v) conjuncts in
+          let witness =
+            List.find_map
+              (fun o ->
+                match (o.Strsolver.result, o.Strsolver.value) with
+                | `Sat, Some (Constr.Str _ as v) when o.Strsolver.satisfied && candidate_ok v ->
+                  Some v
+                | _ -> None)
+              outcomes
+          in
+          match Option.bind witness value_of with Some v -> `Value v | None -> `Unknown
+        end);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* operation parsing for `gen` and `matrix` *)
@@ -120,7 +197,7 @@ let op_args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Op
 (* ------------------------------------------------------------------ *)
 (* gen *)
 
-let gen_action op args sampler_kind seed reads sweeps domains show_matrix =
+let gen_action op args sampler_kind seed reads sweeps domains jobs budget show_matrix =
   match constraint_of_op op args with
   | Error (`Msg m) ->
     prerr_endline ("qsmt: " ^ m);
@@ -146,7 +223,7 @@ let gen_action op args sampler_kind seed reads sweeps domains show_matrix =
         if o.Strsolver.satisfied || o.Strsolver.result = `Unsat then 0 else 1
       end
       else begin
-        let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains in
+        let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget in
         let outcome, timing = Solver.solve_timed ~sampler constr in
         if show_matrix then
           Format.printf "matrix    :@.%a@."
@@ -170,7 +247,7 @@ let gen_cmd =
   let term =
     Term.(
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
-      $ domains_arg $ show_matrix)
+      $ domains_arg $ jobs_arg $ budget_arg $ show_matrix)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -215,13 +292,19 @@ let matrix_cmd =
 (* ------------------------------------------------------------------ *)
 (* run *)
 
-let run_action path sampler_kind seed reads sweeps domains =
+let run_action path sampler_kind seed reads sweeps domains jobs budget =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
-  let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains in
-  match Interp.run_string ~sampler source with
+  let result =
+    match sampler_kind with
+    | `Classical -> Interp.run_string ~backend:(classical_backend ()) source
+    | _ ->
+      let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget in
+      Interp.run_string ~sampler source
+  in
+  match result with
   | Ok lines ->
     List.iter print_endline lines;
     0
@@ -235,7 +318,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute an SMT-LIB script (QF_S generative fragment).")
-    Term.(const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg)
+    Term.(
+      const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
+      $ jobs_arg $ budget_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -301,6 +386,7 @@ let samplers_action () =
   print_endline "tabu       tabu search";
   print_endline "greedy     steepest-descent with restarts";
   print_endline "exact      exhaustive ground-state search (<= 30 variables)";
+  print_endline "portfolio  race sa/sqa/pt/tabu/greedy concurrently; first verified read wins";
   print_endline "classical  CDCL SAT solver over bit-blasted constraints (complete)";
   0
 

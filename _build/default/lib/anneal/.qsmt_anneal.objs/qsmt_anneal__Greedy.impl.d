@@ -1,1 +1,1 @@
-lib/anneal/greedy.ml: Array Qsmt_qubo Qsmt_util Sampleset
+lib/anneal/greedy.ml: Array Fun List Qsmt_qubo Qsmt_util Sampleset

@@ -1,0 +1,1 @@
+lib/anneal/portfolio.ml: Array Atomic Exact Greedy List Printexc Pt Qsmt_qubo Qsmt_util Sa Sampleset Sqa Tabu Unix

@@ -1,0 +1,1 @@
+lib/anneal/portfolio.mli: Greedy Pt Qsmt_qubo Qsmt_util Sa Sampleset Sqa Tabu

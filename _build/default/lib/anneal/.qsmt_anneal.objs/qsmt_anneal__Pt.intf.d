@@ -1,1 +1,1 @@
-lib/anneal/pt.mli: Qsmt_qubo Sampleset
+lib/anneal/pt.mli: Qsmt_qubo Qsmt_util Sampleset

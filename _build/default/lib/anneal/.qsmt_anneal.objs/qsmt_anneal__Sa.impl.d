@@ -1,1 +1,1 @@
-lib/anneal/sa.ml: Array Float Qsmt_qubo Qsmt_util Sampleset Schedule
+lib/anneal/sa.ml: Array Float Fun List Qsmt_qubo Qsmt_util Sampleset Schedule

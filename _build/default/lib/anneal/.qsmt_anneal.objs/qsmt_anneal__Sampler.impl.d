@@ -1,1 +1,1 @@
-lib/anneal/sampler.ml: Exact Greedy Hardware Pt Qsmt_qubo Sa Sampleset Sqa Tabu
+lib/anneal/sampler.ml: Exact Greedy Hardware Portfolio Pt Qsmt_qubo Sa Sampleset Sqa Tabu

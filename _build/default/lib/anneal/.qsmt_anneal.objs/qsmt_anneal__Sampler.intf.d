@@ -1,1 +1,1 @@
-lib/anneal/sampler.mli: Greedy Hardware Pt Qsmt_qubo Sa Sampleset Sqa Tabu
+lib/anneal/sampler.mli: Greedy Hardware Portfolio Pt Qsmt_qubo Qsmt_util Sa Sampleset Sqa Tabu

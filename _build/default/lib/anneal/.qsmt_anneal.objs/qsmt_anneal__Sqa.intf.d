@@ -1,1 +1,1 @@
-lib/anneal/sqa.mli: Qsmt_qubo Sampleset
+lib/anneal/sqa.mli: Qsmt_qubo Qsmt_util Sampleset

@@ -1,1 +1,1 @@
-lib/anneal/tabu.ml: Array Qsmt_qubo Qsmt_util Sampleset
+lib/anneal/tabu.ml: Array Fun List Qsmt_qubo Qsmt_util Sampleset

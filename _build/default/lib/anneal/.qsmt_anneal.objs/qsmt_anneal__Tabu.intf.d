@@ -1,1 +1,1 @@
-lib/anneal/tabu.mli: Qsmt_qubo Sampleset
+lib/anneal/tabu.mli: Qsmt_qubo Qsmt_util Sampleset

@@ -21,7 +21,7 @@ let sa_trajectory ?(reads = 16) ?(sweeps = 500) ?(seed = 0) q =
   let sum_current = Array.make sweeps 0. in
   let final_best = ref infinity in
   for r = 0 to reads - 1 do
-    let rng = Prng.create (seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
+    let rng = Prng.stream ~seed r in
     let best = ref infinity in
     let on_sweep ~sweep ~energy =
       if energy < !best then best := energy;

@@ -30,14 +30,24 @@ let enumerate q visit =
     done
   end
 
-let solve ?(keep = 16) q =
+exception Stopped
+
+let solve ?(keep = 16) ?stop q =
   if keep < 1 then invalid_arg "Exact.solve: keep < 1";
   (* Keep the best [keep] seen so far in a sorted association list; keep
      is small so linear insertion is fine. *)
   let best = ref [] in
   let count = ref 0 in
   let worst = ref infinity in
+  (* Poll the cancellation flag every 4096 states: an enumeration over 30
+     variables walks 2^30 assignments, and the portfolio must be able to
+     cut it off when another member already verified a solution. *)
+  let visited = ref 0 in
   let visit x e =
+    incr visited;
+    (match stop with
+    | Some f when !visited land 4095 = 0 && f () -> raise Stopped
+    | _ -> ());
     if !count < keep || e < !worst then begin
       let entry = { Sampleset.bits = Bitvec.copy x; energy = e; occurrences = 1 } in
       let inserted = List.sort (fun a b -> compare a.Sampleset.energy b.Sampleset.energy) (entry :: !best) in
@@ -47,7 +57,7 @@ let solve ?(keep = 16) q =
       worst := (List.nth trimmed (!count - 1)).Sampleset.energy
     end
   in
-  enumerate q visit;
+  (try enumerate q visit with Stopped -> ());
   Sampleset.of_entries !best
 
 let ground_states q =

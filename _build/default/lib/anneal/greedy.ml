@@ -28,15 +28,21 @@ let descend q x =
   done;
   x
 
-let sample ?(params = default) q =
+let sample ?(params = default) ?stop ?on_read q =
   if params.restarts < 1 then invalid_arg "Greedy.sample: restarts < 1";
   let n = Qubo.num_vars q in
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
+    let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
-      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
-      descend q (Bitvec.random rng n)
+      if stopped () then None
+      else begin
+        let rng = Prng.stream ~seed:params.seed r in
+        let bits = descend q (Bitvec.random rng n) in
+        (match on_read with Some f -> f bits | None -> ());
+        Some bits
+      end
     in
     let samples = Parallel.init_array ~domains:params.domains params.restarts run in
-    Sampleset.of_bits q (Array.to_list samples)
+    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
   end

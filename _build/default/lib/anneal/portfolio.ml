@@ -1,0 +1,162 @@
+module Bitvec = Qsmt_util.Bitvec
+module Parallel = Qsmt_util.Parallel
+module Qubo = Qsmt_qubo.Qubo
+
+type member =
+  | M_sa of Sa.params
+  | M_sqa of Sqa.params
+  | M_tabu of Tabu.params
+  | M_pt of Pt.params
+  | M_greedy of Greedy.params
+  | M_exact of int option
+
+type params = {
+  members : member list;
+  jobs : int;
+  budget : float option;
+}
+
+type member_report = {
+  member_name : string;
+  samples : Sampleset.t;
+  elapsed : float;
+  cancelled : bool;
+  failed : string option;
+}
+
+type result = {
+  merged : Sampleset.t;
+  winner : (string * Bitvec.t) option;
+  reports : member_report list;
+  wall_time : float;
+}
+
+let member_name = function
+  | M_sa _ -> "sa"
+  | M_sqa _ -> "sqa"
+  | M_tabu _ -> "tabu"
+  | M_pt _ -> "pt"
+  | M_greedy _ -> "greedy"
+  | M_exact _ -> "exact"
+
+(* Portfolio members run one per job slot, so their internal read
+   parallelism stays off ([domains = 1]) — the concurrency budget is
+   spent across members, not within them. *)
+let member_with_seed seed = function
+  | M_sa p -> M_sa { p with Sa.seed; domains = 1 }
+  | M_sqa p -> M_sqa { p with Sqa.seed; domains = 1 }
+  | M_tabu p -> M_tabu { p with Tabu.seed; domains = 1 }
+  | M_pt p -> M_pt { p with Pt.seed; domains = 1 }
+  | M_greedy p -> M_greedy { p with Greedy.seed; domains = 1 }
+  | M_exact _ as m -> m
+
+let default_members ~seed =
+  List.map (member_with_seed seed)
+    [
+      M_sa Sa.default;
+      M_sqa Sqa.default;
+      M_pt Pt.default;
+      M_tabu Tabu.default;
+      M_greedy Greedy.default;
+    ]
+
+let default = { members = default_members ~seed:0; jobs = 0; budget = None }
+
+let reseed params seed = { params with members = List.map (member_with_seed seed) params.members }
+
+let run_member ~stop ~on_read member q =
+  match member with
+  | M_sa params -> Sa.sample ~params ~stop ~on_read q
+  | M_sqa params -> Sqa.sample ~params ~stop ~on_read q
+  | M_tabu params -> Tabu.sample ~params ~stop ~on_read q
+  | M_pt params -> Pt.sample ~params ~stop ~on_read q
+  | M_greedy params -> Greedy.sample ~params ~stop ~on_read q
+  | M_exact keep -> Exact.solve ?keep ~stop q
+
+let run ?(params = default) ?verify q =
+  if params.members = [] then invalid_arg "Portfolio.run: no members";
+  (match params.budget with
+  | Some b when b <= 0. -> invalid_arg "Portfolio.run: budget <= 0"
+  | _ -> ());
+  let members = Array.of_list params.members in
+  let n = Array.length members in
+  let jobs =
+    if params.jobs > 0 then min params.jobs n else min (Parallel.recommended_domains ()) n
+  in
+  let t0 = Unix.gettimeofday () in
+  (* Set once a verified sample is found (or, defensively, never): every
+     member's stop closure reads it, so one member's win cancels the rest
+     at their next poll point. *)
+  let stop_all = Atomic.make false in
+  let winner = Atomic.make None in
+  let try_win name bits =
+    (* Copy before publishing: heuristic reads hand us their live buffer. *)
+    if Atomic.compare_and_set winner None (Some (name, Bitvec.copy bits)) then
+      Atomic.set stop_all true
+  in
+  let reports = Array.make n None in
+  let run_one k =
+    let m = members.(k) in
+    let name = member_name m in
+    let started = Unix.gettimeofday () in
+    let deadline =
+      match params.budget with Some b -> Some (started +. b) | None -> None
+    in
+    let stop () =
+      Atomic.get stop_all
+      || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    in
+    let on_read bits =
+      match verify with
+      | Some ok -> if ok bits then try_win name bits
+      | None -> ()
+    in
+    let samples, failed =
+      if Atomic.get stop_all then (Sampleset.empty, None)
+      else
+        match run_member ~stop ~on_read m q with
+        | samples -> (samples, None)
+        | exception e -> (Sampleset.empty, Some (Printexc.to_string e))
+    in
+    (* Heuristic members verify through [on_read]; [Exact] only yields a
+       sample set at the end, so scan it here. Re-scanning a heuristic's
+       set is a harmless no-op once a winner exists. *)
+    (match verify with
+    | Some ok ->
+      List.iter
+        (fun e ->
+          if Atomic.get winner = None && ok e.Sampleset.bits then try_win name e.Sampleset.bits)
+        (Sampleset.entries samples)
+    | None -> ());
+    let finished = Unix.gettimeofday () in
+    let cancelled =
+      (Atomic.get stop_all || match deadline with Some d -> finished > d | None -> false)
+      && failed = None
+    in
+    reports.(k) <- Some { member_name = name; samples; elapsed = finished -. started; cancelled; failed }
+  in
+  (* Cap concurrency at [jobs] by folding members into that many
+     sequential chains; the pool schedules the chains over idle workers
+     plus this domain. *)
+  let chains =
+    List.map
+      (fun (lo, size) () ->
+        for k = lo to lo + size - 1 do
+          run_one k
+        done)
+      (Parallel.partition n jobs)
+  in
+  Parallel.Pool.run_list (Parallel.Pool.global ()) chains;
+  let reports =
+    Array.to_list reports
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  let merged =
+    List.fold_left (fun acc r -> Sampleset.merge acc r.samples) Sampleset.empty reports
+  in
+  {
+    merged;
+    winner = Atomic.get winner;
+    reports;
+    wall_time = Unix.gettimeofday () -. t0;
+  }

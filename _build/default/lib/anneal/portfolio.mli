@@ -1,0 +1,69 @@
+(** Parallel sampler portfolio with early exit.
+
+    No single heuristic dominates across QUBO instances (Oshiyama &
+    Ohzeki's benchmark), so instead of betting on one sampler the
+    portfolio races several — SA, SQA, parallel tempering, tabu, greedy,
+    optionally exact — concurrently over the shared
+    {!Qsmt_util.Parallel.Pool} and merges their sample sets. When the
+    caller supplies a [verify] predicate (the string-theory solver passes
+    its constraint checker on decoded bits), the first read that verifies
+    wins: a shared stop flag trips and every other member cancels
+    cooperatively at its next poll point, so time-to-solution is the
+    fastest member's, not the slowest's.
+
+    A per-member wall-clock [budget] bounds each member independently,
+    so one slow member (e.g. [M_exact] on a 30-variable problem) cannot
+    hang the portfolio past its deadline. *)
+
+type member =
+  | M_sa of Sa.params
+  | M_sqa of Sqa.params
+  | M_tabu of Tabu.params
+  | M_pt of Pt.params
+  | M_greedy of Greedy.params
+  | M_exact of int option  (** [keep] for {!Exact.solve} *)
+
+type params = {
+  members : member list;  (** raced samplers, in report order *)
+  jobs : int;
+      (** concurrent members; [<= 0] (default) means
+          {!Qsmt_util.Parallel.recommended_domains} *)
+  budget : float option;
+      (** per-member wall-clock budget in seconds; [None] = unbounded *)
+}
+
+type member_report = {
+  member_name : string;
+  samples : Sampleset.t;  (** possibly empty if cancelled before any read *)
+  elapsed : float;  (** wall-clock seconds this member ran *)
+  cancelled : bool;  (** stopped early (win elsewhere or budget) *)
+  failed : string option;  (** exception text if the member raised *)
+}
+
+type result = {
+  merged : Sampleset.t;  (** all members' samples, re-aggregated *)
+  winner : (string * Qsmt_util.Bitvec.t) option;
+      (** first verified (member, bits), if [verify] was given and hit *)
+  reports : member_report list;  (** one per member, in [members] order *)
+  wall_time : float;
+}
+
+val default_members : seed:int -> member list
+(** SA, SQA, PT, tabu, greedy with default parameters, all reseeded to
+    [seed] and internal read-parallelism off (the portfolio spends its
+    concurrency across members). *)
+
+val default : params
+(** [default_members ~seed:0], auto [jobs], no budget. *)
+
+val reseed : params -> int -> params
+(** Reseeds every member ([M_exact] is seedless and unchanged). *)
+
+val run : ?params:params -> ?verify:(Qsmt_util.Bitvec.t -> bool) -> Qsmt_qubo.Qubo.t -> result
+(** Races the members. Without [verify] (and with no budget) every member
+    runs to completion and [merged] is deterministic — a pure function of
+    [params], independent of [jobs]. With [verify], member sample sets
+    may be truncated by early exit, but [merged] always contains the
+    winning read.
+    @raise Invalid_argument on an empty member list or non-positive
+    budget. *)

@@ -25,7 +25,8 @@ let default =
     domains = 1;
   }
 
-let run_read ~ising ~params ~betas rng =
+let run_read ~ising ~params ~betas ?stop rng =
+  let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let k = Array.length betas in
   (* replica r runs at betas.(r); we swap configurations, not
@@ -40,7 +41,10 @@ let run_read ~ising ~params ~betas rng =
       best := Bitvec.copy spins.(r)
     end
   in
-  for sweep = 1 to params.sweeps do
+  let sweep = ref 0 in
+  while !sweep < params.sweeps && not (stopped ()) do
+    incr sweep;
+    let sweep = !sweep in
     for r = 0 to k - 1 do
       let beta = betas.(r) in
       let s = spins.(r) in
@@ -73,7 +77,7 @@ let run_read ~ising ~params ~betas rng =
   done;
   !best
 
-let sample ?(params = default) q =
+let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Pt.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Pt.sample: sweeps < 1";
   if params.replicas < 2 then invalid_arg "Pt.sample: replicas < 2";
@@ -92,10 +96,16 @@ let sample ?(params = default) q =
     let k = params.replicas in
     let ratio = (beta_cold /. beta_hot) ** (1. /. float_of_int (k - 1)) in
     let betas = Array.init k (fun r -> beta_hot *. (ratio ** float_of_int r)) in
+    let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
-      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
-      run_read ~ising ~params ~betas rng
+      if stopped () then None
+      else begin
+        let rng = Prng.stream ~seed:params.seed r in
+        let bits = run_read ~ising ~params ~betas ?stop rng in
+        (match on_read with Some f -> f bits | None -> ());
+        Some bits
+      end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run in
-    Sampleset.of_bits q (Array.to_list samples)
+    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
   end

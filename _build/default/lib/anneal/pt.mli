@@ -23,5 +23,12 @@ type params = {
 
 val default : params
 
-val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
-(** One entry per read: the coldest replica's best-ever configuration. *)
+val sample :
+  ?params:params ->
+  ?stop:(unit -> bool) ->
+  ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
+(** One entry per read: the coldest replica's best-ever configuration.
+    [stop] and [on_read] follow the cooperative cancellation contract
+    documented at {!Sa.sample}. *)

@@ -15,17 +15,17 @@ type params = {
 
 let default = { reads = 32; sweeps = 1000; schedule = None; seed = 0; domains = 1; postprocess = false }
 
-(* Derive an independent stream for read [r]: the golden-ratio multiply
-   decorrelates consecutive read indices before SplitMix64 expands the
-   seed, so streams don't overlap even for adjacent seeds. *)
-let read_rng ~seed r = Prng.create (seed lxor ((r + 1) * 0x9E3779B97F4A7C))
+let read_rng ~seed r = Prng.stream ~seed r
 
-let anneal_ising ~rng ~schedule ?init ?on_sweep ising =
+let anneal_ising ~rng ~schedule ?init ?on_sweep ?stop ising =
   let n = Ising.num_spins ising in
   let spins = match init with Some s -> Bitvec.copy s | None -> Bitvec.random rng n in
   let energy = ref (match on_sweep with Some _ -> Ising.energy ising spins | None -> 0.) in
-  for k = 0 to Schedule.sweeps schedule - 1 do
-    let beta = Schedule.beta schedule k in
+  let stopped () = match stop with Some f -> f () | None -> false in
+  let k = ref 0 in
+  let sweeps = Schedule.sweeps schedule in
+  while !k < sweeps && not (stopped ()) do
+    let beta = Schedule.beta schedule !k in
     for i = 0 to n - 1 do
       let delta = Ising.flip_delta ising spins i in
       if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
@@ -33,7 +33,8 @@ let anneal_ising ~rng ~schedule ?init ?on_sweep ising =
         if on_sweep <> None then energy := !energy +. delta
       end
     done;
-    match on_sweep with Some f -> f ~sweep:k ~energy:!energy | None -> ()
+    (match on_sweep with Some f -> f ~sweep:!k ~energy:!energy | None -> ());
+    incr k
   done;
   spins
 
@@ -60,7 +61,7 @@ let descend ising spins =
   done;
   spins
 
-let sample ?(params = default) q =
+let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sa.sample: sweeps < 1";
   let n = Qubo.num_vars q in
@@ -72,11 +73,17 @@ let sample ?(params = default) q =
       | Some s -> s
       | None -> Schedule.auto ~sweeps:params.sweeps ising
     in
+    let stopped () = match stop with Some f -> f () | None -> false in
     let run_read r =
-      let rng = read_rng ~seed:params.seed r in
-      let spins = anneal_ising ~rng ~schedule ising in
-      if params.postprocess then descend ising spins else spins
+      if stopped () then None
+      else begin
+        let rng = read_rng ~seed:params.seed r in
+        let spins = anneal_ising ~rng ~schedule ?stop ising in
+        let spins = if params.postprocess then descend ising spins else spins in
+        (match on_read with Some f -> f spins | None -> ());
+        Some spins
+      end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run_read in
-    Sampleset.of_bits q (Array.to_list samples)
+    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
   end

@@ -23,16 +23,32 @@ type params = {
 
 val default : params
 
-val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+val sample :
+  ?params:params ->
+  ?stop:(unit -> bool) ->
+  ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
 (** Anneals and returns all reads as a sample set (energies are QUBO
     energies, offset included). A zero-variable problem yields a set with
-    one empty assignment. *)
+    one empty assignment.
+
+    [stop] is a cooperative cancellation flag, polled before each read
+    starts and between sweeps inside a read: once it returns [true],
+    unstarted reads are skipped and in-flight reads finish their current
+    sweep and return early (their partial configurations are still
+    included). The returned set may then hold fewer than [reads] samples,
+    or none. [on_read] observes each completed read's final bits — the
+    portfolio solver uses it to verify decodes and trip [stop] as soon as
+    one read solves the constraint. Without [stop]/[on_read] the result is
+    a pure function of [params], independent of [domains]. *)
 
 val anneal_ising :
   rng:Qsmt_util.Prng.t ->
   schedule:Schedule.t ->
   ?init:Qsmt_util.Bitvec.t ->
   ?on_sweep:(sweep:int -> energy:float -> unit) ->
+  ?stop:(unit -> bool) ->
   Qsmt_qubo.Ising.t ->
   Qsmt_util.Bitvec.t
 (** One annealing read over an Ising problem: starts from [init] (random
@@ -40,4 +56,6 @@ val anneal_ising :
     configuration. Exposed for composition (the hardware model reuses it
     on embedded problems). [on_sweep] observes the current energy after
     every sweep (used by {!Convergence} to record trajectories); the
-    energy is maintained incrementally, so observation is O(1). *)
+    energy is maintained incrementally, so observation is O(1). [stop]
+    is polled between sweeps; when it returns [true] the read returns its
+    current configuration immediately. *)

@@ -6,13 +6,14 @@ type recipe =
   | R_greedy of Greedy.params
   | R_exact of int option
   | R_hardware of Hardware.params
+  | R_portfolio of Portfolio.params
   | R_custom of (Qsmt_qubo.Qubo.t -> Sampleset.t)
 
 type t = { name : string; recipe : recipe }
 
 let name t = t.name
 
-let run t q =
+let run ?verify t q =
   match t.recipe with
   | R_sa params -> Sa.sample ~params q
   | R_sqa params -> Sqa.sample ~params q
@@ -21,6 +22,7 @@ let run t q =
   | R_greedy params -> Greedy.sample ~params q
   | R_exact keep -> Exact.solve ?keep q
   | R_hardware params -> (Hardware.sample ~params q).Hardware.samples
+  | R_portfolio params -> (Portfolio.run ~params ?verify q).Portfolio.merged
   | R_custom f -> f q
 
 let make ~name f = { name; recipe = R_custom f }
@@ -33,6 +35,7 @@ let parallel_tempering ?(params = Pt.default) () = { name = "pt"; recipe = R_pt 
 let greedy ?(params = Greedy.default) () = { name = "greedy"; recipe = R_greedy params }
 let exact ?keep () = { name = "exact"; recipe = R_exact keep }
 let hardware ~params = { name = "hardware"; recipe = R_hardware params }
+let portfolio ?(params = Portfolio.default) () = { name = "portfolio"; recipe = R_portfolio params }
 
 let with_seed t seed =
   let recipe =
@@ -43,6 +46,7 @@ let with_seed t seed =
     | R_pt p -> R_pt { p with Pt.seed }
     | R_greedy p -> R_greedy { p with Greedy.seed }
     | R_hardware p -> R_hardware { p with Hardware.anneal = { p.Hardware.anneal with Sa.seed } }
+    | R_portfolio p -> R_portfolio (Portfolio.reseed p seed)
     | (R_exact _ | R_custom _) as r -> r
   in
   { t with recipe }

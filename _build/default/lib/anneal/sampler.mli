@@ -8,9 +8,12 @@ type t
 
 val name : t -> string
 
-val run : t -> Qsmt_qubo.Qubo.t -> Sampleset.t
+val run : ?verify:(Qsmt_util.Bitvec.t -> bool) -> t -> Qsmt_qubo.Qubo.t -> Sampleset.t
 (** May raise the underlying sampler's exceptions (e.g.
-    {!Hardware.Embedding_failed}, {!Exact}'s size cap). *)
+    {!Hardware.Embedding_failed}, {!Exact}'s size cap). [verify] is an
+    early-exit hook consumed only by {!portfolio} samplers (see
+    {!Portfolio.run}); every other sampler ignores it, keeping their
+    output deterministic. *)
 
 val make : name:string -> (Qsmt_qubo.Qubo.t -> Sampleset.t) -> t
 (** Wrap an arbitrary sampling function (used by tests to inject oracles
@@ -25,6 +28,11 @@ val exact : ?keep:int -> unit -> t
 val hardware : params:Hardware.params -> t
 (** Drops the hardware diagnostics; use {!Hardware.sample} directly when
     you need chain statistics. *)
+
+val portfolio : ?params:Portfolio.params -> unit -> t
+(** Races several samplers concurrently and merges their sample sets;
+    honors {!run}'s [verify] for early exit. Use {!Portfolio.run}
+    directly when you need per-member reports. *)
 
 val with_seed : t -> int -> t
 (** A sampler identical to the input but reseeded. Samplers without a

@@ -39,7 +39,8 @@ let j_perp ~beta_slice gamma =
   let t = Float.max t 1e-300 in
   -0.5 /. beta_slice *. Float.log t
 
-let run_read ~ising ~params ~beta ~gamma_hot rng =
+let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
+  let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let p = params.trotter in
   let pf = float_of_int p in
@@ -50,7 +51,8 @@ let run_read ~ising ~params ~beta ~gamma_hot rng =
     else (params.gamma_cold /. gamma_hot) ** (1. /. float_of_int (params.sweeps - 1))
   in
   let gamma = ref gamma_hot in
-  for _sweep = 0 to params.sweeps - 1 do
+  let sweep = ref 0 in
+  while !sweep < params.sweeps && not (stopped ()) do
     let jp = j_perp ~beta_slice !gamma in
     (* Local moves: every (slice, spin). *)
     for k = 0 to p - 1 do
@@ -72,7 +74,8 @@ let run_read ~ising ~params ~beta ~gamma_hot rng =
       if !delta <= 0. || Prng.float rng < Float.exp (-.beta *. !delta) then
         Array.iter (fun slice -> Bitvec.flip slice i) slices
     done;
-    gamma := !gamma *. ratio
+    gamma := !gamma *. ratio;
+    incr sweep
   done;
   (* Read out the best slice by classical energy. *)
   let best = ref slices.(0) and best_e = ref (Ising.energy ising slices.(0)) in
@@ -86,7 +89,7 @@ let run_read ~ising ~params ~beta ~gamma_hot rng =
     slices;
   !best
 
-let sample ?(params = default) q =
+let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Sqa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sqa.sample: sweeps < 1";
   if params.trotter < 2 then invalid_arg "Sqa.sample: trotter < 2";
@@ -109,10 +112,16 @@ let sample ?(params = default) q =
         g
       | None -> Float.max 1. (3. *. Ising.max_abs_field ising)
     in
+    let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
-      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
-      run_read ~ising ~params ~beta ~gamma_hot rng
+      if stopped () then None
+      else begin
+        let rng = Prng.stream ~seed:params.seed r in
+        let bits = run_read ~ising ~params ~beta ~gamma_hot ?stop rng in
+        (match on_read with Some f -> f bits | None -> ());
+        Some bits
+      end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run in
-    Sampleset.of_bits q (Array.to_list samples)
+    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
   end

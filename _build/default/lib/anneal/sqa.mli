@@ -36,6 +36,12 @@ type params = {
 
 val default : params
 
-val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
+val sample :
+  ?params:params ->
+  ?stop:(unit -> bool) ->
+  ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
 (** One entry per read: the lowest-classical-energy slice of that read's
-    final configuration. *)
+    final configuration. [stop] and [on_read] follow the cooperative
+    cancellation contract documented at {!Sa.sample}. *)

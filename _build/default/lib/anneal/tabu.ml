@@ -13,15 +13,20 @@ type params = {
 
 let default = { restarts = 8; iterations = 500; tenure = None; seed = 0; domains = 1 }
 
-let search q ~rng ~iterations ~tenure =
+let search q ~rng ~iterations ~tenure ?stop () =
   let n = Qubo.num_vars q in
   let x = Bitvec.random rng n in
   let energy = ref (Qubo.energy q x) in
   let best = ref (Bitvec.copy x) in
   let best_energy = ref !energy in
+  let stopped () = match stop with Some f -> f () | None -> false in
   (* tabu_until.(i): first iteration at which flipping i is allowed again *)
   let tabu_until = Array.make n 0 in
-  for it = 0 to iterations - 1 do
+  (* Poll [stop] every 64 iterations: each iteration is already O(n), the
+     check just has to stay off the inner loop. *)
+  let cursor = ref 0 in
+  while !cursor < iterations && ((!cursor land 63) <> 0 || not (stopped ())) do
+    let it = !cursor in
     (* Best admissible move: most negative delta among non-tabu flips,
        or any tabu flip that would beat the incumbent (aspiration). *)
     let chosen = ref (-1) and chosen_delta = ref infinity in
@@ -43,11 +48,12 @@ let search q ~rng ~iterations ~tenure =
     if !energy < !best_energy then begin
       best_energy := !energy;
       best := Bitvec.copy x
-    end
+    end;
+    incr cursor
   done;
   !best
 
-let sample ?(params = default) q =
+let sample ?(params = default) ?stop ?on_read q =
   if params.restarts < 1 then invalid_arg "Tabu.sample: restarts < 1";
   if params.iterations < 1 then invalid_arg "Tabu.sample: iterations < 1";
   let n = Qubo.num_vars q in
@@ -60,10 +66,16 @@ let sample ?(params = default) q =
         t
       | None -> min ((n / 4) + 1) 20
     in
+    let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
-      let rng = Prng.create (params.seed lxor ((r + 1) * 0x9E3779B97F4A7C)) in
-      search q ~rng ~iterations:params.iterations ~tenure
+      if stopped () then None
+      else begin
+        let rng = Prng.stream ~seed:params.seed r in
+        let bits = search q ~rng ~iterations:params.iterations ~tenure ?stop () in
+        (match on_read with Some f -> f bits | None -> ());
+        Some bits
+      end
     in
     let samples = Parallel.init_array ~domains:params.domains params.restarts run in
-    Sampleset.of_bits q (Array.to_list samples)
+    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
   end

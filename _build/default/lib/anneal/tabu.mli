@@ -18,5 +18,13 @@ type params = {
 
 val default : params
 
-val sample : ?params:params -> Qsmt_qubo.Qubo.t -> Sampleset.t
-(** Returns the best assignment found by each restart. *)
+val sample :
+  ?params:params ->
+  ?stop:(unit -> bool) ->
+  ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
+(** Returns the best assignment found by each restart. [stop] and
+    [on_read] follow the cooperative cancellation contract documented at
+    {!Sa.sample} ([stop] is polled every 64 iterations inside a
+    restart). *)

@@ -1,1 +1,1 @@
-lib/smtlib/interp.ml: Ast Compile Dnf Eval Format List Option Parser Qsmt_anneal Qsmt_strtheory Result String Typecheck
+lib/smtlib/interp.ml: Ast Compile Dnf Eval Format List Option Parser Qsmt_strtheory Result String Typecheck

@@ -3,9 +3,16 @@ module Solver = Qsmt_strtheory.Solver
 
 let ( let* ) = Result.bind
 
+type solve_result = [ `Value of Eval.value | `Unsat | `Unknown ]
+
+type backend = {
+  backend_name : string;
+  solve_generate : Constr.t -> solve_result;
+  solve_joint : Constr.t list -> solve_result;
+}
+
 type state = {
-  params : Qsmt_strtheory.Params.t option;
-  sampler : Qsmt_anneal.Sampler.t;
+  backend : backend;
   mutable env : Typecheck.env;
   mutable assertions : Ast.term list; (* newest first *)
   mutable last_model : (string * Eval.value) list option;
@@ -13,13 +20,41 @@ type state = {
   mutable exited : bool;
 }
 
-let create ?params ?sampler () =
+let value_of_constr_value = function
+  | Constr.Str s -> Some (Eval.V_str s)
+  | Constr.Pos (Some i) -> Some (Eval.V_int i)
+  | Constr.Pos None -> None
+
+let annealing_backend ?params ?sampler () =
   let sampler =
     match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
   in
   {
-    params;
-    sampler;
+    backend_name = "annealing";
+    (* A sampler is incomplete: it can certify sat (the decode verifies)
+       but never unsat, so failure is always `Unknown. *)
+    solve_generate =
+      (fun constr ->
+        let outcome = Solver.solve ?params ~sampler constr in
+        match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
+        | true, Some v -> `Value v
+        | _, _ -> `Unknown);
+    solve_joint =
+      (fun conjuncts ->
+        match Qsmt_strtheory.Joint.solve ?params ~sampler conjuncts with
+        | Error _ -> `Unknown
+        | Ok outcome ->
+          if outcome.Qsmt_strtheory.Joint.satisfied then
+            `Value (Eval.V_str outcome.Qsmt_strtheory.Joint.value)
+          else `Unknown);
+  }
+
+let create ?params ?sampler ?backend () =
+  let backend =
+    match backend with Some b -> b | None -> annealing_backend ?params ?sampler ()
+  in
+  {
+    backend;
     env = Typecheck.empty_env;
     assertions = [];
     last_model = None;
@@ -51,13 +86,10 @@ let model_satisfies st model =
     (fun a -> match Eval.term ~model a with Ok (Eval.V_bool true) -> true | _ -> false)
     (List.rev st.assertions)
 
-let value_of_constr_value = function
-  | Constr.Str s -> Some (Eval.V_str s)
-  | Constr.Pos (Some i) -> Some (Eval.V_int i)
-  | Constr.Pos None -> None
-
 (* Attempt one conjunction of atoms (a DNF cube). `Unsat is only
-   reported when it is a classical proof; solver failure is `Unknown. *)
+   reported when it is a proof — trivially false, or a complete backend
+   (CDCL bit-blasting) refuting the cube; heuristic failure is
+   `Unknown. *)
 let attempt_cube st terms =
   match Compile.compile st.env terms with
   | Error _ -> `Unknown
@@ -71,18 +103,16 @@ let attempt_cube st terms =
       `Sat candidate
     else `Unknown
   | Ok (Compile.Generate_joint { var; conjuncts }) -> begin
-    match Qsmt_strtheory.Joint.solve ?params:st.params ~sampler:st.sampler conjuncts with
-    | Error _ -> `Unknown
-    | Ok outcome ->
-      if outcome.Qsmt_strtheory.Joint.satisfied then
-        `Sat (complete_model st [ (var, Eval.V_str outcome.Qsmt_strtheory.Joint.value) ])
-      else `Unknown
+    match st.backend.solve_joint conjuncts with
+    | `Value v -> `Sat (complete_model st [ (var, v) ])
+    | `Unsat -> `Unsat
+    | `Unknown -> `Unknown
   end
   | Ok (Compile.Generate { var; constr } | Compile.Locate { var; constr }) -> begin
-    let outcome = Solver.solve ?params:st.params ~sampler:st.sampler constr in
-    match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
-    | true, Some v -> `Sat (complete_model st [ (var, v) ])
-    | _, _ -> `Unknown
+    match st.backend.solve_generate constr with
+    | `Value v -> `Sat (complete_model st [ (var, v) ])
+    | `Unsat -> `Unsat
+    | `Unknown -> `Unknown
   end
 
 let check_sat st =
@@ -205,6 +235,6 @@ let run_script st commands =
   in
   go [] commands
 
-let run_string ?params ?sampler source =
+let run_string ?params ?sampler ?backend source =
   let* commands = Parser.parse_script source in
-  run_script (create ?params ?sampler ()) commands
+  run_script (create ?params ?sampler ?backend ()) commands

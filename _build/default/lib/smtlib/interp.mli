@@ -14,10 +14,37 @@
 
 type state
 
+type solve_result = [ `Value of Eval.value | `Unsat | `Unknown ]
+(** Verdict of a theory backend on one compiled problem. [`Unsat] must
+    only be returned when it is a proof (a complete solver refuted the
+    cube); heuristic failure is [`Unknown]. *)
+
+type backend = {
+  backend_name : string;
+  solve_generate : Qsmt_strtheory.Constr.t -> solve_result;
+      (** decide a single [Generate]/[Locate] constraint *)
+  solve_joint : Qsmt_strtheory.Constr.t list -> solve_result;
+      (** decide a conjunction of constraints on one string variable *)
+}
+(** Theory solver plugged under the boolean (DNF) layer. The default is
+    {!annealing_backend}; the CLI injects a classical CDCL bit-blasting
+    backend for [--sampler classical] — which is why this is a record
+    and not a hard dependency on either solver family. *)
+
+val annealing_backend :
+  ?params:Qsmt_strtheory.Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> unit -> backend
+(** QUBO compile + sampler backend. Never answers [`Unsat] (sampling is
+    incomplete). The sampler defaults to
+    {!Qsmt_strtheory.Solver.default_sampler} with seed 0. *)
+
 val create :
-  ?params:Qsmt_strtheory.Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> unit -> state
-(** The sampler defaults to {!Qsmt_strtheory.Solver.default_sampler}
-    with seed 0. *)
+  ?params:Qsmt_strtheory.Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  ?backend:backend ->
+  unit ->
+  state
+(** [backend] wins when given; otherwise [annealing_backend ?params
+    ?sampler ()]. *)
 
 val exec : state -> Ast.command -> (string list, string) result
 (** Output lines of one command. [Error] is a solver-level error
@@ -30,9 +57,11 @@ val run_script : state -> Ast.command list -> (string list, string) result
 val run_string :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?backend:backend ->
   string ->
   (string list, string) result
-(** Parse and run a whole script from source text. *)
+(** Parse and run a whole script from source text. Optional arguments as
+    in {!create}. *)
 
 val model : state -> (string * Eval.value) list option
 (** Model from the last [check-sat], if it answered [sat]. *)

@@ -1,1 +1,1 @@
-lib/strtheory/solver.ml: Compile Constr List Pipeline Qsmt_anneal Qsmt_qubo Unix
+lib/strtheory/solver.ml: Array Compile Constr List Pipeline Qsmt_anneal Qsmt_qubo Qsmt_util Unix

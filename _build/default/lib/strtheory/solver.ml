@@ -1,6 +1,7 @@
 module Sampleset = Qsmt_anneal.Sampleset
 module Sampler = Qsmt_anneal.Sampler
 module Sa = Qsmt_anneal.Sa
+module Parallel = Qsmt_util.Parallel
 
 type outcome = {
   constr : Constr.t;
@@ -38,7 +39,10 @@ let solve_timed ?params ?sampler constr =
   let t0 = now () in
   let qubo = Compile.to_qubo ?params constr in
   let t1 = now () in
-  let samples = Sampler.run sampler qubo in
+  (* The verifier lets portfolio samplers exit as soon as any read
+     decodes to a satisfying value; deterministic samplers ignore it. *)
+  let verify bits = Constr.verify constr (Compile.decode constr bits) in
+  let samples = Sampler.run ~verify sampler qubo in
   let t2 = now () in
   let value, satisfied, energy = pick_value constr samples in
   let t3 = now () in
@@ -47,22 +51,41 @@ let solve_timed ?params ?sampler constr =
 
 let solve ?params ?sampler constr = fst (solve_timed ?params ?sampler constr)
 
+let solve_batch ?params ?sampler ?(jobs = 0) constrs =
+  let jobs = if jobs > 0 then jobs else Parallel.recommended_domains () in
+  let constrs = Array.of_list constrs in
+  Array.to_list (Parallel.init_array ~domains:jobs (Array.length constrs) (fun i ->
+      solve_timed ?params ?sampler constrs.(i)))
+
+type pipeline_error = {
+  stage_index : int;
+  blocking_value : Constr.value;
+  completed : outcome list;
+}
+
 let solve_pipeline ?params ?sampler pipeline =
   let first = solve ?params ?sampler pipeline.Pipeline.initial in
-  let string_of_value = function
-    | Constr.Str s -> s
-    | Constr.Pos _ -> "" (* non-string value: stages degrade to empty input *)
+  (* Stages transform a string; a positional decode (only the initial
+     constraint can produce one, via Includes) has no string to feed
+     forward, so the run stops with a typed error instead of silently
+     degrading the input to "". *)
+  let rec go index input acc = function
+    | [] -> Ok (List.rev acc)
+    | stage :: rest ->
+      let constr = Pipeline.constraint_for stage ~input in
+      let outcome = solve ?params ?sampler constr in
+      let acc = outcome :: acc in
+      (match outcome.value with
+      | Constr.Str s -> go (index + 1) s acc rest
+      | Constr.Pos _ when rest = [] -> Ok (List.rev acc)
+      | Constr.Pos _ ->
+        Error { stage_index = index; blocking_value = outcome.value; completed = List.rev acc })
   in
-  let _, outcomes =
-    List.fold_left
-      (fun (input, acc) stage ->
-        let constr = Pipeline.constraint_for stage ~input in
-        let outcome = solve ?params ?sampler constr in
-        (string_of_value outcome.value, outcome :: acc))
-      (string_of_value first.value, [ first ])
-      pipeline.Pipeline.stages
-  in
-  List.rev outcomes
+  match first.value with
+  | Constr.Str s -> go 1 s [ first ] pipeline.Pipeline.stages
+  | Constr.Pos _ when pipeline.Pipeline.stages = [] -> Ok [ first ]
+  | Constr.Pos _ ->
+    Error { stage_index = 0; blocking_value = first.value; completed = [ first ] }
 
 let pipeline_output outcomes =
   match List.rev outcomes with

@@ -33,15 +33,48 @@ val solve : ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> ou
 
 val solve_timed :
   ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> outcome * stage_timing
-(** {!solve} plus per-stage wall-clock timing (the Figure 1 trace). *)
+(** {!solve} plus per-stage wall-clock timing (the Figure 1 trace).
+    Passes the constraint verifier down to the sampler so portfolio
+    samplers can early-exit on the first satisfying read. *)
+
+val solve_batch :
+  ?params:Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  ?jobs:int ->
+  Constr.t list ->
+  (outcome * stage_timing) list
+(** Solves many independent constraints concurrently over the shared
+    domain pool ([jobs <= 0], the default, means
+    {!Qsmt_util.Parallel.recommended_domains}). Results are in input
+    order, each with its own per-stage timings. Each solve is identical
+    to a standalone {!solve_timed} call, so batching never changes
+    results — only wall-clock. *)
+
+type pipeline_error = {
+  stage_index : int;
+      (** 0 = the initial constraint, [i > 0] = the [i]-th stage *)
+  blocking_value : Constr.value;  (** the non-string decode *)
+  completed : outcome list;
+      (** all outcomes solved before the run stopped, including the
+          blocking one (always non-empty, the blocker last) *)
+}
+(** A pipeline stage needs the previous decode as its input string; a
+    positional decode (from an [Includes] initial constraint) has no
+    string form, so the run stops rather than silently feeding [""]
+    forward — which is what earlier revisions did. *)
 
 val solve_pipeline :
-  ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Pipeline.t -> outcome list
+  ?params:Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  Pipeline.t ->
+  (outcome list, pipeline_error) result
 (** Runs the initial constraint, then each stage on the previous decoded
-    string (§4.12). Outcomes are returned in stage order. If a stage
-    decodes to a non-string value the remaining stages still run on the
-    best-effort decode; per-stage [satisfied] flags record where things
-    went wrong. *)
+    string (§4.12). [Ok outcomes] lists them in stage order; a stage that
+    merely fails to verify still yields its best-effort {e string} decode
+    to the next stage (the [satisfied] flags record where things went
+    wrong). [Error] is reserved for a non-string decode blocking a
+    downstream stage; a non-string decode of the {e final} constraint is
+    [Ok] (there is nothing downstream to block). *)
 
 val pipeline_output : outcome list -> string option
 (** Final decoded string of a pipeline run, [None] for an empty run or a

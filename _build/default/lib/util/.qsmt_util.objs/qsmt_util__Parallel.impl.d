@@ -1,1 +1,1 @@
-lib/util/parallel.ml: Array Domain List
+lib/util/parallel.ml: Array Atomic Condition Domain List Mutex Option Queue

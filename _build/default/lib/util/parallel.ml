@@ -12,27 +12,171 @@ let partition n d =
       let size = base + if k < extra then 1 else 0 in
       (lo, size))
 
+module Pool = struct
+  (* One long-lived domain per worker. A worker sleeps on its condition
+     variable until a job is assigned, runs it, clears the slot, signals
+     completion, and goes back to sleep — domains are spawned once per
+     pool, not once per call. Jobs handed to [assign] must not raise;
+     [run_list] wraps user jobs so exceptions travel back to the caller. *)
+  type worker = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable quit : bool;
+  }
+
+  type t = {
+    workers : worker array;
+    domains : unit Domain.t array;
+    free : int Queue.t; (* indices of idle workers *)
+    free_mutex : Mutex.t;
+    mutable alive : bool;
+  }
+
+  let rec worker_loop w =
+    Mutex.lock w.mutex;
+    while w.job = None && not w.quit do
+      Condition.wait w.cond w.mutex
+    done;
+    if w.quit then Mutex.unlock w.mutex
+    else begin
+      let job = Option.get w.job in
+      Mutex.unlock w.mutex;
+      job ();
+      Mutex.lock w.mutex;
+      w.job <- None;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex;
+      worker_loop w
+    end
+
+  let create n =
+    let n = max 0 n in
+    let workers =
+      Array.init n (fun _ ->
+          { mutex = Mutex.create (); cond = Condition.create (); job = None; quit = false })
+    in
+    let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+    let free = Queue.create () in
+    Array.iteri (fun i _ -> Queue.push i free) workers;
+    { workers; domains; free; free_mutex = Mutex.create (); alive = true }
+
+  let size t = Array.length t.workers
+
+  (* Grab up to [k] idle workers without blocking: callers always run part
+     of the work themselves, so finding fewer (or zero) free workers only
+     costs parallelism, never progress. This is also what makes nested
+     parallel calls safe — an inner call simply finds the pool busy and
+     degrades to sequential. *)
+  let try_acquire t k =
+    Mutex.lock t.free_mutex;
+    let rec take k acc =
+      if k = 0 || Queue.is_empty t.free then acc else take (k - 1) (Queue.pop t.free :: acc)
+    in
+    let ids = take (max 0 k) [] in
+    Mutex.unlock t.free_mutex;
+    ids
+
+  let release t id =
+    Mutex.lock t.free_mutex;
+    Queue.push id t.free;
+    Mutex.unlock t.free_mutex
+
+  let assign t id job =
+    let w = t.workers.(id) in
+    Mutex.lock w.mutex;
+    w.job <- Some job;
+    Condition.broadcast w.cond;
+    Mutex.unlock w.mutex
+
+  let wait t id =
+    let w = t.workers.(id) in
+    Mutex.lock w.mutex;
+    while w.job <> None do
+      Condition.wait w.cond w.mutex
+    done;
+    Mutex.unlock w.mutex
+
+  (* First exception wins; the remaining jobs still run (they may hold
+     partial results the caller owns). *)
+  let run_list t jobs =
+    match jobs with
+    | [] -> ()
+    | [ job ] -> job ()
+    | jobs ->
+      let jobs = Array.of_list jobs in
+      let n = Array.length jobs in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let drain () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try jobs.(i) ()
+             with e -> ignore (Atomic.compare_and_set error None (Some e)));
+            go ()
+          end
+        in
+        go ()
+      in
+      let ids = if t.alive then try_acquire t (n - 1) else [] in
+      List.iter (fun id -> assign t id drain) ids;
+      drain ();
+      List.iter
+        (fun id ->
+          wait t id;
+          release t id)
+        ids;
+      (match Atomic.get error with Some e -> raise e | None -> ())
+
+  let shutdown t =
+    if t.alive then begin
+      t.alive <- false;
+      Array.iter
+        (fun w ->
+          Mutex.lock w.mutex;
+          w.quit <- true;
+          Condition.broadcast w.cond;
+          Mutex.unlock w.mutex)
+        t.workers;
+      Array.iter Domain.join t.domains;
+      Mutex.lock t.free_mutex;
+      Queue.clear t.free;
+      Mutex.unlock t.free_mutex
+    end
+
+  (* The process-wide shared pool, sized so that the caller plus all
+     workers saturate the machine. Created on first parallel call and
+     never shut down (worker domains sleep between calls). *)
+  let shared = ref None
+  let shared_mutex = Mutex.create ()
+
+  let global () =
+    Mutex.lock shared_mutex;
+    let pool =
+      match !shared with
+      | Some pool -> pool
+      | None ->
+        let pool = create (recommended_domains () - 1) in
+        shared := Some pool;
+        pool
+    in
+    Mutex.unlock shared_mutex;
+    pool
+end
+
 let init_array ?(domains = 1) n f =
   if n = 0 then [||]
   else if domains <= 1 || n = 1 then Array.init n f
   else begin
     let results = Array.make n None in
-    let work (lo, size) =
+    let work (lo, size) () =
       for i = lo to lo + size - 1 do
         results.(i) <- Some (f i)
       done
     in
-    match partition n domains with
-    | [] -> [||]
-    | first :: rest ->
-      let handles = List.map (fun blk -> Domain.spawn (fun () -> work blk)) rest in
-      work first;
-      List.iter Domain.join handles;
-      Array.map
-        (function
-          | Some v -> v
-          | None -> assert false)
-        results
+    Pool.run_list (Pool.global ()) (List.map work (partition n domains));
+    Array.map (function Some v -> v | None -> assert false) results
   end
 
 let map_array ?(domains = 1) f a = init_array ~domains (Array.length a) (fun i -> f a.(i))

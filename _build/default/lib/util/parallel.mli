@@ -1,24 +1,67 @@
-(** Fork-join parallelism over OCaml 5 domains.
+(** Fork-join parallelism over a reusable pool of OCaml 5 domains.
 
     The annealers are embarrassingly parallel across reads: each read is an
     independent Markov chain with its own PRNG stream. This module provides
     the small fork-join helpers they need without pulling in domainslib
     (not available in the sealed container).
 
-    Domains are spawned per call; for the workloads here (reads that run
-    for milliseconds to seconds) spawn cost is negligible. Callers pass
-    [~domains:1] to run sequentially (the default), which is what tests use
-    for full determinism of shared-PRNG call sites. *)
+    Worker domains are spawned once into a process-wide {!Pool} and reused
+    across calls — earlier revisions spawned fresh domains per call, which
+    dominated wall-clock for short reads and made concurrent samplers
+    (the portfolio) oversubscribe the machine. Callers pass [~domains:1]
+    to run sequentially (the default), which is what tests use for full
+    determinism of shared-PRNG call sites. *)
 
 val recommended_domains : unit -> int
-(** Number of domains worth spawning on this machine:
+(** Number of domains worth using on this machine:
     [Domain.recommended_domain_count], capped at 16. *)
+
+val partition : int -> int -> (int * int) list
+(** [partition n d] splits [0, n) into at most [d] contiguous
+    [(offset, length)] blocks whose lengths differ by at most one.
+    Exposed for callers that schedule their own pool jobs. *)
+
+(** A persistent pool of worker domains.
+
+    Workers sleep between jobs; submitting work never spawns a domain.
+    Acquisition is non-blocking: a submission that finds every worker busy
+    simply runs on the calling domain, so nested parallel calls degrade to
+    sequential instead of deadlocking. *)
+module Pool : sig
+  type t
+
+  val create : int -> t
+  (** [create n] spawns a pool of [n] worker domains ([n = 0] is legal:
+      every job then runs on the caller). *)
+
+  val global : unit -> t
+  (** The process-wide shared pool, created on first use with
+      [recommended_domains () - 1] workers (the calling domain is the
+      remaining slot). Never shut down; idle workers sleep on a condition
+      variable and cost nothing between calls. *)
+
+  val size : t -> int
+  (** Number of worker domains in the pool. *)
+
+  val run_list : t -> (unit -> unit) list -> unit
+  (** [run_list pool jobs] runs every job to completion, distributing them
+      over idle workers plus the calling domain via a shared work index
+      (a fast job's worker steals the next pending job). Returns when all
+      jobs have finished. If any job raises, the first exception is
+      re-raised in the caller after the remaining jobs complete. *)
+
+  val shutdown : t -> unit
+  (** [shutdown pool] terminates and joins the worker domains. Only needed
+      for pools from {!create}; the {!global} pool lives for the process.
+      Subsequent [run_list] calls on a shut-down pool run sequentially. *)
+end
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ~domains f a] maps [f] over [a], splitting the work across
-    up to [domains] domains ([1] = sequential, the default). [f] must be
-    safe to run concurrently on distinct elements. Preserves order.
-    Exceptions raised by [f] are re-raised in the caller. *)
+    up to [domains] blocks scheduled on the shared pool ([1] = sequential,
+    the default). [f] must be safe to run concurrently on distinct
+    elements. Preserves order. Exceptions raised by [f] are re-raised in
+    the caller. *)
 
 val init_array : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [init_array ~domains n f] is [Array.init n f] with the same parallel

@@ -7,6 +7,8 @@
   $ ../../bin/qsmt.exe export includes ab a --format dimacs
   $ echo '(declare-const x String)(assert (= x "ok"))(check-sat)(get-value (x))' | ../../bin/qsmt.exe run -
   $ echo '(declare-const x String)(assert (= x "a"))(assert (= x "b"))(check-sat)' | ../../bin/qsmt.exe run -
+  $ ../../bin/qsmt.exe gen reverse hello --sampler portfolio --seed 1 --jobs 2 | grep -v timing
+  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)(get-model)' | ../../bin/qsmt.exe run - --sampler classical
   $ ../../bin/qsmt.exe gen includes aaaa xyz --sampler classical
   $ ../../bin/qsmt.exe gen contains 2 cat 2>&1
   $ ../../bin/qsmt.exe gen frobnicate x 2>&1 | head -1

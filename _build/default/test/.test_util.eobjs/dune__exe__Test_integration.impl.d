@@ -1,1 +1,1 @@
-test/test_integration.ml: Alcotest List Printf Qsmt_anneal Qsmt_classical Qsmt_qubo Qsmt_regex Qsmt_smtlib Qsmt_strtheory Qsmt_util String
+test/test_integration.ml: Alcotest List Printf Qsmt_anneal Qsmt_classical Qsmt_qubo Qsmt_regex Qsmt_smtlib Qsmt_strtheory Qsmt_util Result String

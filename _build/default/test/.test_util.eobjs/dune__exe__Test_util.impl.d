@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Char List QCheck2 QCheck_alcotest Qsmt_util String
+test/test_util.ml: Alcotest Array Atomic Char Fun List Printf QCheck2 QCheck_alcotest Qsmt_util String

@@ -60,6 +60,23 @@ SMT-LIB scripts from stdin:
   $ echo '(declare-const x String)(assert (= x "a"))(assert (= x "b"))(check-sat)' | ../../bin/qsmt.exe run -
   unsat
 
+Portfolio sampler (races sa/sqa/pt/tabu/greedy; the first verified read
+wins and cancels the rest, so only the stable lines are compared):
+
+  $ ../../bin/qsmt.exe gen reverse hello --sampler portfolio --seed 1 --jobs 2 | grep -v timing
+  constraint: reverse "hello"
+  qubo      : qubo(vars=35, interactions=0, offset=21)
+  result    : "olleh" (energy 0, verified)
+
+SMT-LIB runs with --sampler classical go through CDCL bit-blasting (an
+earlier revision silently fell back to the exact enumerator here):
+
+  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)(get-model)' | ../../bin/qsmt.exe run - --sampler classical
+  sat
+  (
+    (define-fun x () String "cat")
+  )
+
 Classical backend proves unsat:
 
   $ ../../bin/qsmt.exe gen includes aaaa xyz --sampler classical

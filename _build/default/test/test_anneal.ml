@@ -22,6 +22,7 @@ module Chain = Qsmt_anneal.Chain
 module Hardware = Qsmt_anneal.Hardware
 module Metrics = Qsmt_anneal.Metrics
 module Spinglass = Qsmt_anneal.Spinglass
+module Portfolio = Qsmt_anneal.Portfolio
 module Convergence = Qsmt_anneal.Convergence
 
 let check = Alcotest.check
@@ -339,6 +340,92 @@ let test_sampler_custom () =
   check (Alcotest.float 0.) "custom runs" (-2.) (Sampleset.lowest_energy (Sampler.run oracle q));
   (* with_seed leaves custom samplers alone *)
   check Alcotest.string "name preserved" "oracle" (Sampler.name (Sampler.with_seed oracle 9))
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio *)
+
+let same_sampleset a b =
+  Sampleset.size a = Sampleset.size b
+  && List.for_all2
+       (fun x y ->
+         Bitvec.equal x.Sampleset.bits y.Sampleset.bits
+         && x.Sampleset.occurrences = y.Sampleset.occurrences
+         && x.Sampleset.energy = y.Sampleset.energy)
+       (Sampleset.entries a) (Sampleset.entries b)
+
+let test_portfolio_deterministic_across_jobs () =
+  (* Without verify or budget, the merged set is a pure function of the
+     members — the jobs count only changes the execution shape. *)
+  let q = target_qubo "1011010" in
+  let members = Portfolio.default_members ~seed:3 in
+  let run jobs =
+    (Portfolio.run ~params:{ Portfolio.members; jobs; budget = None } q).Portfolio.merged
+  in
+  check Alcotest.bool "jobs=1 equals jobs=4" true (same_sampleset (run 1) (run 4))
+
+let test_portfolio_early_exit_wins () =
+  let target = "110100" in
+  let q = target_qubo target in
+  let verify bits = Bitvec.to_string bits = target in
+  let r =
+    Portfolio.run
+      ~params:{ Portfolio.members = Portfolio.default_members ~seed:5; jobs = 2; budget = None }
+      ~verify q
+  in
+  (match r.Portfolio.winner with
+  | None -> Alcotest.fail "no winner on an easy instance"
+  | Some (name, bits) ->
+    check Alcotest.bool "winner is a member" true
+      (List.mem name [ "sa"; "sqa"; "pt"; "tabu"; "greedy" ]);
+    check Alcotest.string "winner bits verify" target (Bitvec.to_string bits);
+    (* the winning read must survive into the merged set *)
+    check Alcotest.bool "merged contains winner" true
+      (List.exists
+         (fun e -> Bitvec.equal e.Sampleset.bits bits)
+         (Sampleset.entries r.Portfolio.merged)));
+  check Alcotest.int "one report per member" 5 (List.length r.Portfolio.reports);
+  check Alcotest.bool "losers were cancelled" true
+    (List.exists (fun rep -> rep.Portfolio.cancelled) r.Portfolio.reports);
+  check Alcotest.bool "no member failed" true
+    (List.for_all (fun rep -> rep.Portfolio.failed = None) r.Portfolio.reports)
+
+let test_portfolio_budget_cuts_slow_member () =
+  (* Exhaustive enumeration of 2^26 states takes far longer than the
+     budget; the deadline must cancel it at a poll point. *)
+  let q = target_qubo "10110100101101001011010010" in
+  let r =
+    Portfolio.run
+      ~params:{ Portfolio.members = [ Portfolio.M_exact None ]; jobs = 1; budget = Some 0.05 }
+      q
+  in
+  match r.Portfolio.reports with
+  | [ rep ] ->
+    check Alcotest.string "exact member" "exact" rep.Portfolio.member_name;
+    check Alcotest.bool "cancelled by budget" true rep.Portfolio.cancelled;
+    check Alcotest.bool "stopped well before full enumeration" true (rep.Portfolio.elapsed < 5.)
+  | reps -> Alcotest.failf "expected 1 report, got %d" (List.length reps)
+
+let test_portfolio_validation () =
+  let q = target_qubo "1" in
+  Alcotest.check_raises "no members" (Invalid_argument "Portfolio.run: no members") (fun () ->
+      ignore (Portfolio.run ~params:{ Portfolio.members = []; jobs = 1; budget = None } q));
+  Alcotest.check_raises "bad budget" (Invalid_argument "Portfolio.run: budget <= 0") (fun () ->
+      ignore
+        (Portfolio.run
+           ~params:
+             { Portfolio.members = Portfolio.default_members ~seed:0; jobs = 1; budget = Some 0. }
+           q))
+
+let test_portfolio_sampler_integration () =
+  let q = target_qubo "1101" in
+  let s = Sampler.portfolio () in
+  check Alcotest.string "name" "portfolio" (Sampler.name s);
+  check (Alcotest.float 0.) "finds ground state" (-3.)
+    (Sampleset.lowest_energy (Sampler.run s q));
+  (* with_seed reseeds every member, and the reseeded portfolio still
+     solves *)
+  let s9 = Sampler.with_seed s 9 in
+  check (Alcotest.float 0.) "reseeded solves" (-3.) (Sampleset.lowest_energy (Sampler.run s9 q))
 
 (* ------------------------------------------------------------------ *)
 (* Topology *)
@@ -832,6 +919,16 @@ let () =
           Alcotest.test_case "interface" `Quick test_sampler_interface;
           Alcotest.test_case "with_seed" `Quick test_sampler_with_seed;
           Alcotest.test_case "custom" `Quick test_sampler_custom;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_portfolio_deterministic_across_jobs;
+          Alcotest.test_case "early exit wins" `Quick test_portfolio_early_exit_wins;
+          Alcotest.test_case "budget cuts slow member" `Quick
+            test_portfolio_budget_cuts_slow_member;
+          Alcotest.test_case "validation" `Quick test_portfolio_validation;
+          Alcotest.test_case "sampler integration" `Quick test_portfolio_sampler_integration;
         ] );
       ( "edge-cases",
         [

@@ -274,7 +274,9 @@ let test_pipeline_annealer_matches_classical () =
         [ Pipeline.Replace_all { find = 'u'; replace = 'o' }; Pipeline.Reverse ]
     }
   in
-  let annealed = Solver.pipeline_output (Solver.solve_pipeline ~sampler p) in
+  let annealed =
+    Solver.pipeline_output (Result.get_ok (Solver.solve_pipeline ~sampler p))
+  in
   let classical =
     match List.rev (Strsolver.solve_pipeline p) with
     | last :: _ -> (match last.Strsolver.value with Some (Constr.Str s) -> Some s | _ -> None)

@@ -38,6 +38,14 @@ let qtest ?(count = 100) name gen prop =
 
 let sampler = Solver.default_sampler ~seed:0
 
+(* The pipelines below are all string-valued, so an [Error] (positional
+   decode blocking a stage) would be a solver bug. *)
+let solve_pipeline_ok ?sampler p =
+  match Solver.solve_pipeline ?sampler p with
+  | Ok outcomes -> outcomes
+  | Error { Solver.stage_index; _ } ->
+    Alcotest.failf "pipeline unexpectedly blocked at stage %d" stage_index
+
 (* Decode the unique/first exact ground state of a constraint's QUBO.
    Only usable when num_vars <= Exact.max_vars. *)
 let exact_ground constr =
@@ -459,7 +467,7 @@ let test_pipeline_reverse_then_replace () =
   in
   check (Alcotest.option Alcotest.string) "expected output" (Some "ollah")
     (Pipeline.expected_output p);
-  let outcomes = Solver.solve_pipeline ~sampler p in
+  let outcomes = solve_pipeline_ok ~sampler p in
   check Alcotest.int "two stages" 2 (List.length outcomes);
   List.iter (fun o -> check Alcotest.bool "stage satisfied" true o.Solver.satisfied) outcomes;
   check (Alcotest.option Alcotest.string) "final output" (Some "ollah")
@@ -474,7 +482,7 @@ let test_pipeline_concat_then_replace_all () =
   in
   check (Alcotest.option Alcotest.string) "expected" (Some "hexxo worxd")
     (Pipeline.expected_output p);
-  let outcomes = Solver.solve_pipeline ~sampler p in
+  let outcomes = solve_pipeline_ok ~sampler p in
   check (Alcotest.option Alcotest.string) "final" (Some "hexxo worxd")
     (Solver.pipeline_output outcomes)
 
@@ -489,9 +497,59 @@ let test_pipeline_append_prepend () =
       Pipeline.stages = [ Pipeline.Prepend "a"; Pipeline.Append "c" ] }
   in
   check (Alcotest.option Alcotest.string) "abc" (Some "abc") (Pipeline.expected_output p);
-  let outcomes = Solver.solve_pipeline ~sampler p in
+  let outcomes = solve_pipeline_ok ~sampler p in
   check (Alcotest.option Alcotest.string) "solved abc" (Some "abc")
     (Solver.pipeline_output outcomes)
+
+let test_pipeline_positional_decode_blocks () =
+  (* An [Includes] initial constraint decodes to a position, which has no
+     string form to feed the downstream stage. Earlier revisions fed ""
+     forward silently; now this is a typed error naming the stage. *)
+  let p =
+    { Pipeline.initial = Constr.Includes { haystack = "hello world"; needle = "world" };
+      Pipeline.stages = [ Pipeline.Reverse ] }
+  in
+  match Solver.solve_pipeline ~sampler p with
+  | Ok _ -> Alcotest.fail "positional pipeline should not succeed"
+  | Error { Solver.stage_index; blocking_value; completed } ->
+    check Alcotest.int "blocked at the initial constraint" 0 stage_index;
+    (match blocking_value with
+    | Constr.Pos (Some 6) -> ()
+    | v -> Alcotest.failf "unexpected blocking value: %a" Constr.pp_value v);
+    check Alcotest.int "the blocking outcome is reported" 1 (List.length completed)
+
+let test_pipeline_positional_final_stage_ok () =
+  (* A positional decode is only an error when something comes *after*
+     it; as the last (only) constraint it is a normal outcome. *)
+  let p =
+    { Pipeline.initial = Constr.Includes { haystack = "hello world"; needle = "world" };
+      Pipeline.stages = [] }
+  in
+  match Solver.solve_pipeline ~sampler p with
+  | Error _ -> Alcotest.fail "trailing positional decode must be Ok"
+  | Ok [ outcome ] ->
+    check Alcotest.bool "satisfied" true outcome.Solver.satisfied
+  | Ok outcomes -> Alcotest.failf "expected 1 outcome, got %d" (List.length outcomes)
+
+let test_solve_batch_matches_individual () =
+  let constrs =
+    [ Constr.Reverse "hi"; Constr.Equals "ab"; Constr.Concat [ "a"; "b" ]; Constr.Reverse "abc" ]
+  in
+  let individual = List.map (fun c -> Solver.solve ~sampler c) constrs in
+  List.iter
+    (fun jobs ->
+      let batched = Solver.solve_batch ~sampler ~jobs constrs in
+      check Alcotest.int "one result per constraint" (List.length constrs) (List.length batched);
+      List.iter2
+        (fun solo (outcome, timing) ->
+          check Alcotest.string "same value"
+            (Format.asprintf "%a" Constr.pp_value solo.Solver.value)
+            (Format.asprintf "%a" Constr.pp_value outcome.Solver.value);
+          check Alcotest.bool "same satisfied" solo.Solver.satisfied outcome.Solver.satisfied;
+          check (Alcotest.float 0.) "same energy" solo.Solver.energy outcome.Solver.energy;
+          check Alcotest.bool "sample timing recorded" true (timing.Solver.sample_s >= 0.))
+        individual batched)
+    [ 1; 4 ]
 
 let test_pipeline_describe () =
   let p =
@@ -853,6 +911,7 @@ let () =
             test_solver_prefers_satisfying_sample;
           Alcotest.test_case "reports unsatisfied" `Quick test_solver_reports_unsatisfied;
           Alcotest.test_case "timing" `Quick test_solver_timing_nonnegative;
+          Alcotest.test_case "batch matches individual" `Quick test_solve_batch_matches_individual;
         ] );
       ( "pipeline",
         [
@@ -863,6 +922,10 @@ let () =
           Alcotest.test_case "generative has no expectation" `Quick
             test_pipeline_generative_no_expected;
           Alcotest.test_case "append/prepend" `Quick test_pipeline_append_prepend;
+          Alcotest.test_case "positional decode blocks" `Quick
+            test_pipeline_positional_decode_blocks;
+          Alcotest.test_case "trailing positional is ok" `Quick
+            test_pipeline_positional_final_stage_ok;
           Alcotest.test_case "describe" `Quick test_pipeline_describe;
         ] );
     ]

@@ -108,6 +108,62 @@ let test_prng_printable () =
   let lower = Prng.string_lowercase rng 1000 in
   String.iter (fun c -> if c < 'a' || c > 'z' then Alcotest.failf "not lowercase %C" c) lower
 
+(* Regression for the rejection-sampling bug: the threshold used to be
+   compared against [Int64.max_int] while the draw only has 62 bits, so
+   rejection never fired. A chi-square test over a non-power-of-two
+   bound is the statistical witness that the fixed path stays uniform. *)
+let test_prng_int_chi_square () =
+  let bound = 37 in
+  let draws = 74_000 in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create seed in
+      let counts = Array.make bound 0 in
+      for _ = 1 to draws do
+        let v = Prng.int rng bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. ((d *. d) /. expected))
+          0. counts
+      in
+      (* 99.9th percentile of chi-square with 36 degrees of freedom. The
+         draws are deterministic per seed, so this cannot flake. *)
+      if chi2 > 67.99 then Alcotest.failf "seed %d: chi-square %.2f too high" seed chi2)
+    [ 5; 19; 101 ]
+
+let test_prng_int_large_bound () =
+  (* A bound of 3 * 2^60 rejects ~1/4 of raw draws, so the rejection
+     loop actually executes; results must still land in range. *)
+  let bound = 3 * (1 lsl 60) in
+  let rng = Prng.create 23 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int rng bound in
+    if v < 0 || v >= bound then Alcotest.failf "Prng.int out of range: %d" v
+  done
+
+let test_prng_stream_deterministic () =
+  let a = Prng.stream ~seed:42 3 and b = Prng.stream ~seed:42 3 in
+  for _ = 1 to 64 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_stream_decorrelated () =
+  let streams = Array.init 8 (fun k -> Prng.stream ~seed:7 k) in
+  let firsts = Array.map Prng.bits64 streams in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y -> if i < j && x = y then Alcotest.failf "streams %d and %d collide" i j)
+        firsts)
+    firsts;
+  Alcotest.check_raises "negative index" (Invalid_argument "Prng.stream: negative stream index")
+    (fun () -> ignore (Prng.stream ~seed:0 (-1)))
+
 (* ------------------------------------------------------------------ *)
 (* Bitvec *)
 
@@ -277,6 +333,71 @@ let test_parallel_exception_propagates () =
 let test_recommended_domains_positive () =
   check Alcotest.bool "at least 1" true (Parallel.recommended_domains () >= 1)
 
+let test_partition_covers () =
+  List.iter
+    (fun (n, d) ->
+      let chunks = Parallel.partition n d in
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 chunks in
+      check Alcotest.int (Printf.sprintf "partition %d/%d total" n d) n total;
+      ignore
+        (List.fold_left
+           (fun expected_start (start, len) ->
+             check Alcotest.int "contiguous" expected_start start;
+             check Alcotest.bool "nonempty chunk" true (len > 0);
+             start + len)
+           0 chunks))
+    [ (10, 3); (3, 10); (1, 1); (100, 7) ]
+
+let test_pool_runs_all_jobs () =
+  let pool = Parallel.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      check Alcotest.int "size" 2 (Parallel.Pool.size pool);
+      let hits = Array.make 50 0 in
+      Parallel.Pool.run_list pool
+        (List.init 50 (fun i () -> hits.(i) <- hits.(i) + 1));
+      check (Alcotest.array Alcotest.int) "each job ran exactly once" (Array.make 50 1) hits;
+      (* the pool is reusable: a second batch on the same workers *)
+      let sum = Atomic.make 0 in
+      Parallel.Pool.run_list pool
+        (List.init 10 (fun i () -> ignore (Atomic.fetch_and_add sum i)));
+      check Alcotest.int "second batch" 45 (Atomic.get sum))
+
+let test_pool_reraises_job_exception () =
+  let pool = Parallel.Pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      check Alcotest.bool "raises" true
+        (try
+           Parallel.Pool.run_list pool [ (fun () -> ()); (fun () -> failwith "boom") ];
+           false
+         with Failure msg -> msg = "boom"))
+
+let test_pool_zero_workers_degrades () =
+  (* A 0-worker pool (single-core hosts) runs everything on the caller. *)
+  let pool = Parallel.Pool.create 0 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      Parallel.Pool.run_list pool (List.init 5 (fun _ () -> Atomic.incr hits));
+      check Alcotest.int "all jobs ran inline" 5 (Atomic.get hits))
+
+let test_pool_nested_run_list () =
+  (* Nested use must not deadlock: an inner run_list issued from inside a
+     pool job finds the workers busy and degrades to the calling thread. *)
+  let pool = Parallel.Pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      Parallel.Pool.run_list pool
+        (List.init 3 (fun _ () ->
+             Parallel.Pool.run_list pool (List.init 4 (fun _ () -> Atomic.incr hits))));
+      check Alcotest.int "inner jobs all ran" 12 (Atomic.get hits))
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -343,6 +464,10 @@ let () =
           Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "choose" `Quick test_prng_choose;
           Alcotest.test_case "printable strings" `Quick test_prng_printable;
+          Alcotest.test_case "chi-square non-power-of-two bound" `Quick test_prng_int_chi_square;
+          Alcotest.test_case "large bound rejection" `Quick test_prng_int_large_bound;
+          Alcotest.test_case "stream deterministic" `Quick test_prng_stream_deterministic;
+          Alcotest.test_case "stream decorrelated" `Quick test_prng_stream_decorrelated;
         ] );
       ( "bitvec",
         [
@@ -377,6 +502,11 @@ let () =
           Alcotest.test_case "reduce" `Quick test_parallel_reduce;
           Alcotest.test_case "exceptions propagate" `Quick test_parallel_exception_propagates;
           Alcotest.test_case "recommended domains" `Quick test_recommended_domains_positive;
+          Alcotest.test_case "partition covers range" `Quick test_partition_covers;
+          Alcotest.test_case "pool runs all jobs" `Quick test_pool_runs_all_jobs;
+          Alcotest.test_case "pool re-raises exceptions" `Quick test_pool_reraises_job_exception;
+          Alcotest.test_case "pool with zero workers" `Quick test_pool_zero_workers_degrades;
+          Alcotest.test_case "pool nested run_list" `Quick test_pool_nested_run_list;
         ] );
       ( "stats",
         [

@@ -8,10 +8,13 @@
 val max_vars : int
 (** Hard cap (30) on the variable count {!solve} accepts. *)
 
-val solve : ?keep:int -> Qsmt_qubo.Qubo.t -> Sampleset.t
+val solve : ?keep:int -> ?stop:(unit -> bool) -> Qsmt_qubo.Qubo.t -> Sampleset.t
 (** [solve ~keep q] enumerates every assignment and returns the [keep]
     (default 16) lowest-energy ones as a sample set (ties beyond [keep]
-    are dropped deterministically by assignment order).
+    are dropped deterministically by assignment order). [stop] is polled
+    every 4096 visited states; once it returns [true] the enumeration is
+    abandoned and the best states seen so far are returned (the result is
+    then no longer guaranteed to contain the ground state).
     @raise Invalid_argument if [num_vars q > max_vars]. *)
 
 val ground_states : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t list * float

@@ -21,6 +21,20 @@ let of_splitmix state =
   { s0; s1; s2; s3 }
 
 let create seed = of_splitmix (ref (Int64.of_int seed))
+
+(* Weyl-sequence stream derivation: the full 64-bit golden-ratio constant
+   (2^64/phi). The multiply must happen in Int64 — the constant does not
+   fit in OCaml's 63-bit native int, and truncating it (as earlier code
+   did) measurably correlates adjacent streams. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let stream ~seed k =
+  if k < 0 then invalid_arg "Prng.stream: negative stream index";
+  let mixed =
+    Int64.logxor (Int64.of_int seed) (Int64.mul (Int64.of_int (k + 1)) golden_gamma)
+  in
+  of_splitmix (ref mixed)
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let rotl x k =
@@ -44,13 +58,19 @@ let split t =
 
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
-  (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)
+  (* Rejection sampling over the 62-bit draw domain keeps the result
+     unbiased: draws at or above the largest multiple of [bound] that fits
+     in 2^62 are rejected. (The threshold must be computed against 2^62,
+     not [Int64.max_int]: [r] only has 62 bits, so a 63-bit threshold can
+     never fire and the modulo bias sneaks back in.) Since OCaml ints are
+     63-bit, [bound <= 2^62 - 1 < domain] always holds and [limit] is
+     positive. *)
   let bound = Int64.of_int n in
+  let domain = Int64.shift_left 1L 62 in
+  let limit = Int64.sub domain (Int64.rem domain bound) in
   let rec loop () =
     let r = Int64.shift_right_logical (bits64 t) 2 in
-    let v = Int64.rem r bound in
-    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then loop ()
-    else Int64.to_int v
+    if r >= limit then loop () else Int64.to_int (Int64.rem r bound)
   in
   loop ()
 

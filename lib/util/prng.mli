@@ -25,6 +25,18 @@ val split : t -> t
     statistically independent from the remainder of [t]'s stream. Used to
     derive per-read / per-domain streams from one master seed. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed k] is the [k]-th derived generator of master [seed]
+    ([k >= 0]): the seed is xored with [(k + 1)] times the full 64-bit
+    golden-ratio constant [0x9E3779B97F4A7C15] before SplitMix64
+    expansion, decorrelating consecutive stream indices even for adjacent
+    seeds. This is the one sanctioned way to give each annealing read /
+    portfolio member its own independent stream — do not hand-roll the
+    mixing constant at call sites. Deterministic: equal [(seed, k)] yield
+    equal streams, and [stream] does not consume randomness from any
+    other generator.
+    @raise Invalid_argument if [k < 0]. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 
