@@ -28,7 +28,7 @@ let sa_trajectory ?(reads = 16) ?(sweeps = 500) ?(seed = 0) q =
       sum_best.(sweep) <- sum_best.(sweep) +. !best;
       sum_current.(sweep) <- sum_current.(sweep) +. energy
     in
-    ignore (Sa.anneal_ising ~rng ~schedule ~on_sweep ising);
+    let (_ : Qsmt_util.Bitvec.t * float) = Sa.anneal_ising ~rng ~schedule ~on_sweep ising in
     if !best < !final_best then final_best := !best
   done;
   let scale = 1. /. float_of_int reads in

@@ -2,47 +2,57 @@ module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+module Fields = Qsmt_qubo.Fields
 
 type params = { restarts : int; seed : int; domains : int }
 
 let default = { restarts = 32; seed = 0; domains = 1 }
 
-let descend q x =
-  let n = Qubo.num_vars q in
-  let x = Bitvec.copy x in
+(* Steepest descent over cached deltas: each round scans n O(1) deltas and
+   pays one O(degree) update for the accepted flip. *)
+let descend_fields fields =
+  let n = Fields.num_spins fields in
   let improved = ref true in
   while !improved do
     improved := false;
     let best_i = ref (-1) and best_delta = ref (-1e-12) in
     for i = 0 to n - 1 do
-      let d = Qubo.flip_delta q x i in
+      let d = Fields.delta fields i in
       if d < !best_delta then begin
         best_delta := d;
         best_i := i
       end
     done;
     if !best_i >= 0 then begin
-      Bitvec.flip x !best_i;
+      Fields.flip fields !best_i;
       improved := true
     end
-  done;
-  x
+  done
+
+let descend q x =
+  let fields = Fields.create (Ising.of_qubo q) (Bitvec.copy x) in
+  descend_fields fields;
+  Fields.spins fields
 
 let sample ?(params = default) ?stop ?on_read q =
   if params.restarts < 1 then invalid_arg "Greedy.sample: restarts < 1";
   let n = Qubo.num_vars q in
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
+    let ising = Ising.of_qubo q in
     let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let bits = descend q (Bitvec.random rng n) in
+        let fields = Fields.create ising (Bitvec.random rng n) in
+        descend_fields fields;
+        let bits = Fields.spins fields in
         (match on_read with Some f -> f bits | None -> ());
-        Some bits
+        Some (bits, Fields.energy fields)
       end
     in
     let samples = Parallel.init_array ~domains:params.domains params.restarts run in
-    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
+    Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

@@ -3,6 +3,7 @@ module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
+module Fields = Qsmt_qubo.Fields
 
 type params = {
   reads : int;
@@ -30,15 +31,16 @@ let run_read ~ising ~params ~betas ?stop rng =
   let n = Ising.num_spins ising in
   let k = Array.length betas in
   (* replica r runs at betas.(r); we swap configurations, not
-     temperatures, so the arrays stay temperature-indexed *)
-  let spins = Array.init k (fun _ -> Bitvec.random rng n) in
-  let energy = Array.map (Ising.energy ising) spins in
-  let best = ref (Bitvec.copy spins.(k - 1)) in
-  let best_e = ref energy.(k - 1) in
+     temperatures, so the array stays temperature-indexed. Each replica
+     owns an incremental Fields state, so a temperature swap is a handle
+     exchange — no energy or field recomputation. *)
+  let replicas = Array.init k (fun _ -> Fields.create ising (Bitvec.random rng n)) in
+  let best = ref (Bitvec.copy (Fields.spins replicas.(k - 1))) in
+  let best_e = ref (Fields.energy replicas.(k - 1)) in
   let note_best r =
-    if energy.(r) < !best_e then begin
-      best_e := energy.(r);
-      best := Bitvec.copy spins.(r)
+    if Fields.energy replicas.(r) < !best_e then begin
+      best_e := Fields.energy replicas.(r);
+      best := Bitvec.copy (Fields.spins replicas.(r))
     end
   in
   let sweep = ref 0 in
@@ -47,13 +49,10 @@ let run_read ~ising ~params ~betas ?stop rng =
     let sweep = !sweep in
     for r = 0 to k - 1 do
       let beta = betas.(r) in
-      let s = spins.(r) in
+      let f = replicas.(r) in
       for i = 0 to n - 1 do
-        let delta = Ising.flip_delta ising s i in
-        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
-          Bitvec.flip s i;
-          energy.(r) <- energy.(r) +. delta
-        end
+        let delta = Fields.delta f i in
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Fields.flip f i
       done;
       note_best r
     done;
@@ -63,19 +62,18 @@ let run_read ~ising ~params ~betas ?stop rng =
       let r = ref parity in
       while !r + 1 < k do
         let a = !r and b = !r + 1 in
-        let log_ratio = (betas.(a) -. betas.(b)) *. (energy.(a) -. energy.(b)) in
+        let log_ratio =
+          (betas.(a) -. betas.(b)) *. (Fields.energy replicas.(a) -. Fields.energy replicas.(b))
+        in
         if log_ratio >= 0. || Prng.float rng < Float.exp log_ratio then begin
-          let tmp = spins.(a) in
-          spins.(a) <- spins.(b);
-          spins.(b) <- tmp;
-          let te = energy.(a) in
-          energy.(a) <- energy.(b);
-          energy.(b) <- te
+          let tmp = replicas.(a) in
+          replicas.(a) <- replicas.(b);
+          replicas.(b) <- tmp
         end;
         r := !r + 2
       done
   done;
-  !best
+  (!best, !best_e)
 
 let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Pt.sample: reads < 1";
@@ -101,11 +99,11 @@ let sample ?(params = default) ?stop ?on_read q =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let bits = run_read ~ising ~params ~betas ?stop rng in
+        let ((bits, _) as sample) = run_read ~ising ~params ~betas ?stop rng in
         (match on_read with Some f -> f bits | None -> ());
-        Some bits
+        Some sample
       end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run in
-    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
+    Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

@@ -3,6 +3,7 @@ module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
+module Fields = Qsmt_qubo.Fields
 
 type params = {
   reads : int;
@@ -17,49 +18,51 @@ let default = { reads = 32; sweeps = 1000; schedule = None; seed = 0; domains = 
 
 let read_rng ~seed r = Prng.stream ~seed r
 
-let anneal_ising ~rng ~schedule ?init ?on_sweep ?stop ising =
-  let n = Ising.num_spins ising in
-  let spins = match init with Some s -> Bitvec.copy s | None -> Bitvec.random rng n in
-  let energy = ref (match on_sweep with Some _ -> Ising.energy ising spins | None -> 0.) in
+(* The Metropolis loop over an already-built incremental state: O(1) per
+   proposal, O(degree) per accepted flip. *)
+let anneal_fields ~rng ~schedule ?on_sweep ?stop fields =
+  let n = Fields.num_spins fields in
   let stopped () = match stop with Some f -> f () | None -> false in
   let k = ref 0 in
   let sweeps = Schedule.sweeps schedule in
   while !k < sweeps && not (stopped ()) do
     let beta = Schedule.beta schedule !k in
     for i = 0 to n - 1 do
-      let delta = Ising.flip_delta ising spins i in
-      if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
-        Bitvec.flip spins i;
-        if on_sweep <> None then energy := !energy +. delta
-      end
+      let delta = Fields.delta fields i in
+      if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Fields.flip fields i
     done;
-    (match on_sweep with Some f -> f ~sweep:!k ~energy:!energy | None -> ());
+    (match on_sweep with Some f -> f ~sweep:!k ~energy:(Fields.energy fields) | None -> ());
     incr k
-  done;
-  spins
+  done
 
-let descend ising spins =
-  (* Steepest descent: repeatedly flip the spin with the most negative
-     delta until no flip improves. Terminates because energy strictly
-     decreases. *)
+let anneal_ising ~rng ~schedule ?init ?on_sweep ?stop ising =
   let n = Ising.num_spins ising in
+  let spins = match init with Some s -> Bitvec.copy s | None -> Bitvec.random rng n in
+  let fields = Fields.create ising spins in
+  anneal_fields ~rng ~schedule ?on_sweep ?stop fields;
+  (spins, Fields.energy fields)
+
+let descend_fields fields =
+  (* Steepest descent over cached deltas: picking the best move is an
+     O(n) scan of O(1) reads instead of n adjacency-row rescans.
+     Terminates because energy strictly decreases. *)
+  let n = Fields.num_spins fields in
   let improved = ref true in
   while !improved do
     improved := false;
     let best_i = ref (-1) and best_delta = ref 0. in
     for i = 0 to n - 1 do
-      let d = Ising.flip_delta ising spins i in
+      let d = Fields.delta fields i in
       if d < !best_delta then begin
         best_delta := d;
         best_i := i
       end
     done;
     if !best_i >= 0 then begin
-      Bitvec.flip spins !best_i;
+      Fields.flip fields !best_i;
       improved := true
     end
-  done;
-  spins
+  done
 
 let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
@@ -78,12 +81,14 @@ let sample ?(params = default) ?stop ?on_read q =
       if stopped () then None
       else begin
         let rng = read_rng ~seed:params.seed r in
-        let spins = anneal_ising ~rng ~schedule ?stop ising in
-        let spins = if params.postprocess then descend ising spins else spins in
+        let fields = Fields.create ising (Bitvec.random rng n) in
+        anneal_fields ~rng ~schedule ?stop fields;
+        if params.postprocess then descend_fields fields;
+        let spins = Fields.spins fields in
         (match on_read with Some f -> f spins | None -> ());
-        Some spins
+        Some (spins, Fields.energy fields)
       end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run_read in
-    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
+    Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

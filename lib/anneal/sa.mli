@@ -50,12 +50,13 @@ val anneal_ising :
   ?on_sweep:(sweep:int -> energy:float -> unit) ->
   ?stop:(unit -> bool) ->
   Qsmt_qubo.Ising.t ->
-  Qsmt_util.Bitvec.t
+  Qsmt_util.Bitvec.t * float
 (** One annealing read over an Ising problem: starts from [init] (random
     if omitted), runs the full schedule, returns the final spin
-    configuration. Exposed for composition (the hardware model reuses it
-    on embedded problems). [on_sweep] observes the current energy after
-    every sweep (used by {!Convergence} to record trajectories); the
-    energy is maintained incrementally, so observation is O(1). [stop]
+    configuration and its (incrementally tracked) energy. Exposed for
+    composition (the hardware model reuses it on embedded problems).
+    The whole read runs on a {!Qsmt_qubo.Fields} state, so proposals are
+    O(1) and the energy is always available; [on_sweep] observes it after
+    every sweep (used by {!Convergence} to record trajectories). [stop]
     is polled between sweeps; when it returns [true] the read returns its
     current configuration immediately. *)

@@ -34,6 +34,18 @@ let of_entries entries = aggregate entries
 let of_bits q samples =
   aggregate (List.map (fun bits -> { bits; energy = Qubo.energy q bits; occurrences = 1 }) samples)
 
+let of_tracked q samples =
+  let n = Qubo.num_vars q in
+  aggregate
+    (List.map
+       (fun (bits, energy) ->
+         if Bitvec.length bits <> n then
+           invalid_arg
+             (Printf.sprintf "Sampleset.of_tracked: assignment has %d bits, problem has %d vars"
+                (Bitvec.length bits) n);
+         { bits; energy; occurrences = 1 })
+       samples)
+
 let empty = []
 let is_empty t = t = []
 let size = List.length

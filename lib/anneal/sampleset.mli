@@ -20,6 +20,14 @@ val of_entries : entry list -> t
 (** Aggregates duplicate assignments (energies of duplicates must agree;
     the first is kept), sorts ascending by energy. *)
 
+val of_tracked : Qsmt_qubo.Qubo.t -> (Qsmt_util.Bitvec.t * float) list -> t
+(** [of_tracked q samples] builds a set from [(bits, energy)] pairs whose
+    energies the sampler already knows (incrementally tracked during the
+    sweep loop), skipping {!of_bits}'s per-read [Qubo.energy] recompute.
+    Energies must be [q]-energies (offset included); samplers guarantee
+    agreement with full recomputation to ~1e-9 (tested).
+    @raise Invalid_argument if any assignment has the wrong length. *)
+
 val empty : t
 val is_empty : t -> bool
 

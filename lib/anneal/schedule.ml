@@ -27,14 +27,17 @@ let default_beta_range ising =
   if n = 0 || Ising.max_abs_field ising = 0. then (0.1, 10.)
   else begin
     (* Largest possible |ΔE| for one spin flip: 2(|h_i| + Σ_j |J_ij|),
-       maximized over i. Smallest: twice the smallest nonzero coefficient. *)
+       maximized over i. Smallest: twice the smallest nonzero coefficient.
+       Folds straight over the CSR row so deriving a schedule allocates
+       nothing (no per-spin neighbor lists). *)
+    let row_ptr, _, value = Ising.csr ising in
     let max_delta = ref 0. in
     for i = 0 to n - 1 do
-      let reach =
-        List.fold_left (fun acc (_, j) -> acc +. Float.abs j) (Float.abs (Ising.field ising i))
-          (Ising.neighbors ising i)
-      in
-      max_delta := Float.max !max_delta (2. *. reach)
+      let reach = ref (Float.abs (Ising.field ising i)) in
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        reach := !reach +. Float.abs value.(k)
+      done;
+      max_delta := Float.max !max_delta (2. *. !reach)
     done;
     let min_delta = 2. *. Ising.min_abs_nonzero ising in
     let beta_hot = Float.log 2. /. !max_delta in

@@ -3,6 +3,7 @@ module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
+module Fields = Qsmt_qubo.Fields
 
 type params = {
   reads : int;
@@ -45,7 +46,10 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
   let p = params.trotter in
   let pf = float_of_int p in
   let beta_slice = beta /. pf in
-  let slices = Array.init p (fun _ -> Bitvec.random rng n) in
+  (* One incremental Fields state per Trotter slice: local moves read an
+     O(1) cached delta, and the world-line move sums P cached deltas
+     instead of rescanning P adjacency rows per variable. *)
+  let slices = Array.init p (fun _ -> Fields.create ising (Bitvec.random rng n)) in
   let ratio =
     if params.sweeps <= 1 then 1.
     else (params.gamma_cold /. gamma_hot) ** (1. /. float_of_int (params.sweeps - 1))
@@ -56,38 +60,40 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
     let jp = j_perp ~beta_slice !gamma in
     (* Local moves: every (slice, spin). *)
     for k = 0 to p - 1 do
-      let up = slices.((k + 1) mod p) and down = slices.((k + p - 1) mod p) in
+      let up = Fields.spins slices.((k + 1) mod p)
+      and down = Fields.spins slices.((k + p - 1) mod p) in
       let slice = slices.(k) in
+      let bits = Fields.spins slice in
       for i = 0 to n - 1 do
-        let d_classical = Ising.flip_delta ising slice i /. pf in
-        let s = spin_sign slice i in
+        let d_classical = Fields.delta slice i /. pf in
+        let s = spin_sign bits i in
         let d_perp = 2. *. jp *. s *. (spin_sign up i +. spin_sign down i) in
         let delta = d_classical +. d_perp in
-        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Bitvec.flip slice i
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Fields.flip slice i
       done
     done;
     (* World-line moves: flip variable i in every slice; inter-slice terms
        cancel, so the delta is the mean classical delta. *)
     for i = 0 to n - 1 do
       let delta = ref 0. in
-      Array.iter (fun slice -> delta := !delta +. (Ising.flip_delta ising slice i /. pf)) slices;
+      Array.iter (fun slice -> delta := !delta +. (Fields.delta slice i /. pf)) slices;
       if !delta <= 0. || Prng.float rng < Float.exp (-.beta *. !delta) then
-        Array.iter (fun slice -> Bitvec.flip slice i) slices
+        Array.iter (fun slice -> Fields.flip slice i) slices
     done;
     gamma := !gamma *. ratio;
     incr sweep
   done;
-  (* Read out the best slice by classical energy. *)
-  let best = ref slices.(0) and best_e = ref (Ising.energy ising slices.(0)) in
+  (* Read out the best slice by (tracked) classical energy. *)
+  let best = ref slices.(0) and best_e = ref (Fields.energy slices.(0)) in
   Array.iter
     (fun slice ->
-      let e = Ising.energy ising slice in
+      let e = Fields.energy slice in
       if e < !best_e then begin
         best_e := e;
         best := slice
       end)
     slices;
-  !best
+  (Fields.spins !best, !best_e)
 
 let sample ?(params = default) ?stop ?on_read q =
   if params.reads < 1 then invalid_arg "Sqa.sample: reads < 1";
@@ -117,11 +123,11 @@ let sample ?(params = default) ?stop ?on_read q =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let bits = run_read ~ising ~params ~beta ~gamma_hot ?stop rng in
+        let ((bits, _) as sample) = run_read ~ising ~params ~beta ~gamma_hot ?stop rng in
         (match on_read with Some f -> f bits | None -> ());
-        Some bits
+        Some sample
       end
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run in
-    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
+    Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

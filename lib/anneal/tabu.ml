@@ -2,6 +2,8 @@ module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Qubo = Qsmt_qubo.Qubo
+module Ising = Qsmt_qubo.Ising
+module Fields = Qsmt_qubo.Fields
 
 type params = {
   restarts : int;
@@ -13,12 +15,13 @@ type params = {
 
 let default = { restarts = 8; iterations = 500; tenure = None; seed = 0; domains = 1 }
 
-let search q ~rng ~iterations ~tenure ?stop () =
-  let n = Qubo.num_vars q in
-  let x = Bitvec.random rng n in
-  let energy = ref (Qubo.energy q x) in
-  let best = ref (Bitvec.copy x) in
-  let best_energy = ref !energy in
+let search ising ~rng ~iterations ~tenure ?stop () =
+  let n = Ising.num_spins ising in
+  (* Incremental state: the best-admissible-move scan below reads n cached
+     deltas in O(n) instead of rescanning n adjacency rows. *)
+  let fields = Fields.create ising (Bitvec.random rng n) in
+  let best = ref (Bitvec.copy (Fields.spins fields)) in
+  let best_energy = ref (Fields.energy fields) in
   let stopped () = match stop with Some f -> f () | None -> false in
   (* tabu_until.(i): first iteration at which flipping i is allowed again *)
   let tabu_until = Array.make n 0 in
@@ -31,8 +34,10 @@ let search q ~rng ~iterations ~tenure ?stop () =
        or any tabu flip that would beat the incumbent (aspiration). *)
     let chosen = ref (-1) and chosen_delta = ref infinity in
     for i = 0 to n - 1 do
-      let delta = Qubo.flip_delta q x i in
-      let admissible = tabu_until.(i) <= it || !energy +. delta < !best_energy -. 1e-12 in
+      let delta = Fields.delta fields i in
+      let admissible =
+        tabu_until.(i) <= it || Fields.energy fields +. delta < !best_energy -. 1e-12
+      in
       if admissible && delta < !chosen_delta then begin
         chosen := i;
         chosen_delta := delta
@@ -41,17 +46,15 @@ let search q ~rng ~iterations ~tenure ?stop () =
     (* All moves tabu and none aspirates: fall back to a random kick so
        the search cannot stall. *)
     let i = if !chosen >= 0 then !chosen else Prng.int rng n in
-    let delta = if !chosen >= 0 then !chosen_delta else Qubo.flip_delta q x i in
-    Bitvec.flip x i;
-    energy := !energy +. delta;
+    Fields.flip fields i;
     tabu_until.(i) <- it + 1 + tenure;
-    if !energy < !best_energy then begin
-      best_energy := !energy;
-      best := Bitvec.copy x
+    if Fields.energy fields < !best_energy then begin
+      best_energy := Fields.energy fields;
+      best := Bitvec.copy (Fields.spins fields)
     end;
     incr cursor
   done;
-  !best
+  (!best, !best_energy)
 
 let sample ?(params = default) ?stop ?on_read q =
   if params.restarts < 1 then invalid_arg "Tabu.sample: restarts < 1";
@@ -66,16 +69,17 @@ let sample ?(params = default) ?stop ?on_read q =
         t
       | None -> min ((n / 4) + 1) 20
     in
+    let ising = Ising.of_qubo q in
     let stopped () = match stop with Some f -> f () | None -> false in
     let run r =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let bits = search q ~rng ~iterations:params.iterations ~tenure ?stop () in
+        let ((bits, _) as sample) = search ising ~rng ~iterations:params.iterations ~tenure ?stop () in
         (match on_read with Some f -> f bits | None -> ());
-        Some bits
+        Some sample
       end
     in
     let samples = Parallel.init_array ~domains:params.domains params.restarts run in
-    Sampleset.of_bits q (List.filter_map Fun.id (Array.to_list samples))
+    Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

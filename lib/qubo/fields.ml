@@ -1,0 +1,79 @@
+module Bitvec = Qsmt_util.Bitvec
+
+type t = {
+  ising : Ising.t;
+  row_ptr : int array;
+  col : int array;
+  value : float array;
+  mutable spins : Ising.spins;
+  field : float array;
+  mutable energy : float;
+  refresh_every : int; (* accepted flips between from-scratch refreshes; 0 = never *)
+  mutable flips : int; (* accepted flips since the last refresh *)
+}
+
+let check_length ising spins =
+  let n = Ising.num_spins ising in
+  if Bitvec.length spins <> n then
+    invalid_arg
+      (Printf.sprintf "Fields: assignment has %d spins, problem has %d" (Bitvec.length spins) n)
+
+let recompute t =
+  let n = Ising.num_spins t.ising in
+  for i = 0 to n - 1 do
+    t.field.(i) <- Ising.local_field t.ising t.spins i
+  done;
+  t.energy <- Ising.energy t.ising t.spins;
+  t.flips <- 0
+
+let create ?(refresh_every = 0) ising spins =
+  check_length ising spins;
+  let row_ptr, col, value = Ising.csr ising in
+  let t =
+    {
+      ising;
+      row_ptr;
+      col;
+      value;
+      spins;
+      field = Array.make (Ising.num_spins ising) 0.;
+      energy = 0.;
+      refresh_every;
+      flips = 0;
+    }
+  in
+  recompute t;
+  t
+
+let problem t = t.ising
+let num_spins t = Ising.num_spins t.ising
+let spins t = t.spins
+let energy t = t.energy
+let field t i = t.field.(i)
+let spin_sign t i = if Bitvec.get t.spins i then 1. else -1.
+
+(* Same expression shape as Ising.flip_delta so the two agree exactly
+   whenever the tracked field does. *)
+let delta t i = -2. *. spin_sign t i *. t.field.(i)
+
+let refresh t = recompute t
+
+let flip t i =
+  t.energy <- t.energy +. delta t i;
+  Bitvec.flip t.spins i;
+  (* s_i changed by (new - old) = 2 * new, so f_j += 2 * J_ij * new_s_i;
+     f_i itself does not depend on s_i and is untouched. *)
+  let two_s = 2. *. spin_sign t i in
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    let j = t.col.(k) in
+    t.field.(j) <- t.field.(j) +. (t.value.(k) *. two_s)
+  done;
+  t.flips <- t.flips + 1;
+  if t.refresh_every > 0 && t.flips >= t.refresh_every then recompute t
+
+let drift t = Float.abs (t.energy -. Ising.energy t.ising t.spins)
+
+let reset t spins =
+  check_length t.ising spins;
+  t.spins <- spins;
+  recompute t

@@ -75,6 +75,13 @@ let neighbors t i =
       let idx = t.row_ptr.(i) + k in
       (t.col.(idx), t.value.(idx)))
 
+let iter_neighbors t i f =
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col.(k) t.value.(k)
+  done
+
+let csr t = (t.row_ptr, t.col, t.value)
+
 let to_qubo t =
   (* s_i = 2 x_i - 1:
        h_i s_i       -> 2 h_i x_i - h_i

@@ -34,6 +34,18 @@ val couplings : t -> (int * int * float) list
 val neighbors : t -> int -> (int * float) list
 val degree : t -> int -> int
 
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+(** [iter_neighbors t i f] calls [f j J_ij] for every coupler touching
+    [i], in CSR order, without allocating the {!neighbors} list. *)
+
+val csr : t -> int array * int array * float array
+(** [(row_ptr, col, value)]: the raw CSR adjacency. Row [i]'s couplers
+    occupy indices [row_ptr.(i) .. row_ptr.(i+1) - 1] of [col]/[value];
+    every coupler appears in both endpoints' rows. The arrays are
+    physically shared with the problem — treat them as read-only. This is
+    the escape hatch for allocation-free inner loops ({!Fields}, schedule
+    derivation). *)
+
 val energy : t -> spins -> float
 (** [energy t s] is [H(s)].
     @raise Invalid_argument on length mismatch. *)
