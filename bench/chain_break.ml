@@ -1,0 +1,152 @@
+(* Ext-11: chain-break fraction vs chain strength on embedded hardware.
+
+   The chain penalty is the one free parameter a QPU submission must get
+   right: too weak and chains break (majority-vote garbage), too strong
+   and it drowns the logical energy scale (ground-state probability
+   collapses). This bench sweeps the strength at fixed topology over the
+   densest Table-1 constraint (Includes — a complete interaction graph,
+   hence the longest chains) and records the trade-off curve, plus what
+   the adaptive escalation loop picks when left to its own devices.
+
+   Run with:
+     dune exec bench/chain_break.exe                full run, writes BENCH_3.json
+     QSMT_BENCH_FAST=1 dune exec ...               reduced (CI smoke) run *)
+
+module Constr = Qsmt_strtheory.Constr
+module Compile = Qsmt_strtheory.Compile
+module Hardware = Qsmt_anneal.Hardware
+module Topology = Qsmt_anneal.Topology
+module Sampleset = Qsmt_anneal.Sampleset
+module Sa = Qsmt_anneal.Sa
+module Qubo = Qsmt_qubo.Qubo
+
+let fast = Sys.getenv_opt "QSMT_BENCH_FAST" <> None
+let reads = if fast then 16 else 64
+let sweeps = if fast then 300 else 1000
+
+type point = {
+  strength : float;
+  breaks : float;
+  ground_p : float;
+  verified : bool;
+}
+
+type row = {
+  name : string;
+  topology : string;
+  logical_vars : int;
+  qubits_used : int;
+  max_chain : int;
+  points : point list;
+  (* what the adaptive loop settles on, starting from the default guess *)
+  adaptive_strength : float;
+  adaptive_breaks : float;
+  adaptive_escalations : int;
+  adaptive_degraded : bool;
+}
+
+let instances =
+  [
+    ("includes-k7", Constr.Includes { haystack = "hello world"; needle = "world" });
+    ("includes-k7-dense", Constr.Includes { haystack = "abcabcabc"; needle = "abc" });
+    ("palindrome-6", Constr.Palindrome { length = 6 });
+  ]
+
+let strengths = if fast then [ 0.25; 1.0; 8.0 ] else [ 0.125; 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
+
+let run_instance (name, constr) =
+  let qubo = Compile.to_qubo constr in
+  let topology = Hardware.auto_topology ~seed:5 ~kind:`Chimera qubo in
+  let base =
+    { (Hardware.default_params topology) with
+      Hardware.embed_tries = 64;
+      anneal = { Sa.default with Sa.seed = 5; reads; sweeps }
+    }
+  in
+  Format.printf "@.%s: %s on %s@." name (Constr.describe constr) (Topology.name topology);
+  Format.printf "%10s %8s %9s %9s@." "strength" "breaks" "groundP" "verified";
+  let measure params =
+    let r = Hardware.sample ~params qubo in
+    let s = r.Hardware.stats in
+    let verified =
+      Constr.verify constr (Compile.decode constr (Sampleset.best r.Hardware.samples).Sampleset.bits)
+    in
+    (s, Sampleset.ground_probability r.Hardware.samples ~tol:1e-9, verified)
+  in
+  let points =
+    List.map
+      (fun strength ->
+        (* pinned strength: escalation off, we want the raw curve *)
+        let s, ground_p, verified =
+          measure
+            { base with Hardware.chain_strength = Some strength; max_escalations = 0 }
+        in
+        Format.printf "%10.3f %7.1f%% %8.1f%% %9s@." strength
+          (100. *. s.Hardware.mean_chain_break_fraction)
+          (100. *. ground_p)
+          (if verified then "yes" else "no");
+        { strength; breaks = s.Hardware.mean_chain_break_fraction; ground_p; verified })
+      strengths
+  in
+  let s, _, _ = measure base in
+  Format.printf "adaptive: strength %g after %d escalations, breaks %.1f%%%s@."
+    s.Hardware.chain_strength s.Hardware.escalations
+    (100. *. s.Hardware.mean_chain_break_fraction)
+    (if s.Hardware.degraded <> None then " DEGRADED" else "");
+  {
+    name;
+    topology = s.Hardware.topology;
+    logical_vars = Qubo.num_vars qubo;
+    qubits_used = s.Hardware.qubits_used;
+    max_chain = s.Hardware.max_chain_length;
+    points;
+    adaptive_strength = s.Hardware.chain_strength;
+    adaptive_breaks = s.Hardware.mean_chain_break_fraction;
+    adaptive_escalations = s.Hardware.escalations;
+    adaptive_degraded = s.Hardware.degraded <> None;
+  }
+
+let json_out rows path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"chain_break\",\n";
+  p "  \"pr\": 3,\n";
+  p "  \"fast\": %b,\n" fast;
+  p "  \"reads\": %d,\n" reads;
+  p "  \"sweeps\": %d,\n" sweeps;
+  p "  \"instances\": [\n";
+  List.iteri
+    (fun k r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" r.name;
+      p "      \"topology\": \"%s\",\n" r.topology;
+      p "      \"logical_vars\": %d,\n" r.logical_vars;
+      p "      \"qubits_used\": %d,\n" r.qubits_used;
+      p "      \"max_chain\": %d,\n" r.max_chain;
+      p "      \"sweep\": [\n";
+      List.iteri
+        (fun j pt ->
+          p
+            "        { \"strength\": %g, \"break_fraction\": %.4f, \"ground_p\": %.4f, \
+             \"verified\": %b }%s\n"
+            pt.strength pt.breaks pt.ground_p pt.verified
+            (if j = List.length r.points - 1 then "" else ","))
+        r.points;
+      p "      ],\n";
+      p "      \"adaptive\": { \"strength\": %g, \"break_fraction\": %.4f, \"escalations\": %d, \
+         \"degraded\": %b }\n"
+        r.adaptive_strength r.adaptive_breaks r.adaptive_escalations r.adaptive_degraded;
+      p "    }%s\n" (if k = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let () =
+  Format.printf "chain-break benchmark%s (reads=%d, sweeps=%d, seeds fixed)@."
+    (if fast then " [FAST]" else "")
+    reads sweeps;
+  let rows = List.map run_instance instances in
+  json_out rows "BENCH_3.json";
+  Format.printf "@.wrote BENCH_3.json@."

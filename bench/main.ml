@@ -404,16 +404,19 @@ let ext4 () =
   List.iter
     (fun chain_strength ->
       let params =
+        (* Pin the strength: the sweep measures break behaviour at each
+           value, so the adaptive escalation loop must stay off. *)
         { (Hardware.default_params topology) with
           Hardware.chain_strength = Some chain_strength;
           Hardware.embed_tries = 64;
+          Hardware.max_escalations = 0;
           Hardware.anneal = { Sa.default with Sa.seed = 5; reads; sweeps }
         }
       in
       match Hardware.sample ~params qubo with
       | r ->
         Format.printf "%8.2f %9.1f%% %11.0f%% %14.2f@." chain_strength
-          (100. *. r.Hardware.mean_chain_break_fraction)
+          (100. *. r.Hardware.stats.Hardware.mean_chain_break_fraction)
           (100. *. Sampleset.ground_probability r.Hardware.samples ~tol:1e-9)
           (Sampleset.lowest_energy r.Hardware.samples)
       | exception Hardware.Embedding_failed msg -> Format.printf "embedding failed: %s@." msg)
@@ -436,7 +439,7 @@ let ext4 () =
             (Compile.decode constr (Sampleset.best r.Hardware.samples).Sampleset.bits)
         in
         Format.printf "%8.2f %9.1f%% %11.0f%% %10s@." noise_sigma
-          (100. *. r.Hardware.mean_chain_break_fraction)
+          (100. *. r.Hardware.stats.Hardware.mean_chain_break_fraction)
           (100. *. Sampleset.ground_probability r.Hardware.samples ~tol:1e-9)
           (if ok then "yes" else "no")
       | exception Hardware.Embedding_failed msg -> Format.printf "embedding failed: %s@." msg)

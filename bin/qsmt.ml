@@ -15,6 +15,8 @@ module Qubo = Qsmt_qubo.Qubo
 module Qubo_print = Qsmt_qubo.Qubo_print
 module Sampler = Qsmt_anneal.Sampler
 module Sa = Qsmt_anneal.Sa
+module Hardware = Qsmt_anneal.Hardware
+module Topology = Qsmt_anneal.Topology
 module Sqa = Qsmt_anneal.Sqa
 module Tabu = Qsmt_anneal.Tabu
 module Greedy = Qsmt_anneal.Greedy
@@ -68,28 +70,80 @@ let budget_arg =
 let sampler_arg =
   let choices =
     [ ("sa", `Sa); ("sqa", `Sqa); ("tabu", `Tabu); ("greedy", `Greedy); ("exact", `Exact);
-      ("portfolio", `Portfolio); ("classical", `Classical) ]
+      ("hardware", `Hardware); ("portfolio", `Portfolio); ("classical", `Classical) ]
   in
   Arg.(
     value
     & opt (enum choices) `Sa
     & info [ "sampler" ] ~docv:"NAME"
-        ~doc:"Solver backend: $(b,sa) (simulated annealing), $(b,sqa) (simulated quantum annealing), $(b,tabu), $(b,greedy), $(b,exact) (exhaustive, small problems), $(b,portfolio) (race sa/sqa/pt/tabu/greedy concurrently, first verified read wins), $(b,classical) (CDCL bit-blasting).")
+        ~doc:"Solver backend: $(b,sa) (simulated annealing), $(b,sqa) (simulated quantum annealing), $(b,tabu), $(b,greedy), $(b,exact) (exhaustive, small problems), $(b,hardware) (QPU-workflow emulation: minor embedding into $(b,--topology), chain penalties, control noise, adaptive chain strength), $(b,portfolio) (race sa/sqa/pt/tabu/greedy concurrently, first verified read wins), $(b,classical) (CDCL bit-blasting).")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chimera", `Chimera); ("king", `King); ("complete", `Complete) ]) `Chimera
+    & info [ "topology" ] ~docv:"NAME"
+        ~doc:
+          "Hardware graph family for $(b,--sampler hardware): $(b,chimera) (D-Wave 2000Q-style \
+           C(m,m,4)), $(b,king) (8-neighbor grid, CMOS annealers), $(b,complete) (all-to-all; \
+           embedding becomes the identity).")
+
+let topology_size_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "topology-size" ] ~docv:"N"
+        ~doc:
+          "Grid parameter for $(b,--topology) (chimera m / king side / complete qubit count). 0 \
+           (default) grows the smallest grid the problem embeds into.")
+
+let chain_strength_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "chain-strength" ] ~docv:"C"
+        ~doc:
+          "Starting ferromagnetic chain penalty for $(b,--sampler hardware) (default: 2 x the \
+           largest |coefficient|). The adaptive loop escalates it geometrically while chains \
+           break too often.")
+
+let noise_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "noise" ] ~docv:"SIGMA"
+        ~doc:
+          "Gaussian control-noise std-dev on every physical coefficient, relative to the largest \
+           |coefficient| ($(b,--sampler hardware) only; default 0 = ideal hardware).")
 
 (* Callers must route [`Classical] to the CDCL bit-blasting path before
    coming here — it is a different solver family, not a sampler, and an
    earlier revision silently handed such requests to [Sampler.exact]. *)
-let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget =
+let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology ~topology_size
+    ~chain_strength ~noise =
   match kind with
   | `Sa -> Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed; reads; sweeps; domains } ()
   | `Sqa ->
     Sampler.simulated_quantum_annealing
-      ~params:{ Sqa.default with Sqa.seed; reads; sweeps = max 1 (sweeps / 2); domains } ()
+      ~params:{ Sqa.default with Sqa.seed; sweeps = max 1 (sweeps / 2); reads; domains } ()
   | `Tabu -> Sampler.tabu ~params:{ Tabu.default with Tabu.seed; restarts = reads; iterations = sweeps } ()
   | `Greedy ->
     ignore Greedy.default;
     Sampler.greedy ~params:{ Greedy.seed; restarts = reads; domains } ()
   | `Exact -> Sampler.exact ()
+  | `Hardware ->
+    (* Parameters are derived per problem: auto-sizing needs the compiled
+       QUBO, which only exists once the constraint is encoded. *)
+    Sampler.hardware_auto (fun q ->
+        let topology =
+          if topology_size > 0 then
+            match topology with
+            | `Chimera -> Topology.chimera ~m:topology_size ()
+            | `King -> Topology.king ~rows:topology_size ~cols:topology_size
+            | `Complete -> Topology.complete topology_size
+          else Hardware.auto_topology ~seed ~kind:topology q
+        in
+        { (Hardware.default_params topology) with
+          Hardware.chain_strength;
+          noise_sigma = noise;
+          anneal = { Sa.default with Sa.seed; reads; sweeps; domains } })
   | `Portfolio ->
     Sampler.portfolio
       ~params:{ Portfolio.members = Portfolio.default_members ~seed; jobs; budget } ()
@@ -197,7 +251,8 @@ let op_args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Op
 (* ------------------------------------------------------------------ *)
 (* gen *)
 
-let gen_action op args sampler_kind seed reads sweeps domains jobs budget show_matrix =
+let gen_action op args sampler_kind seed reads sweeps domains jobs budget topology topology_size
+    chain_strength noise show_matrix =
   match constraint_of_op op args with
   | Error (`Msg m) ->
     prerr_endline ("qsmt: " ^ m);
@@ -223,7 +278,10 @@ let gen_action op args sampler_kind seed reads sweeps domains jobs budget show_m
         if o.Strsolver.satisfied || o.Strsolver.result = `Unsat then 0 else 1
       end
       else begin
-        let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget in
+        let sampler =
+          build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
+            ~topology_size ~chain_strength ~noise
+        in
         let outcome, timing = Solver.solve_timed ~sampler constr in
         if show_matrix then
           Format.printf "matrix    :@.%a@."
@@ -233,6 +291,9 @@ let gen_action op args sampler_kind seed reads sweeps domains jobs budget show_m
         Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value outcome.Solver.value
           outcome.Solver.energy
           (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
+        (match outcome.Solver.hardware with
+        | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
+        | None -> ());
         Format.printf "timing    : encode %.1fus anneal %.1fms decode %.1fus@."
           (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
           (1e6 *. timing.Solver.decode_s);
@@ -247,7 +308,8 @@ let gen_cmd =
   let term =
     Term.(
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
-      $ domains_arg $ jobs_arg $ budget_arg $ show_matrix)
+      $ domains_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
+      $ chain_strength_arg $ noise_arg $ show_matrix)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -292,7 +354,8 @@ let matrix_cmd =
 (* ------------------------------------------------------------------ *)
 (* run *)
 
-let run_action path sampler_kind seed reads sweeps domains jobs budget =
+let run_action path sampler_kind seed reads sweeps domains jobs budget topology topology_size
+    chain_strength noise =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
@@ -301,7 +364,10 @@ let run_action path sampler_kind seed reads sweeps domains jobs budget =
     match sampler_kind with
     | `Classical -> Interp.run_string ~backend:(classical_backend ()) source
     | _ ->
-      let sampler = build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget in
+      let sampler =
+        build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
+          ~topology_size ~chain_strength ~noise
+      in
       Interp.run_string ~sampler source
   in
   match result with
@@ -320,7 +386,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute an SMT-LIB script (QF_S generative fragment).")
     Term.(
       const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
-      $ jobs_arg $ budget_arg)
+      $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
+      $ noise_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -386,6 +453,8 @@ let samplers_action () =
   print_endline "tabu       tabu search";
   print_endline "greedy     steepest-descent with restarts";
   print_endline "exact      exhaustive ground-state search (<= 30 variables)";
+  print_endline
+    "hardware   QPU-workflow emulation: minor embedding, chain penalties, control noise";
   print_endline "portfolio  race sa/sqa/pt/tabu/greedy concurrently; first verified read wins";
   print_endline "classical  CDCL SAT solver over bit-blasted constraints (complete)";
   0

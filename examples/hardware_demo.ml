@@ -43,8 +43,8 @@ let () =
       let decoded = Compile.decode constr best.Sampleset.bits in
       Format.printf
         "noise %.2f: chains<=%d, breaks %.1f%%, best %a (E=%g, %s), ground prob %.0f%%@."
-        noise_sigma r.Hardware.max_chain_length
-        (100. *. r.Hardware.mean_chain_break_fraction)
+        noise_sigma r.Hardware.stats.Hardware.max_chain_length
+        (100. *. r.Hardware.stats.Hardware.mean_chain_break_fraction)
         Constr.pp_value decoded best.Sampleset.energy
         (if Constr.verify constr decoded then "verified" else "wrong")
         (100. *. Sampleset.ground_probability r.Hardware.samples ~tol:1e-9))

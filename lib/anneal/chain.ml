@@ -1,4 +1,5 @@
 module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
 module Qubo = Qsmt_qubo.Qubo
 module Qgraph = Qsmt_qubo.Qgraph
 
@@ -44,12 +45,19 @@ let embed_qubo q ~embedding ~hardware ~chain_strength =
   Qubo.add_offset b (Qubo.offset q);
   Qubo.freeze ~num_vars:(Qgraph.num_vertices hardware) b
 
-let unembed ~embedding sample =
+let unembed ?rng ~embedding sample =
   let n = Embedding.num_problem_vars embedding in
   Bitvec.init n (fun v ->
       let c = Embedding.chain embedding v in
       let ones = List.fold_left (fun acc q -> if Bitvec.get sample q then acc + 1 else acc) 0 c in
-      2 * ones >= List.length c)
+      let len = List.length c in
+      (* An even-length chain split exactly in half carries no signal;
+         resolving it deterministically toward 1 (the seed behavior)
+         skewed decoded strings. Given a PRNG, flip a fair coin the way
+         D-Wave's majority_vote does; without one, keep the old
+         deterministic bias for reproducibility of legacy callers. *)
+      if 2 * ones = len then match rng with Some r -> Prng.bool r | None -> true
+      else 2 * ones > len)
 
 let chain_break_fraction ~embedding sample =
   let n = Embedding.num_problem_vars embedding in

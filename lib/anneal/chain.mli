@@ -32,9 +32,15 @@ val embed_qubo :
     (i.e. the embedding is invalid for this problem). *)
 
 val unembed :
-  embedding:Embedding.t -> Qsmt_util.Bitvec.t -> Qsmt_util.Bitvec.t
-(** Majority vote per chain (ties break to 1, deterministically). The
-    result has one bit per logical variable. *)
+  ?rng:Qsmt_util.Prng.t ->
+  embedding:Embedding.t ->
+  Qsmt_util.Bitvec.t ->
+  Qsmt_util.Bitvec.t
+(** Majority vote per chain; the result has one bit per logical variable.
+    An exactly-split even-length chain is a tie: with [rng] it is broken
+    by a fair coin flip (as D-Wave's [majority_vote] does — the seed
+    revision's deterministic tie-to-1 skewed decoded strings), without
+    [rng] it deterministically resolves to 1 for legacy callers. *)
 
 val chain_break_fraction : embedding:Embedding.t -> Qsmt_util.Bitvec.t -> float
 (** Fraction of chains whose qubits do not all agree. [0.] when there

@@ -184,20 +184,27 @@ let attempt ~rng ~problem ~hardware =
   end
   else None
 
-let find ?(seed = 0) ?(tries = 16) ~problem ~hardware () =
-  if Qgraph.num_vertices problem = 0 then Some { chains = [||] }
+let find_detailed ?(seed = 0) ?(tries = 16) ~problem ~hardware () =
+  if Qgraph.num_vertices problem = 0 then Some ({ chains = [||] }, 0)
   else begin
     let rec loop k =
       if k >= tries then None
       else begin
-        let rng = Prng.create (seed lxor ((k + 1) * 0x9E3779B97F4A7C)) in
+        (* Per-try streams come from Prng.stream, which mixes the full
+           64-bit golden-ratio constant; the seed revision hand-rolled a
+           truncated 0x9E3779B97F4A7C here (same defect class PR 1 fixed
+           in Prng), correlating adjacent tries. *)
+        let rng = Prng.stream ~seed k in
         match attempt ~rng ~problem ~hardware with
-        | Some t -> Some t
+        | Some t -> Some (t, k + 1)
         | None -> loop (k + 1)
       end
     in
     loop 0
   end
+
+let find ?seed ?tries ~problem ~hardware () =
+  Option.map fst (find_detailed ?seed ?tries ~problem ~hardware ())
 
 let trim ~problem ~hardware t =
   let chains = Array.map (fun c -> c) t.chains in

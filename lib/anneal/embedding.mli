@@ -25,9 +25,21 @@ val find :
   unit ->
   t option
 (** [find ~problem ~hardware ()] searches for an embedding; [tries]
-    (default 16) randomized attempts before giving up. Returns [None] if
-    every attempt fails. An embedding of the empty problem graph is the
-    empty embedding. *)
+    (default 16) randomized attempts before giving up (each attempt draws
+    its stream via {!Qsmt_util.Prng.stream}, so tries are decorrelated
+    even for adjacent seeds). Returns [None] if every attempt fails. An
+    embedding of the empty problem graph is the empty embedding. *)
+
+val find_detailed :
+  ?seed:int ->
+  ?tries:int ->
+  problem:Qsmt_qubo.Qgraph.t ->
+  hardware:Qsmt_qubo.Qgraph.t ->
+  unit ->
+  (t * int) option
+(** Like {!find} but also reports how many randomized attempts were spent
+    (1-based; [0] for the empty problem, which needs no attempt). Feeds
+    the hardware sampler's [embed_tries_used] statistic. *)
 
 val of_chains : int list array -> t
 (** Wrap explicit chains (vertex [i] ↦ [chains.(i)], deduplicated and

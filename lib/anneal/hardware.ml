@@ -9,21 +9,138 @@ type params = {
   noise_sigma : float;
   embed_tries : int;
   anneal : Sa.params;
+  max_break_fraction : float;
+  strength_growth : float;
+  max_escalations : int;
+  use_cache : bool;
 }
 
 let default_params topology =
-  { topology; chain_strength = None; noise_sigma = 0.; embed_tries = 16; anneal = Sa.default }
+  {
+    topology;
+    chain_strength = None;
+    noise_sigma = 0.;
+    embed_tries = 16;
+    anneal = Sa.default;
+    max_break_fraction = 0.25;
+    strength_growth = 2.;
+    max_escalations = 3;
+    use_cache = true;
+  }
 
-type result = {
-  samples : Sampleset.t;
-  embedding : Embedding.t;
-  chain_strength : float;
-  physical_vars : int;
+type degradation = { break_fraction : float; threshold : float; escalations : int }
+
+type stats = {
+  topology : string;
+  hardware_qubits : int;
+  qubits_used : int;
   max_chain_length : int;
   mean_chain_break_fraction : float;
+  embed_tries_used : int;
+  embedding_cache_hit : bool;
+  chain_strength : float;
+  escalations : int;
+  degraded : degradation option;
 }
 
+type result = { samples : Sampleset.t; embedding : Embedding.t; stats : stats }
+
 exception Embedding_failed of string
+
+(* ------------------------------------------------------------------ *)
+(* Embedding cache.
+
+   Table 1 constraints of the same shape compile to QUBOs with identical
+   adjacency structure (coefficients differ, couplers don't), and minor
+   embedding only looks at structure — so batch workloads re-solving the
+   same shape should pay for routing once. The key is the topology name
+   (unique per generated shape) plus the problem's edge list; the mutex
+   makes the cache safe under the portfolio's parallel domains. *)
+
+let cache : (string, Embedding.t * int) Hashtbl.t = Hashtbl.create 32
+let cache_mutex = Mutex.create ()
+
+let with_cache_lock f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+let clear_embedding_cache () = with_cache_lock (fun () -> Hashtbl.reset cache)
+let embedding_cache_size () = with_cache_lock (fun () -> Hashtbl.length cache)
+
+let structure_key topology problem =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Topology.name topology);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int (Qgraph.num_vertices problem));
+  Qgraph.iter_edges problem (fun i j ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int j));
+  Buffer.contents buf
+
+(* (embedding, tries used, cache hit) — [None] when no embedding exists
+   within [tries] attempts. Cached embeddings are already trimmed. *)
+let cached_embedding ~use_cache ~seed ~tries ~topology ~problem =
+  let hardware = Topology.graph topology in
+  let key = if use_cache then Some (structure_key topology problem) else None in
+  let hit =
+    match key with
+    | Some k -> with_cache_lock (fun () -> Hashtbl.find_opt cache k)
+    | None -> None
+  in
+  match hit with
+  | Some (e, tries_used) -> Some (e, tries_used, true)
+  | None -> begin
+    match Embedding.find_detailed ~seed ~tries ~problem ~hardware () with
+    | None -> None
+    | Some (e, tries_used) ->
+      let e = Embedding.trim ~problem ~hardware e in
+      (match key with
+      | Some k -> with_cache_lock (fun () -> Hashtbl.replace cache k (e, tries_used))
+      | None -> ());
+      Some (e, tries_used, false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Topology auto-sizing. *)
+
+type topology_kind = [ `Chimera | `King | `Complete ]
+
+let auto_topology ?(seed = 0) ?(tries = 8) ~kind q =
+  let n = Qubo.num_vars q in
+  match kind with
+  | `Complete -> Topology.complete (max n 1)
+  | (`Chimera | `King) as kind ->
+    let problem = Qgraph.of_qubo q in
+    let make size =
+      match kind with
+      | `Chimera -> Topology.chimera ~m:size ()
+      | `King -> Topology.king ~rows:size ~cols:size
+    in
+    let rec grow size =
+      let topology = make size in
+      let qubits = Topology.num_qubits topology in
+      if qubits > 4096 then
+        raise
+          (Embedding_failed
+             (Printf.sprintf
+                "auto_topology: no %s up to 4096 qubits embeds the %d-variable problem"
+                (match kind with `Chimera -> "chimera" | `King -> "king")
+                n))
+      else if qubits < n then grow (size + 1)
+      else begin
+        (* Probe through the cache so the routing work a successful probe
+           does is reused verbatim by the sample call that follows. *)
+        match cached_embedding ~use_cache:true ~seed ~tries ~topology ~problem with
+        | Some _ -> topology
+        | None -> grow (size + 1)
+      end
+    in
+    grow 1
+
+(* ------------------------------------------------------------------ *)
+(* Gaussian control noise. *)
 
 (* Box-Muller; one normal deviate per call is plenty here. *)
 let gaussian rng =
@@ -42,50 +159,127 @@ let add_noise ~rng ~sigma q =
     Qubo.freeze ~num_vars:(Qubo.num_vars q) b
   end
 
-let sample ?params q =
+(* ------------------------------------------------------------------ *)
+(* Sampling with adaptive chain strength. *)
+
+let validate_params p =
+  if p.noise_sigma < 0. then invalid_arg "Hardware.sample: negative noise_sigma";
+  if p.max_break_fraction <= 0. || p.max_break_fraction > 1. then
+    invalid_arg "Hardware.sample: max_break_fraction must be in (0, 1]";
+  if p.max_escalations < 0 then invalid_arg "Hardware.sample: negative max_escalations";
+  if p.max_escalations > 0 && p.strength_growth <= 1. then
+    invalid_arg "Hardware.sample: strength_growth must be > 1 when escalation is enabled"
+
+let sample ?params ?stop ?on_read q =
   let params =
     match params with
     | Some p -> p
     | None -> invalid_arg "Hardware.sample: params required (a topology must be chosen)"
   in
-  if params.noise_sigma < 0. then invalid_arg "Hardware.sample: negative noise_sigma";
+  validate_params params;
   let hardware = Topology.graph params.topology in
   let problem = Qgraph.of_qubo q in
-  let embedding =
+  let seed = params.anneal.Sa.seed in
+  let embedding, embed_tries_used, embedding_cache_hit =
     match
-      Embedding.find ~seed:params.anneal.Sa.seed ~tries:params.embed_tries ~problem ~hardware ()
+      cached_embedding ~use_cache:params.use_cache ~seed ~tries:params.embed_tries
+        ~topology:params.topology ~problem
     with
-    | Some e -> Embedding.trim ~problem ~hardware e
+    | Some r -> r
     | None ->
       raise
         (Embedding_failed
            (Printf.sprintf "no embedding of %d-variable problem into %s after %d tries"
               (Qubo.num_vars q) (Topology.name params.topology) params.embed_tries))
   in
-  let chain_strength =
+  let base_strength =
     match params.chain_strength with Some c -> c | None -> Chain.default_strength q
   in
-  let physical = Chain.embed_qubo q ~embedding ~hardware ~chain_strength in
-  let rng = Prng.create (params.anneal.Sa.seed lxor 0x5DEECE66D) in
-  let physical = add_noise ~rng ~sigma:params.noise_sigma physical in
-  let physical_set = Sa.sample ~params:params.anneal physical in
-  (* Project every physical read back to logical space; track how often
-     chains came back broken before the majority vote repaired them. *)
-  let breaks = ref 0. and reads = ref 0 in
-  let logical_bits =
-    List.concat_map
-      (fun e ->
-        breaks := !breaks +. (Chain.chain_break_fraction ~embedding e.Sampleset.bits
-                              *. float_of_int e.Sampleset.occurrences);
-        reads := !reads + e.Sampleset.occurrences;
-        List.init e.Sampleset.occurrences (fun _ -> Chain.unembed ~embedding e.Sampleset.bits))
-      (Sampleset.entries physical_set)
+  (* Independent per-attempt streams: index 4k is the escalated anneal
+     seed, 4k+1 the control noise, 4k+2 majority-vote tie breaks on the
+     returned batch, 4k+3 tie breaks inside the on_read projection. *)
+  let derived k j = Prng.stream ~seed ((4 * k) + j) in
+  let stopped () = match stop with Some s -> s () | None -> false in
+  (* One attempt = embed at the current strength, anneal a read batch,
+     project back to logical space. If too many chains come back broken,
+     escalate the strength geometrically and retry — broken-chain reads
+     are majority-vote guesses, not samples of the logical problem, and
+     the seed revision handed them back silently. *)
+  let rec attempt k strength acc =
+    let physical = Chain.embed_qubo q ~embedding ~hardware ~chain_strength:strength in
+    let physical = add_noise ~rng:(derived k 1) ~sigma:params.noise_sigma physical in
+    let anneal_params =
+      if k = 0 then params.anneal
+      else { params.anneal with Sa.seed = Int64.to_int (Prng.bits64 (derived k 0)) land max_int }
+    in
+    let on_read =
+      match on_read with
+      | None -> None
+      | Some f ->
+        let tie_rng = derived k 3 in
+        Some (fun bits -> f (Chain.unembed ~rng:tie_rng ~embedding bits))
+    in
+    let physical_set = Sa.sample ~params:anneal_params ?stop ?on_read physical in
+    (* Project each *distinct* physical read once (the seed revision
+       re-ran the majority vote per occurrence), weighting the break
+       statistic by occurrence count. *)
+    let tie_rng = derived k 2 in
+    let breaks = ref 0. and reads = ref 0 in
+    let logical =
+      List.map
+        (fun e ->
+          let occ = e.Sampleset.occurrences in
+          breaks :=
+            !breaks +. (Chain.chain_break_fraction ~embedding e.Sampleset.bits *. float_of_int occ);
+          reads := !reads + occ;
+          let bits = Chain.unembed ~rng:tie_rng ~embedding e.Sampleset.bits in
+          { Sampleset.bits; energy = Qubo.energy q bits; occurrences = occ })
+        (Sampleset.entries physical_set)
+    in
+    let break_fraction = if !reads = 0 then 0. else !breaks /. float_of_int !reads in
+    let acc = List.rev_append logical acc in
+    if
+      break_fraction > params.max_break_fraction
+      && k < params.max_escalations
+      && not (stopped ())
+    then attempt (k + 1) (strength *. params.strength_growth) acc
+    else (k, strength, break_fraction, acc)
+  in
+  let escalations, chain_strength, break_fraction, entries = attempt 0 base_strength [] in
+  let degraded =
+    if break_fraction > params.max_break_fraction then
+      Some { break_fraction; threshold = params.max_break_fraction; escalations }
+    else None
   in
   {
-    samples = Sampleset.of_bits q logical_bits;
+    samples = Sampleset.of_entries entries;
     embedding;
-    chain_strength;
-    physical_vars = Qgraph.num_vertices hardware;
-    max_chain_length = Embedding.max_chain_length embedding;
-    mean_chain_break_fraction = (if !reads = 0 then 0. else !breaks /. float_of_int !reads);
+    stats =
+      {
+        topology = Topology.name params.topology;
+        hardware_qubits = Topology.num_qubits params.topology;
+        qubits_used = Embedding.total_qubits_used embedding;
+        max_chain_length = Embedding.max_chain_length embedding;
+        mean_chain_break_fraction = break_fraction;
+        embed_tries_used;
+        embedding_cache_hit;
+        chain_strength;
+        escalations;
+        degraded;
+      };
   }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%s: %d/%d qubits, max chain %d, breaks %.1f%%, strength %g, embed tries %d (cache %s), \
+     escalations %d"
+    s.topology s.qubits_used s.hardware_qubits s.max_chain_length
+    (100. *. s.mean_chain_break_fraction)
+    s.chain_strength s.embed_tries_used
+    (if s.embedding_cache_hit then "hit" else "miss")
+    s.escalations;
+  match s.degraded with
+  | None -> ()
+  | Some d ->
+    Format.fprintf ppf "@ DEGRADED: %.1f%% of chains still broken (threshold %.1f%%)"
+      (100. *. d.break_fraction) (100. *. d.threshold)

@@ -9,6 +9,7 @@ type member =
   | M_pt of Pt.params
   | M_greedy of Greedy.params
   | M_exact of int option
+  | M_hardware of Hardware.params
 
 type params = {
   members : member list;
@@ -22,6 +23,7 @@ type member_report = {
   elapsed : float;
   cancelled : bool;
   failed : string option;
+  hardware : Hardware.stats option;
 }
 
 type result = {
@@ -38,6 +40,7 @@ let member_name = function
   | M_pt _ -> "pt"
   | M_greedy _ -> "greedy"
   | M_exact _ -> "exact"
+  | M_hardware _ -> "hardware"
 
 (* Portfolio members run one per job slot, so their internal read
    parallelism stays off ([domains = 1]) — the concurrency budget is
@@ -49,6 +52,8 @@ let member_with_seed seed = function
   | M_pt p -> M_pt { p with Pt.seed; domains = 1 }
   | M_greedy p -> M_greedy { p with Greedy.seed; domains = 1 }
   | M_exact _ as m -> m
+  | M_hardware p ->
+    M_hardware { p with Hardware.anneal = { p.Hardware.anneal with Sa.seed; domains = 1 } }
 
 let default_members ~seed =
   List.map (member_with_seed seed)
@@ -64,14 +69,20 @@ let default = { members = default_members ~seed:0; jobs = 0; budget = None }
 
 let reseed params seed = { params with members = List.map (member_with_seed seed) params.members }
 
+(* Returns the member's samples plus the hardware diagnostics when the
+   member is the QPU-workflow emulation (its [on_read] already sees
+   logical bits, so the shared verifier applies unchanged). *)
 let run_member ~stop ~on_read member q =
   match member with
-  | M_sa params -> Sa.sample ~params ~stop ~on_read q
-  | M_sqa params -> Sqa.sample ~params ~stop ~on_read q
-  | M_tabu params -> Tabu.sample ~params ~stop ~on_read q
-  | M_pt params -> Pt.sample ~params ~stop ~on_read q
-  | M_greedy params -> Greedy.sample ~params ~stop ~on_read q
-  | M_exact keep -> Exact.solve ?keep ~stop q
+  | M_sa params -> (Sa.sample ~params ~stop ~on_read q, None)
+  | M_sqa params -> (Sqa.sample ~params ~stop ~on_read q, None)
+  | M_tabu params -> (Tabu.sample ~params ~stop ~on_read q, None)
+  | M_pt params -> (Pt.sample ~params ~stop ~on_read q, None)
+  | M_greedy params -> (Greedy.sample ~params ~stop ~on_read q, None)
+  | M_exact keep -> (Exact.solve ?keep ~stop q, None)
+  | M_hardware params ->
+    let r = Hardware.sample ~params ~stop ~on_read q in
+    (r.Hardware.samples, Some r.Hardware.stats)
 
 let run ?(params = default) ?verify q =
   if params.members = [] then invalid_arg "Portfolio.run: no members";
@@ -111,12 +122,12 @@ let run ?(params = default) ?verify q =
       | Some ok -> if ok bits then try_win name bits
       | None -> ()
     in
-    let samples, failed =
-      if Atomic.get stop_all then (Sampleset.empty, None)
+    let samples, hardware, failed =
+      if Atomic.get stop_all then (Sampleset.empty, None, None)
       else
         match run_member ~stop ~on_read m q with
-        | samples -> (samples, None)
-        | exception e -> (Sampleset.empty, Some (Printexc.to_string e))
+        | samples, hardware -> (samples, hardware, None)
+        | exception e -> (Sampleset.empty, None, Some (Printexc.to_string e))
     in
     (* Heuristic members verify through [on_read]; [Exact] only yields a
        sample set at the end, so scan it here. Re-scanning a heuristic's
@@ -133,7 +144,9 @@ let run ?(params = default) ?verify q =
       (Atomic.get stop_all || match deadline with Some d -> finished > d | None -> false)
       && failed = None
     in
-    reports.(k) <- Some { member_name = name; samples; elapsed = finished -. started; cancelled; failed }
+    reports.(k) <-
+      Some
+        { member_name = name; samples; elapsed = finished -. started; cancelled; failed; hardware }
   in
   (* Cap concurrency at [jobs] by folding members into that many
      sequential chains; the pool schedules the chains over idle workers

@@ -22,6 +22,10 @@ type member =
   | M_pt of Pt.params
   | M_greedy of Greedy.params
   | M_exact of int option  (** [keep] for {!Exact.solve} *)
+  | M_hardware of Hardware.params
+      (** the QPU-workflow emulation ({!Hardware.sample}): races
+          topology-constrained sampling against the all-to-all heuristics;
+          its reads reach the shared verifier already unembedded *)
 
 type params = {
   members : member list;  (** raced samplers, in report order *)
@@ -38,6 +42,8 @@ type member_report = {
   elapsed : float;  (** wall-clock seconds this member ran *)
   cancelled : bool;  (** stopped early (win elsewhere or budget) *)
   failed : string option;  (** exception text if the member raised *)
+  hardware : Hardware.stats option;
+      (** chain/embedding diagnostics, for [M_hardware] members only *)
 }
 
 type result = {
@@ -57,7 +63,8 @@ val default : params
 (** [default_members ~seed:0], auto [jobs], no budget. *)
 
 val reseed : params -> int -> params
-(** Reseeds every member ([M_exact] is seedless and unchanged). *)
+(** Reseeds every member ([M_exact] is seedless and unchanged;
+    [M_hardware] reseeds its inner annealer). *)
 
 val run : ?params:params -> ?verify:(Qsmt_util.Bitvec.t -> bool) -> Qsmt_qubo.Qubo.t -> result
 (** Races the members. Without [verify] (and with no budget) every member

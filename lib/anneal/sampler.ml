@@ -6,6 +6,7 @@ type recipe =
   | R_greedy of Greedy.params
   | R_exact of int option
   | R_hardware of Hardware.params
+  | R_hardware_auto of (Qsmt_qubo.Qubo.t -> Hardware.params)
   | R_portfolio of Portfolio.params
   | R_custom of (Qsmt_qubo.Qubo.t -> Sampleset.t)
 
@@ -13,17 +14,27 @@ type t = { name : string; recipe : recipe }
 
 let name t = t.name
 
-let run ?verify t q =
+let run_detailed ?verify t q =
   match t.recipe with
-  | R_sa params -> Sa.sample ~params q
-  | R_sqa params -> Sqa.sample ~params q
-  | R_tabu params -> Tabu.sample ~params q
-  | R_pt params -> Pt.sample ~params q
-  | R_greedy params -> Greedy.sample ~params q
-  | R_exact keep -> Exact.solve ?keep q
-  | R_hardware params -> (Hardware.sample ~params q).Hardware.samples
-  | R_portfolio params -> (Portfolio.run ~params ?verify q).Portfolio.merged
-  | R_custom f -> f q
+  | R_sa params -> (Sa.sample ~params q, None)
+  | R_sqa params -> (Sqa.sample ~params q, None)
+  | R_tabu params -> (Tabu.sample ~params q, None)
+  | R_pt params -> (Pt.sample ~params q, None)
+  | R_greedy params -> (Greedy.sample ~params q, None)
+  | R_exact keep -> (Exact.solve ?keep q, None)
+  | R_hardware params ->
+    let r = Hardware.sample ~params q in
+    (r.Hardware.samples, Some r.Hardware.stats)
+  | R_hardware_auto f ->
+    let r = Hardware.sample ~params:(f q) q in
+    (r.Hardware.samples, Some r.Hardware.stats)
+  | R_portfolio params ->
+    let r = Portfolio.run ~params ?verify q in
+    ( r.Portfolio.merged,
+      List.find_map (fun rep -> rep.Portfolio.hardware) r.Portfolio.reports )
+  | R_custom f -> (f q, None)
+
+let run ?verify t q = fst (run_detailed ?verify t q)
 
 let make ~name f = { name; recipe = R_custom f }
 let simulated_annealing ?(params = Sa.default) () = { name = "sa"; recipe = R_sa params }
@@ -35,6 +46,7 @@ let parallel_tempering ?(params = Pt.default) () = { name = "pt"; recipe = R_pt 
 let greedy ?(params = Greedy.default) () = { name = "greedy"; recipe = R_greedy params }
 let exact ?keep () = { name = "exact"; recipe = R_exact keep }
 let hardware ~params = { name = "hardware"; recipe = R_hardware params }
+let hardware_auto f = { name = "hardware"; recipe = R_hardware_auto f }
 let portfolio ?(params = Portfolio.default) () = { name = "portfolio"; recipe = R_portfolio params }
 
 let with_seed t seed =
@@ -46,6 +58,11 @@ let with_seed t seed =
     | R_pt p -> R_pt { p with Pt.seed }
     | R_greedy p -> R_greedy { p with Greedy.seed }
     | R_hardware p -> R_hardware { p with Hardware.anneal = { p.Hardware.anneal with Sa.seed } }
+    | R_hardware_auto f ->
+      R_hardware_auto
+        (fun q ->
+          let p = f q in
+          { p with Hardware.anneal = { p.Hardware.anneal with Sa.seed } })
     | R_portfolio p -> R_portfolio (Portfolio.reseed p seed)
     | (R_exact _ | R_custom _) as r -> r
   in

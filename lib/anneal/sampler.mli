@@ -15,6 +15,18 @@ val run : ?verify:(Qsmt_util.Bitvec.t -> bool) -> t -> Qsmt_qubo.Qubo.t -> Sampl
     {!Portfolio.run}); every other sampler ignores it, keeping their
     output deterministic. *)
 
+val run_detailed :
+  ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  t ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t * Hardware.stats option
+(** {!run} plus the hardware diagnostics when the sampler went through
+    the hardware-emulation path: a {!hardware} / {!hardware_auto} sampler
+    always yields [Some], a {!portfolio} yields the first hardware
+    member's stats (if it has one), everything else [None]. This is how
+    the string solver surfaces chain-break fractions, embedding-cache
+    hits, and {!Hardware.degradation} in its outcomes. *)
+
 val make : name:string -> (Qsmt_qubo.Qubo.t -> Sampleset.t) -> t
 (** Wrap an arbitrary sampling function (used by tests to inject oracles
     and failure modes). {!with_seed} leaves such samplers unchanged. *)
@@ -26,8 +38,15 @@ val parallel_tempering : ?params:Pt.params -> unit -> t
 val greedy : ?params:Greedy.params -> unit -> t
 val exact : ?keep:int -> unit -> t
 val hardware : params:Hardware.params -> t
-(** Drops the hardware diagnostics; use {!Hardware.sample} directly when
-    you need chain statistics. *)
+(** The full QPU-workflow sampler. Chain statistics, cache hits and
+    degradation travel through {!run_detailed}; {!run} keeps only the
+    samples. *)
+
+val hardware_auto : (Qsmt_qubo.Qubo.t -> Hardware.params) -> t
+(** Like {!hardware}, but the parameters (typically the topology, via
+    {!Hardware.auto_topology}) are derived from each problem at sampling
+    time — what the CLI uses so one [--sampler hardware] flag serves
+    problems of any size. *)
 
 val portfolio : ?params:Portfolio.params -> unit -> t
 (** Races several samplers concurrently and merges their sample sets;

@@ -19,7 +19,15 @@ let aggregate entries =
     (fun e ->
       match Bits_tbl.find_opt tbl e.bits with
       | Some prior ->
-        Bits_tbl.replace tbl e.bits { prior with occurrences = prior.occurrences + e.occurrences }
+        (* Duplicate assignments can arrive with disagreeing energies
+           (e.g. a noisy hardware-model read merged with an exact one);
+           keeping the first seen made the merged energy depend on entry
+           order. The minimum is order-independent and never ranks an
+           assignment worse than any sampler priced it. *)
+        Bits_tbl.replace tbl e.bits
+          { prior with
+            energy = Float.min prior.energy e.energy;
+            occurrences = prior.occurrences + e.occurrences }
       | None -> Bits_tbl.add tbl e.bits e)
     entries;
   let all = Bits_tbl.fold (fun _ e acc -> e :: acc) tbl [] in

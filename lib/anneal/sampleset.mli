@@ -17,8 +17,10 @@ val of_bits : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t list -> t
     aggregates duplicates, sorts ascending by energy. *)
 
 val of_entries : entry list -> t
-(** Aggregates duplicate assignments (energies of duplicates must agree;
-    the first is kept), sorts ascending by energy. *)
+(** Aggregates duplicate assignments, sorts ascending by energy. When
+    duplicates disagree on energy (possible when noisy hardware-model
+    reads merge with exact ones) the minimum is kept — order-independent,
+    unlike the first-seen energy an earlier revision silently kept. *)
 
 val of_tracked : Qsmt_qubo.Qubo.t -> (Qsmt_util.Bitvec.t * float) list -> t
 (** [of_tracked q samples] builds a set from [(bits, energy)] pairs whose
@@ -53,7 +55,8 @@ val energies : t -> float array
 
 val filter : (entry -> bool) -> t -> t
 val merge : t -> t -> t
-(** Re-aggregates entries from both sets. *)
+(** Re-aggregates entries from both sets; duplicate assignments sum their
+    occurrences and keep the minimum energy (see {!of_entries}). *)
 
 val truncate : int -> t -> t
 (** Keeps the [k] lowest-energy entries. *)

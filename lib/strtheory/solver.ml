@@ -10,6 +10,7 @@ type outcome = {
   value : Constr.value;
   satisfied : bool;
   energy : float;
+  hardware : Qsmt_anneal.Hardware.stats option;
 }
 
 type stage_timing = { encode_s : float; sample_s : float; decode_s : float }
@@ -19,18 +20,25 @@ let default_sampler ~seed =
 
 let pick_value constr samples =
   (* First (= lowest-energy) sample whose decode verifies; otherwise the
-     overall best sample. *)
-  let entries = Sampleset.entries samples in
-  let decoded =
-    List.map (fun e -> (Compile.decode constr e.Sampleset.bits, e.Sampleset.energy)) entries
+     overall best sample. Decoding is lazy — the seed revision decoded
+     every entry up front, so a best read that verifies immediately still
+     paid for the whole set; now it costs exactly one decode. *)
+  let rec scan best = function
+    | [] -> begin
+      match best with
+      | Some (value, energy) -> (value, false, energy)
+      | None -> invalid_arg "Solver: sampler returned an empty sample set"
+    end
+    | e :: rest ->
+      let value = Compile.decode constr e.Sampleset.bits in
+      if Constr.verify constr value then (value, true, e.Sampleset.energy)
+      else
+        let best =
+          match best with Some _ -> best | None -> Some (value, e.Sampleset.energy)
+        in
+        scan best rest
   in
-  match List.find_opt (fun (v, _) -> Constr.verify constr v) decoded with
-  | Some (value, energy) -> (value, true, energy)
-  | None -> begin
-    match decoded with
-    | (value, energy) :: _ -> (value, false, energy)
-    | [] -> invalid_arg "Solver: sampler returned an empty sample set"
-  end
+  scan None (Sampleset.entries samples)
 
 let now () = Unix.gettimeofday ()
 
@@ -42,11 +50,11 @@ let solve_timed ?params ?sampler constr =
   (* The verifier lets portfolio samplers exit as soon as any read
      decodes to a satisfying value; deterministic samplers ignore it. *)
   let verify bits = Constr.verify constr (Compile.decode constr bits) in
-  let samples = Sampler.run ~verify sampler qubo in
+  let samples, hardware = Sampler.run_detailed ~verify sampler qubo in
   let t2 = now () in
   let value, satisfied, energy = pick_value constr samples in
   let t3 = now () in
-  ( { constr; qubo; samples; value; satisfied; energy },
+  ( { constr; qubo; samples; value; satisfied; energy; hardware },
     { encode_s = t1 -. t0; sample_s = t2 -. t1; decode_s = t3 -. t2 } )
 
 let solve ?params ?sampler constr = fst (solve_timed ?params ?sampler constr)

@@ -13,6 +13,11 @@ type outcome = {
   value : Constr.value;  (** see [solve] for how it is chosen *)
   satisfied : bool;  (** [Constr.verify constr value] *)
   energy : float;  (** energy of the sample behind [value] *)
+  hardware : Qsmt_anneal.Hardware.stats option;
+      (** chain/embedding diagnostics — qubits used, chain-break
+          fraction, embedding-cache hit, degradation — when the sampler
+          went through the hardware-emulation path; [None] for
+          all-to-all samplers *)
 }
 
 type stage_timing = {

@@ -68,6 +68,35 @@ wins and cancels the rest, so only the stable lines are compared):
   qubo      : qubo(vars=35, interactions=0, offset=21)
   result    : "olleh" (energy 0, verified)
 
+Hardware-emulation sampler: minor embedding into a Chimera graph, chain
+penalties, majority-vote unembedding. The stats line reports what the
+embedding cost; the auto-sizing probe shares its routing work with the
+solve through the embedding cache, hence the first-run cache hit:
+
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera | grep -v timing
+  constraint: find "world" within "hello world"
+  qubo      : qubo(vars=7, interactions=21, offset=0)
+  result    : position 6 (energy -5, verified)
+  hardware  : chimera(3,3,4): 28/72 qubits, max chain 11, breaks 0.0%, strength 12, embed tries 1 (cache hit), escalations 0
+
+  $ ../../bin/qsmt.exe gen palindrome 4 --sampler hardware --topology chimera | grep -v timing
+  constraint: generate a palindrome of length 4
+  qubo      : qubo(vars=28, interactions=14, offset=0)
+  result    : "X??X" (energy 0, verified)
+  hardware  : chimera(2,2,4): 28/32 qubits, max chain 1, breaks 0.0%, strength 4, embed tries 2 (cache hit), escalations 0
+
+Weak chains under heavy control noise degrade loudly, not silently: the
+chain strength escalates geometrically, and when breaks stay above the
+threshold the answer is flagged DEGRADED (and NOT satisfied — never a
+silent wrong answer):
+
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera --chain-strength 0.0001 --noise 2 --reads 8 --sweeps 200 | grep -v timing
+  constraint: find "world" within "hello world"
+  qubo      : qubo(vars=7, interactions=21, offset=0)
+  result    : position 0 (energy 0, NOT satisfied)
+  hardware  : chimera(3,3,4): 28/72 qubits, max chain 11, breaks 57.1%, strength 0.0008, embed tries 1 (cache hit), escalations 3
+  DEGRADED: 57.1% of chains still broken (threshold 25.0%)
+
 SMT-LIB runs with --sampler classical go through CDCL bit-blasting (an
 earlier revision silently fell back to the exact enumerator here):
 

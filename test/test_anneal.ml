@@ -66,6 +66,27 @@ let test_sampleset_aggregation () =
     (List.find (fun e -> Bitvec.to_string e.Sampleset.bits = "10") (Sampleset.entries s))
       .Sampleset.occurrences
 
+let test_sampleset_aggregate_min_energy () =
+  (* Duplicate assignments may arrive with disagreeing energies (noisy
+     physical pricing); aggregation must keep the minimum regardless of
+     arrival order, not whichever came first. *)
+  let s = Sampleset.of_entries [ entry "10" 3. 1; entry "10" 1. 2; entry "10" 2. 1 ] in
+  check Alcotest.int "one distinct" 1 (Sampleset.size s);
+  check (Alcotest.float 0.) "min energy kept" 1. (Sampleset.lowest_energy s);
+  check Alcotest.int "occurrences summed" 4 (Sampleset.total_reads s);
+  (* order independence *)
+  let s' = Sampleset.of_entries [ entry "10" 1. 2; entry "10" 2. 1; entry "10" 3. 1 ] in
+  check (Alcotest.float 0.) "order independent" (Sampleset.lowest_energy s)
+    (Sampleset.lowest_energy s');
+  (* merge goes through the same path *)
+  let m =
+    Sampleset.merge
+      (Sampleset.of_entries [ entry "01" 5. 1 ])
+      (Sampleset.of_entries [ entry "01" 4. 1 ])
+  in
+  check (Alcotest.float 0.) "merge keeps min" 4. (Sampleset.lowest_energy m);
+  check Alcotest.int "merge sums occurrences" 2 (Sampleset.total_reads m)
+
 let test_sampleset_of_bits () =
   let q = target_qubo "11" in
   let s = Sampleset.of_bits q [ Bitvec.of_string "11"; Bitvec.of_string "00"; Bitvec.of_string "11" ] in
@@ -597,6 +618,56 @@ let test_chain_break_fraction () =
     check (Alcotest.float 0.) "agreeing chains unbroken" 0.
       (Chain.chain_break_fraction ~embedding:emb all_ones)
 
+let test_unembed_tie_break_unbiased () =
+  (* Even-length chains can tie the majority vote. The seed revision
+     resolved every tie to 1 (2*ones >= len), biasing repaired reads
+     toward all-ones; with an rng the tie must split roughly evenly. *)
+  let emb = Embedding.of_chains [| [ 0; 1 ]; [ 2; 3 ] |] in
+  let tied = Bitvec.of_string "1001" in
+  (* no rng: deterministic, documented ties-to-one legacy behaviour *)
+  check Alcotest.string "no rng ties to one" "11"
+    (Bitvec.to_string (Chain.unembed ~embedding:emb tied));
+  let trials = 500 in
+  let ones = ref 0 in
+  let rng = Prng.create 42 in
+  for _ = 1 to trials do
+    if Bitvec.get (Chain.unembed ~rng ~embedding:emb tied) 0 then incr ones
+  done;
+  (* binomial(500, 0.5): [175, 325] is > 11 sigma, flake-proof *)
+  check Alcotest.bool "ties split evenly" true (!ones > 175 && !ones < 325);
+  (* unanimous chains are untouched by the rng *)
+  check Alcotest.string "unanimous unaffected" "10"
+    (Bitvec.to_string (Chain.unembed ~rng ~embedding:emb (Bitvec.of_string "1100")))
+
+let test_embedding_find_detailed () =
+  let problem = Qgraph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let hardware = Topology.graph (Topology.chimera ~m:1 ()) in
+  (match Embedding.find_detailed ~problem ~hardware () with
+  | None -> Alcotest.fail "K3 should embed in a chimera cell"
+  | Some (e, tries) ->
+    check Alcotest.bool "tries are 1-based" true (tries >= 1);
+    check (Alcotest.result Alcotest.unit Alcotest.string) "embedding valid" (Ok ())
+      (Embedding.validate ~problem ~hardware e));
+  match Embedding.find_detailed ~problem:(Qgraph.create 0) ~hardware () with
+  | Some (_, 0) -> ()
+  | Some (_, n) -> Alcotest.failf "empty problem reported %d tries" n
+  | None -> Alcotest.fail "empty problem should embed"
+
+let test_validate_rejects_mutated_chains () =
+  let problem = Qgraph.of_edges 2 [ (0, 1) ] in
+  let hardware = Qgraph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  (* a valid baseline... *)
+  check (Alcotest.result Alcotest.unit Alcotest.string) "baseline valid" (Ok ())
+    (Embedding.validate ~problem ~hardware (Embedding.of_chains [| [ 0; 1 ]; [ 2 ] |]));
+  (* ...then mutate it: overlapping chains (qubit 1 claimed twice) *)
+  (match Embedding.validate ~problem ~hardware (Embedding.of_chains [| [ 0; 1 ]; [ 1; 2 ] |]) with
+  | Ok () -> Alcotest.fail "overlapping chains must be rejected"
+  | Error _ -> ());
+  (* ...and a disconnected chain (qubits 0 and 2 are not adjacent) *)
+  match Embedding.validate ~problem ~hardware (Embedding.of_chains [| [ 0; 2 ]; [ 3 ] |]) with
+  | Ok () -> Alcotest.fail "disconnected chain must be rejected"
+  | Error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Hardware *)
 
@@ -614,11 +685,19 @@ let test_hardware_end_to_end () =
       Hardware.anneal = { sa_params with Sa.reads = 16; sweeps = 400 } }
   in
   let r = Hardware.sample ~params q in
+  let s = r.Hardware.stats in
   check (Alcotest.float 1e-9) "finds logical ground" (Exact.minimum_energy q)
     (Sampleset.lowest_energy r.Hardware.samples);
-  check Alcotest.int "physical size" 8 r.Hardware.physical_vars;
+  check Alcotest.int "whole topology size" 8 s.Hardware.hardware_qubits;
+  (* the seed revision reported the whole graph (8) here; qubits_used
+     must reflect the embedding, which cannot occupy fewer qubits than
+     logical variables nor more than the graph *)
+  check Alcotest.bool "qubits_used reflects embedding" true
+    (s.Hardware.qubits_used >= 3 && s.Hardware.qubits_used <= 8);
+  check Alcotest.bool "max chain covers usage" true
+    (s.Hardware.max_chain_length >= 1 && s.Hardware.qubits_used <= 3 * s.Hardware.max_chain_length);
   check Alcotest.bool "chain break fraction in [0,1]" true
-    (r.Hardware.mean_chain_break_fraction >= 0. && r.Hardware.mean_chain_break_fraction <= 1.)
+    (s.Hardware.mean_chain_break_fraction >= 0. && s.Hardware.mean_chain_break_fraction <= 1.)
 
 let test_hardware_embedding_failure () =
   (* 10 variables cannot embed into complete(3) *)
@@ -646,6 +725,157 @@ let test_hardware_noise_still_samples () =
   in
   let r = Hardware.sample ~params q in
   check Alcotest.int "8 reads out" 8 (Sampleset.total_reads r.Hardware.samples)
+
+(* a K4 that needs real chains on a chimera cell *)
+let k4_qubo () =
+  let b = Qubo.builder () in
+  for i = 0 to 3 do
+    Qubo.set b i i (-1.)
+  done;
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      Qubo.set b i j 2.
+    done
+  done;
+  Qubo.freeze b
+
+let test_hardware_embedding_cache () =
+  Hardware.clear_embedding_cache ();
+  let q = k4_qubo () in
+  let params =
+    { (Hardware.default_params (Topology.chimera ~m:1 ())) with
+      Hardware.anneal = { sa_params with Sa.reads = 8; sweeps = 200 } }
+  in
+  let r1 = Hardware.sample ~params q in
+  check Alcotest.bool "first solve misses" false r1.Hardware.stats.Hardware.embedding_cache_hit;
+  let r2 = Hardware.sample ~params q in
+  check Alcotest.bool "same shape hits" true r2.Hardware.stats.Hardware.embedding_cache_hit;
+  check Alcotest.int "one structure cached" 1 (Hardware.embedding_cache_size ());
+  (* cached and fresh runs agree bit for bit (same embedding, same seed) *)
+  check Alcotest.bool "same samples" true
+    (List.for_all2
+       (fun a b -> Bitvec.equal a.Sampleset.bits b.Sampleset.bits)
+       (Sampleset.entries r1.Hardware.samples)
+       (Sampleset.entries r2.Hardware.samples));
+  (* opting out leaves the cache alone *)
+  Hardware.clear_embedding_cache ();
+  let r3 = Hardware.sample ~params:{ params with Hardware.use_cache = false } q in
+  check Alcotest.bool "uncached run misses" false r3.Hardware.stats.Hardware.embedding_cache_hit;
+  check Alcotest.int "nothing cached" 0 (Hardware.embedding_cache_size ())
+
+(* A K7 needs chains of length up to ~11 on chimera(3) — long enough that
+   weak chain penalties reliably break them. *)
+let k7_qubo () =
+  let b = Qubo.builder () in
+  for i = 0 to 6 do
+    Qubo.set b i i (-1.)
+  done;
+  for i = 0 to 6 do
+    for j = i + 1 to 6 do
+      Qubo.set b i j 2.
+    done
+  done;
+  Qubo.freeze b
+
+let test_hardware_degradation_signal () =
+  (* Absurdly weak pinned chains under heavy noise: chains break, the
+     escalation loop is disabled, and the result must carry the typed
+     degradation record instead of passing silently. *)
+  let q = k7_qubo () in
+  let params =
+    { (Hardware.default_params (Topology.chimera ~m:3 ())) with
+      Hardware.chain_strength = Some 1e-4;
+      noise_sigma = 2.0;
+      max_escalations = 0;
+      anneal = { sa_params with Sa.reads = 16; sweeps = 200 } }
+  in
+  let r = Hardware.sample ~params q in
+  match r.Hardware.stats.Hardware.degraded with
+  | Some d ->
+    check Alcotest.bool "break fraction over threshold" true
+      (d.Hardware.break_fraction > d.Hardware.threshold);
+    check Alcotest.int "no escalations spent" 0 d.Hardware.escalations
+  | None -> Alcotest.fail "expected a degradation signal"
+
+let test_hardware_adaptive_escalates () =
+  let q = k7_qubo () in
+  let params =
+    { (Hardware.default_params (Topology.chimera ~m:3 ())) with
+      Hardware.chain_strength = Some 1e-4;
+      noise_sigma = 2.0;
+      max_escalations = 3;
+      anneal = { sa_params with Sa.reads = 16; sweeps = 200 } }
+  in
+  let r = Hardware.sample ~params q in
+  let s = r.Hardware.stats in
+  check Alcotest.bool "escalated at least once" true (s.Hardware.escalations >= 1);
+  check Alcotest.bool "strength grew geometrically" true
+    (s.Hardware.chain_strength > 1e-4
+    && s.Hardware.chain_strength <= 1e-4 *. (2. ** float_of_int s.Hardware.escalations) *. 1.001);
+  (* an adequate strength never escalates *)
+  let ok = Hardware.sample ~params:{ params with Hardware.chain_strength = None; noise_sigma = 0. } q in
+  check Alcotest.int "no escalation when healthy" 0 ok.Hardware.stats.Hardware.escalations;
+  check Alcotest.bool "not degraded" true (ok.Hardware.stats.Hardware.degraded = None)
+
+let test_hardware_auto_topology () =
+  let q = k4_qubo () in
+  check Alcotest.int "complete is exact" 4
+    (Topology.num_qubits (Hardware.auto_topology ~kind:`Complete q));
+  let t = Hardware.auto_topology ~kind:`Chimera q in
+  check Alcotest.bool "chimera fits the problem" true (Topology.num_qubits t >= 4);
+  (* the sizing probe's embedding is reusable: sampling on the returned
+     topology must succeed *)
+  let params =
+    { (Hardware.default_params t) with Hardware.anneal = { sa_params with Sa.reads = 8 } }
+  in
+  check (Alcotest.float 1e-9) "solves on auto topology" (Exact.minimum_energy q)
+    (Sampleset.lowest_energy (Hardware.sample ~params q).Hardware.samples)
+
+let test_hardware_param_validation () =
+  let q = target_qubo "1" in
+  let base = Hardware.default_params (Topology.complete 2) in
+  Alcotest.check_raises "break fraction range"
+    (Invalid_argument "Hardware.sample: max_break_fraction must be in (0, 1]") (fun () ->
+      ignore (Hardware.sample ~params:{ base with Hardware.max_break_fraction = 0. } q));
+  Alcotest.check_raises "growth factor"
+    (Invalid_argument "Hardware.sample: strength_growth must be > 1 when escalation is enabled")
+    (fun () -> ignore (Hardware.sample ~params:{ base with Hardware.strength_growth = 1. } q));
+  Alcotest.check_raises "negative escalations"
+    (Invalid_argument "Hardware.sample: negative max_escalations") (fun () ->
+      ignore (Hardware.sample ~params:{ base with Hardware.max_escalations = -1 } q))
+
+let test_sampler_run_detailed_stats () =
+  let q = target_qubo "110" in
+  let hw =
+    Sampler.hardware
+      ~params:
+        { (Hardware.default_params (Topology.complete 3)) with
+          Hardware.anneal = { sa_params with Sa.reads = 8 } }
+  in
+  let samples, stats = Sampler.run_detailed hw q in
+  check Alcotest.bool "hardware sampler reports stats" true (stats <> None);
+  check Alcotest.bool "samples flow through" false (Sampleset.is_empty samples);
+  let _, none = Sampler.run_detailed (Sampler.simulated_annealing ~params:sa_params ()) q in
+  check Alcotest.bool "all-to-all samplers report none" true (none = None)
+
+let test_portfolio_hardware_member () =
+  let q = k4_qubo () in
+  let hw_params =
+    { (Hardware.default_params (Topology.chimera ~m:1 ())) with
+      Hardware.anneal = { sa_params with Sa.reads = 8; sweeps = 200; domains = 1 } }
+  in
+  let params =
+    { Portfolio.default with
+      Portfolio.members = [ Portfolio.M_sa { sa_params with Sa.domains = 1 }; Portfolio.M_hardware hw_params ] }
+  in
+  let r = Portfolio.run ~params q in
+  let hw = List.find (fun rep -> rep.Portfolio.member_name = "hardware") r.Portfolio.reports in
+  check Alcotest.bool "report carries stats" true (hw.Portfolio.hardware <> None);
+  check Alcotest.bool "sa report has no stats" true
+    ((List.find (fun rep -> rep.Portfolio.member_name = "sa") r.Portfolio.reports).Portfolio.hardware
+    = None);
+  check (Alcotest.float 1e-9) "merged set has the ground" (Exact.minimum_energy q)
+    (Sampleset.lowest_energy r.Portfolio.merged)
 
 
 (* ------------------------------------------------------------------ *)
@@ -851,6 +1081,8 @@ let () =
       ( "sampleset",
         [
           Alcotest.test_case "aggregation" `Quick test_sampleset_aggregation;
+          Alcotest.test_case "aggregate keeps min energy" `Quick
+            test_sampleset_aggregate_min_energy;
           Alcotest.test_case "of_bits" `Quick test_sampleset_of_bits;
           Alcotest.test_case "empty" `Quick test_sampleset_empty;
           Alcotest.test_case "energies sorted" `Quick test_sampleset_energies_sorted;
@@ -978,6 +1210,9 @@ let () =
           Alcotest.test_case "empty problem" `Quick test_embedding_empty_problem;
           Alcotest.test_case "validate identity" `Quick test_validate_catches_overlap;
           Alcotest.test_case "validate missing edge" `Quick test_validate_catches_missing_edge;
+          Alcotest.test_case "find_detailed" `Quick test_embedding_find_detailed;
+          Alcotest.test_case "validate rejects mutated chains" `Quick
+            test_validate_rejects_mutated_chains;
         ] );
       ( "chain",
         [
@@ -985,11 +1220,19 @@ let () =
           Alcotest.test_case "embed preserves ground" `Quick test_chain_embed_energy_preserved;
           Alcotest.test_case "unembed majority" `Quick test_chain_unembed_majority;
           Alcotest.test_case "break fraction" `Quick test_chain_break_fraction;
+          Alcotest.test_case "unembed tie break unbiased" `Quick test_unembed_tie_break_unbiased;
         ] );
       ( "hardware",
         [
           Alcotest.test_case "end to end" `Quick test_hardware_end_to_end;
           Alcotest.test_case "embedding failure" `Quick test_hardware_embedding_failure;
           Alcotest.test_case "noise" `Quick test_hardware_noise_still_samples;
+          Alcotest.test_case "embedding cache" `Quick test_hardware_embedding_cache;
+          Alcotest.test_case "degradation signal" `Quick test_hardware_degradation_signal;
+          Alcotest.test_case "adaptive escalation" `Quick test_hardware_adaptive_escalates;
+          Alcotest.test_case "auto topology" `Quick test_hardware_auto_topology;
+          Alcotest.test_case "param validation" `Quick test_hardware_param_validation;
+          Alcotest.test_case "run_detailed stats" `Quick test_sampler_run_detailed_stats;
+          Alcotest.test_case "portfolio hardware member" `Quick test_portfolio_hardware_member;
         ] );
     ]

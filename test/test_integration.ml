@@ -15,6 +15,7 @@ module Sampleset = Qsmt_anneal.Sampleset
 module Sampler = Qsmt_anneal.Sampler
 module Topology = Qsmt_anneal.Topology
 module Embedding = Qsmt_anneal.Embedding
+module Chain = Qsmt_anneal.Chain
 module Hardware = Qsmt_anneal.Hardware
 module Metrics = Qsmt_anneal.Metrics
 module Spinglass = Qsmt_anneal.Spinglass
@@ -264,6 +265,82 @@ let test_hardware_on_string_constraint () =
   let decoded = Compile.decode constr (Sampleset.best r.Hardware.samples).Sampleset.bits in
   check Alcotest.bool "decodes to hi" true (Constr.verify constr decoded)
 
+let test_embed_anneal_unembed_preserves_table1 () =
+  (* The manual physical pipeline — embed_qubo, anneal the physical
+     problem, majority-vote back — must preserve satisfiability of the
+     paper's Table 1 formulations on Chimera: the best unembedded read
+     decodes to a value the classical checker accepts. *)
+  let suite =
+    [
+      Constr.Equals "qubo";
+      Constr.Concat [ "an"; "neal" ];
+      Constr.Palindrome { length = 6 };
+      Constr.Includes { haystack = "hello world"; needle = "world" };
+      Constr.Contains { length = 5; substring = "cat" };
+      Constr.Reverse "chain";
+    ]
+  in
+  List.iter
+    (fun constr ->
+      let q = Compile.to_qubo constr in
+      let topology = Hardware.auto_topology ~seed:3 ~kind:`Chimera q in
+      let problem = Qgraph.of_qubo q in
+      let hardware = Topology.graph topology in
+      match Embedding.find ~seed:3 ~tries:64 ~problem ~hardware () with
+      | None -> Alcotest.failf "no embedding for %s" (Constr.describe constr)
+      | Some e ->
+        let e = Embedding.trim ~problem ~hardware e in
+        let physical =
+          Chain.embed_qubo q ~embedding:e ~hardware
+            ~chain_strength:(Chain.default_strength q)
+        in
+        let s =
+          Sa.sample ~params:{ Sa.default with Sa.reads = 32; sweeps = 1000; seed = 3 } physical
+        in
+        let rng = Prng.create 3 in
+        let best =
+          List.fold_left
+            (fun acc entry ->
+              let bits = Chain.unembed ~rng ~embedding:e entry.Sampleset.bits in
+              let energy = Qubo.energy q bits in
+              match acc with
+              | Some (_, e0) when e0 <= energy -> acc
+              | _ -> Some (bits, energy))
+            None (Sampleset.entries s)
+        in
+        let bits, _ = Option.get best in
+        let decoded = Compile.decode constr bits in
+        if not (Constr.verify constr decoded) then
+          Alcotest.failf "satisfiability lost through embedding for %s (decoded %s)"
+            (Constr.describe constr)
+            (Format.asprintf "%a" Constr.pp_value decoded))
+    suite
+
+let test_solver_carries_hardware_stats () =
+  (* solve_timed through the hardware sampler surfaces the diagnostics;
+     a second same-shape solve reuses the cached embedding. *)
+  Hardware.clear_embedding_cache ();
+  let constr = Constr.Includes { haystack = "hello world"; needle = "world" } in
+  let mk () =
+    Sampler.hardware_auto (fun q ->
+        { (Hardware.default_params (Hardware.auto_topology ~seed:0 ~kind:`Chimera q)) with
+          Hardware.anneal = { Sa.default with Sa.reads = 16; sweeps = 400; seed = 0 } })
+  in
+  let first = Solver.solve ~sampler:(mk ()) constr in
+  (match first.Solver.hardware with
+  | None -> Alcotest.fail "hardware outcome missing"
+  | Some s ->
+    check Alcotest.bool "qubits used positive" true (s.Hardware.qubits_used > 0);
+    check Alcotest.bool "not degraded" true (s.Hardware.degraded = None));
+  let second = Solver.solve ~sampler:(mk ()) constr in
+  (match second.Solver.hardware with
+  | None -> Alcotest.fail "hardware outcome missing on rerun"
+  | Some s -> check Alcotest.bool "same shape hits cache" true s.Hardware.embedding_cache_hit);
+  (* all-to-all samplers keep the field empty *)
+  check Alcotest.bool "sa has no hardware stats" true
+    ((Solver.solve ~sampler constr).Solver.hardware = None);
+  Hardware.clear_embedding_cache ()
+
 (* ------------------------------------------------------------------ *)
 (* pipeline across solver families *)
 
@@ -328,6 +405,10 @@ let () =
           Alcotest.test_case "trim shrinks chains" `Quick test_embedding_trim_shrinks;
           Alcotest.test_case "string constraint end-to-end" `Quick
             test_hardware_on_string_constraint;
+          Alcotest.test_case "embed+anneal+unembed preserves Table 1" `Quick
+            test_embed_anneal_unembed_preserves_table1;
+          Alcotest.test_case "solver carries hardware stats" `Quick
+            test_solver_carries_hardware_stats;
         ] );
       ( "pipeline",
         [
