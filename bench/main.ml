@@ -61,8 +61,26 @@ module Strsolver = Qsmt_classical.Strsolver
 module Workload = Qsmt_strtheory.Workload
 module Brute = Qsmt_classical.Brute
 module Rparser = Qsmt_regex.Parser
+module Telemetry = Qsmt_util.Telemetry
 
 let fast = Sys.getenv_opt "QSMT_BENCH_FAST" <> None
+
+(* QSMT_BENCH_TRACE=path streams the instrumented sections (Figure 1,
+   Ext-7) through the same JSONL sink the CLI's --trace uses, so bench
+   traces and CLI traces are byte-compatible and `qsmt trace` validates
+   both. Unset: the null handle, which costs one pointer compare. *)
+let trace_path = Sys.getenv_opt "QSMT_BENCH_TRACE"
+
+let telemetry, close_trace =
+  match trace_path with
+  | None -> (Telemetry.null, fun () -> ())
+  | Some path ->
+    let oc = open_out path in
+    let t = Telemetry.jsonl oc in
+    ( t,
+      fun () ->
+        Telemetry.flush t;
+        close_out oc )
 let reads = if fast then 8 else 32
 let sweeps = if fast then 200 else 1000
 let now = Unix.gettimeofday
@@ -213,7 +231,7 @@ let figure1 () =
     "output";
   List.iter
     (fun constr ->
-      let outcome, timing = Solver.solve_timed ~sampler:(sa_sampler ~seed:1) constr in
+      let outcome, timing = Solver.solve_timed ~sampler:(sa_sampler ~seed:1) ~telemetry constr in
       Format.printf "%-55s %6d %8.1fus %8.1fms %8.1fus  %a@." (Constr.describe constr)
         (Qubo.num_vars outcome.Solver.qubo)
         (1e6 *. timing.Solver.encode_s)
@@ -520,15 +538,17 @@ let ext7 () =
   Format.printf "%-8s %10s %10s %12s %14s@." "sampler" "p_succ" "t/read" "TTS(99%)" "residual E";
   List.iter
     (fun sampler ->
-      let samples, dt = time_it (fun () -> Sampler.run sampler q) in
+      let samples, dt = time_it (fun () -> Sampler.run ~telemetry sampler q) in
       let n_reads = Sampleset.total_reads samples in
       let time_per_read = dt /. float_of_int (max 1 n_reads) in
       let p = Metrics.success_probability samples ~ground_energy:ground () in
       let tts = if p > 0. then Metrics.time_to_solution ~time_per_read ~p_success:p () else None in
-      Format.printf "%-8s %9.0f%% %8.2fms %12s %14.3f@." (Sampler.name sampler) (100. *. p)
+      Format.printf "%-8s %9.0f%% %8.2fms %12s %14s@." (Sampler.name sampler) (100. *. p)
         (1e3 *. time_per_read)
         (Format.asprintf "%a" Metrics.pp_tts tts)
-        (Metrics.residual_energy samples ~ground_energy:ground))
+        (match Metrics.residual_energy samples ~ground_energy:ground with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "n/a"))
     (Sampler.default_suite ~seed:21);
   subheader "SA convergence (mean best energy vs sweep) on the same instance";
   let t = Convergence.sa_trajectory ~reads:(max 8 (reads / 2)) ~sweeps:(max 100 (sweeps / 2)) ~seed:2 q in
@@ -768,4 +788,8 @@ let () =
   ext8 ();
   ext9 ();
   bechamel_section ();
+  close_trace ();
+  (match trace_path with
+  | Some path -> Format.printf "@.telemetry trace written to %s@." path
+  | None -> ());
   Format.printf "@.total wall clock: %.1f s@." (now () -. t0)

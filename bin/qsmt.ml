@@ -4,6 +4,7 @@
      qsmt run FILE.smt2        execute an SMT-LIB script
      qsmt gen OP ARGS          generate a string for one operation
      qsmt matrix OP ARGS       print the QUBO matrix for one operation
+     qsmt trace FILE.jsonl     validate a telemetry trace
      qsmt samplers             list available samplers
 
    `qsmt gen --help` documents the operations. *)
@@ -28,6 +29,9 @@ module Smtgen = Qsmt_strtheory.Smtgen
 module Qubo_io = Qsmt_qubo.Qubo_io
 module Dimacs = Qsmt_classical.Dimacs
 module Bitblast = Qsmt_classical.Bitblast
+module Telemetry = Qsmt_util.Telemetry
+module Sampleset = Qsmt_anneal.Sampleset
+module Metrics = Qsmt_anneal.Metrics
 
 open Cmdliner
 
@@ -112,6 +116,75 @@ let noise_arg =
         ~doc:
           "Gaussian control-noise std-dev on every physical coefficient, relative to the largest \
            |coefficient| ($(b,--sampler hardware) only; default 0 = ideal hardware).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL telemetry trace of the whole solve pipeline (encode/sample/decode spans, \
+           sweep-level sampler events, portfolio lifecycle) to $(docv), one JSON object per line. \
+           Validate with $(b,qsmt trace FILE).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print a telemetry summary (span totals, counters, histograms, time-to-solution) after \
+           solving. Works with or without $(b,--trace).")
+
+(* The --metrics summary table: reads the aggregates maintained on the
+   handle, so it needs no event stream (aggregate-only handles discard
+   it). [tts] rides along from the caller because time-to-solution needs
+   the outcome, not just the aggregates. *)
+let print_metrics ?tts t =
+  let spans = Telemetry.span_totals t in
+  if spans <> [] then begin
+    Format.printf "metrics   : spans (count, total)@.";
+    List.iter
+      (fun (name, n, total) -> Format.printf "  %-26s %6d %10.2fms@." name n (1e3 *. total))
+      spans
+  end;
+  let counters = Telemetry.counters t in
+  if counters <> [] then begin
+    Format.printf "metrics   : counters@.";
+    List.iter (fun (name, v) -> Format.printf "  %-26s %6d@." name v) counters
+  end;
+  let hists = Telemetry.histograms t in
+  if hists <> [] then begin
+    Format.printf "metrics   : histograms (count, min, mean, max)@.";
+    List.iter
+      (fun (name, h) ->
+        Format.printf "  %-26s %6d %10.4g %10.4g %10.4g@." name h.Telemetry.h_count
+          h.Telemetry.h_min h.Telemetry.h_mean h.Telemetry.h_max)
+      hists
+  end;
+  match tts with
+  | None -> ()
+  | Some (p_success, time_per_read, tts) ->
+    Format.printf "metrics   : time-to-solution@.";
+    Format.printf "  p_success                  %10.3f@." p_success;
+    Format.printf "  time_per_read              %8.3fms@." (1e3 *. time_per_read);
+    Format.printf "  tts(99%%)                   %10s@." (Format.asprintf "%a" Metrics.pp_tts tts)
+
+(* Threads a telemetry handle matching --trace/--metrics through [f]:
+   JSONL writer when tracing (flushed with counter/histogram summaries on
+   the way out), aggregate-only when only --metrics asked, {!Telemetry.null}
+   otherwise. [tts_of] derives the summary's TTS row from f's result. *)
+let with_telemetry ~trace ~metrics ?tts_of f =
+  let summarize t r =
+    if metrics then
+      print_metrics ?tts:(match tts_of with None -> None | Some g -> g r) t;
+    r
+  in
+  match trace with
+  | Some path -> Telemetry.with_jsonl path (fun t -> summarize t (f t))
+  | None when metrics ->
+    let t = Telemetry.aggregate_only () in
+    summarize t (f t)
+  | None -> f Telemetry.null
 
 (* Callers must route [`Classical] to the CDCL bit-blasting path before
    coming here — it is a different solver family, not a sampler, and an
@@ -251,8 +324,27 @@ let op_args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Op
 (* ------------------------------------------------------------------ *)
 (* gen *)
 
+(* TTS row of the --metrics summary, consistent with
+   [Metrics.time_to_solution]: p_success is the fraction of reads at or
+   below the verified sample's energy (0 when nothing verified, printing
+   "n/a"), time_per_read the raw sampling wall time split across
+   reads. *)
+let gen_tts (outcome, timing) =
+  let reads = Sampleset.total_reads outcome.Solver.samples in
+  if reads = 0 || timing.Solver.sample_s <= 0. then None
+  else begin
+    let time_per_read = timing.Solver.sample_s /. float_of_int reads in
+    let p_success =
+      if outcome.Solver.satisfied then
+        Metrics.success_probability outcome.Solver.samples
+          ~ground_energy:outcome.Solver.energy ()
+      else 0.
+    in
+    Some (p_success, time_per_read, Metrics.time_to_solution ~time_per_read ~p_success ())
+  end
+
 let gen_action op args sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise show_matrix =
+    chain_strength noise show_matrix trace metrics =
   match constraint_of_op op args with
   | Error (`Msg m) ->
     prerr_endline ("qsmt: " ^ m);
@@ -282,21 +374,26 @@ let gen_action op args sampler_kind seed reads sweeps domains jobs budget topolo
           build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
             ~topology_size ~chain_strength ~noise
         in
-        let outcome, timing = Solver.solve_timed ~sampler constr in
-        if show_matrix then
-          Format.printf "matrix    :@.%a@."
-            (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
-            outcome.Solver.qubo;
-        Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
-        Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value outcome.Solver.value
-          outcome.Solver.energy
-          (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
-        (match outcome.Solver.hardware with
-        | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
-        | None -> ());
-        Format.printf "timing    : encode %.1fus anneal %.1fms decode %.1fus@."
-          (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
-          (1e6 *. timing.Solver.decode_s);
+        let outcome, timing =
+          with_telemetry ~trace ~metrics ~tts_of:gen_tts (fun telemetry ->
+              let outcome, timing = Solver.solve_timed ~sampler ~telemetry constr in
+              if show_matrix then
+                Format.printf "matrix    :@.%a@."
+                  (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
+                  outcome.Solver.qubo;
+              Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
+              Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value
+                outcome.Solver.value outcome.Solver.energy
+                (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
+              (match outcome.Solver.hardware with
+              | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
+              | None -> ());
+              Format.printf "timing    : encode %.1fus anneal %.1fms decode %.1fus verify %.1fus@."
+                (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
+                (1e6 *. timing.Solver.decode_s) (1e6 *. timing.Solver.verify_s);
+              (outcome, timing))
+        in
+        ignore timing;
         if outcome.Solver.satisfied then 0 else 1
       end
   end
@@ -309,7 +406,7 @@ let gen_cmd =
     Term.(
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
       $ domains_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
-      $ chain_strength_arg $ noise_arg $ show_matrix)
+      $ chain_strength_arg $ noise_arg $ show_matrix $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -355,20 +452,21 @@ let matrix_cmd =
 (* run *)
 
 let run_action path sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise =
+    chain_strength noise trace metrics =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
   let result =
-    match sampler_kind with
-    | `Classical -> Interp.run_string ~backend:(classical_backend ()) source
-    | _ ->
-      let sampler =
-        build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
-          ~topology_size ~chain_strength ~noise
-      in
-      Interp.run_string ~sampler source
+    with_telemetry ~trace ~metrics (fun telemetry ->
+        match sampler_kind with
+        | `Classical -> Interp.run_string ~backend:(classical_backend ()) ~telemetry source
+        | _ ->
+          let sampler =
+            build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
+              ~topology_size ~chain_strength ~noise
+          in
+          Interp.run_string ~sampler ~telemetry source)
   in
   match result with
   | Ok lines ->
@@ -387,7 +485,7 @@ let run_cmd =
     Term.(
       const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
       $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
-      $ noise_arg)
+      $ noise_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -445,6 +543,40 @@ let export_cmd =
     Term.(const export_action $ op_arg $ op_args $ format)
 
 (* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_action path =
+  match Telemetry.validate_jsonl_file path with
+  | Ok n ->
+    Format.printf "%s: %d events, well-formed JSONL, monotone timestamps@." path n;
+    0
+  | Error msg ->
+    prerr_endline ("qsmt: invalid trace: " ^ msg);
+    2
+  | exception Sys_error msg ->
+    prerr_endline ("qsmt: " ^ msg);
+    2
+
+let trace_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Validate a telemetry trace: every line a JSON object with an event name and timestamp, \
+          timestamps non-decreasing. Exits 0 and prints the event count on success."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "qsmt gen reverse hello --trace t.jsonl && qsmt trace t.jsonl";
+         ])
+    Term.(const trace_action $ path)
+
+(* ------------------------------------------------------------------ *)
 (* samplers *)
 
 let samplers_action () =
@@ -466,6 +598,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "qsmt" ~version:"1.0.0"
        ~doc:"Quantum-annealing SMT solver for the theory of strings (QUBO formulations).")
-    [ run_cmd; gen_cmd; matrix_cmd; export_cmd; samplers_cmd ]
+    [ run_cmd; gen_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

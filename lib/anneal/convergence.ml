@@ -23,7 +23,7 @@ let sa_trajectory ?(reads = 16) ?(sweeps = 500) ?(seed = 0) q =
   for r = 0 to reads - 1 do
     let rng = Prng.stream ~seed r in
     let best = ref infinity in
-    let on_sweep ~sweep ~energy =
+    let on_sweep ~sweep ~energy ~accepted:_ =
       if energy < !best then best := energy;
       sum_best.(sweep) <- sum_best.(sweep) +. !best;
       sum_current.(sweep) <- sum_current.(sweep) +. energy

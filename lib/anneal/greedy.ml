@@ -1,6 +1,7 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -35,13 +36,14 @@ let descend q x =
   descend_fields fields;
   Fields.spins fields
 
-let sample ?(params = default) ?stop ?on_read q =
+let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.restarts < 1 then invalid_arg "Greedy.sample: restarts < 1";
   let n = Qubo.num_vars q in
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let ising = Ising.of_qubo q in
     let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
     let run r =
       if stopped () then None
       else begin
@@ -49,6 +51,10 @@ let sample ?(params = default) ?stop ?on_read q =
         let fields = Fields.create ising (Bitvec.random rng n) in
         descend_fields fields;
         let bits = Fields.spins fields in
+        if tracked then begin
+          Telemetry.count telemetry "greedy.reads" 1;
+          Telemetry.observe telemetry "greedy.read_energy" (Fields.energy fields)
+        end;
         (match on_read with Some f -> f bits | None -> ());
         Some (bits, Fields.energy fields)
       end

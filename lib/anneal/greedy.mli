@@ -18,12 +18,14 @@ val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per restart: the local minimum reached by steepest descent
     from a random start. [stop] and [on_read] follow the cooperative
     cancellation contract documented at {!Sa.sample} (descents are not
-    interrupted mid-run; [stop] skips remaining restarts). *)
+    interrupted mid-run; [stop] skips remaining restarts). [telemetry]
+    records [greedy.reads] and a [greedy.read_energy] histogram. *)
 
 val descend : Qsmt_qubo.Qubo.t -> Qsmt_util.Bitvec.t -> Qsmt_util.Bitvec.t
 (** [descend q x] runs steepest descent from [x] (not mutated) and

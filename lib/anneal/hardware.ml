@@ -1,5 +1,6 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Qgraph = Qsmt_qubo.Qgraph
 
@@ -170,13 +171,14 @@ let validate_params p =
   if p.max_escalations > 0 && p.strength_growth <= 1. then
     invalid_arg "Hardware.sample: strength_growth must be > 1 when escalation is enabled"
 
-let sample ?params ?stop ?on_read q =
+let sample ?params ?stop ?on_read ?(telemetry = Telemetry.null) q =
   let params =
     match params with
     | Some p -> p
     | None -> invalid_arg "Hardware.sample: params required (a topology must be chosen)"
   in
   validate_params params;
+  let tracked = Telemetry.enabled telemetry in
   let hardware = Topology.graph params.topology in
   let problem = Qgraph.of_qubo q in
   let seed = params.anneal.Sa.seed in
@@ -192,6 +194,15 @@ let sample ?params ?stop ?on_read q =
            (Printf.sprintf "no embedding of %d-variable problem into %s after %d tries"
               (Qubo.num_vars q) (Topology.name params.topology) params.embed_tries))
   in
+  if tracked then
+    Telemetry.emit telemetry "hardware.embed"
+      [
+        ("topology", Telemetry.Str (Topology.name params.topology));
+        ("cache_hit", Telemetry.Bool embedding_cache_hit);
+        ("tries", Telemetry.Int embed_tries_used);
+        ("qubits_used", Telemetry.Int (Embedding.total_qubits_used embedding));
+        ("max_chain", Telemetry.Int (Embedding.max_chain_length embedding));
+      ];
   let base_strength =
     match params.chain_strength with Some c -> c | None -> Chain.default_strength q
   in
@@ -219,7 +230,7 @@ let sample ?params ?stop ?on_read q =
         let tie_rng = derived k 3 in
         Some (fun bits -> f (Chain.unembed ~rng:tie_rng ~embedding bits))
     in
-    let physical_set = Sa.sample ~params:anneal_params ?stop ?on_read physical in
+    let physical_set = Sa.sample ~params:anneal_params ?stop ?on_read ~telemetry physical in
     (* Project each *distinct* physical read once (the seed revision
        re-ran the majority vote per occurrence), weighting the break
        statistic by occurrence count. *)
@@ -237,12 +248,31 @@ let sample ?params ?stop ?on_read q =
         (Sampleset.entries physical_set)
     in
     let break_fraction = if !reads = 0 then 0. else !breaks /. float_of_int !reads in
+    if tracked then
+      Telemetry.emit telemetry "hardware.attempt"
+        [
+          ("attempt", Telemetry.Int k);
+          ("strength", Telemetry.Float strength);
+          ("break_fraction", Telemetry.Float break_fraction);
+          ("reads", Telemetry.Int !reads);
+        ];
     let acc = List.rev_append logical acc in
     if
       break_fraction > params.max_break_fraction
       && k < params.max_escalations
       && not (stopped ())
-    then attempt (k + 1) (strength *. params.strength_growth) acc
+    then begin
+      if tracked then begin
+        Telemetry.count telemetry "hardware.escalations" 1;
+        Telemetry.emit telemetry "hardware.escalate"
+          [
+            ("attempt", Telemetry.Int (k + 1));
+            ("strength", Telemetry.Float (strength *. params.strength_growth));
+            ("break_fraction", Telemetry.Float break_fraction);
+          ]
+      end;
+      attempt (k + 1) (strength *. params.strength_growth) acc
+    end
     else (k, strength, break_fraction, acc)
   in
   let escalations, chain_strength, break_fraction, entries = attempt 0 base_strength [] in
@@ -251,6 +281,13 @@ let sample ?params ?stop ?on_read q =
       Some { break_fraction; threshold = params.max_break_fraction; escalations }
     else None
   in
+  if tracked && degraded <> None then
+    Telemetry.emit telemetry "hardware.degraded"
+      [
+        ("break_fraction", Telemetry.Float break_fraction);
+        ("threshold", Telemetry.Float params.max_break_fraction);
+        ("escalations", Telemetry.Int escalations);
+      ];
   {
     samples = Sampleset.of_entries entries;
     embedding;

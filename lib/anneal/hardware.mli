@@ -96,12 +96,22 @@ val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   result
 (** [stop] and [on_read] have {!Sa.sample} semantics — [on_read] observes
     each completed read already projected to {e logical} bits (majority
     vote, seeded tie-breaks), which is what the portfolio's verifier
     needs; [stop] also aborts pending escalation retries.
+
+    [telemetry] records the QPU workflow as events: [hardware.embed]
+    (topology, cache_hit, tries, qubits_used, max_chain) once per call,
+    [hardware.attempt] (attempt, strength, break_fraction, reads) per
+    read batch, [hardware.escalate] + a [hardware.escalations] counter
+    each time the chain strength is raised, and [hardware.degraded] when
+    the final batch still exceeds the break threshold. The inner annealer
+    shares the handle, so its [sa.sweep] stream is interleaved (its
+    energies are of the {e physical} embedded problem).
     @raise Embedding_failed if the problem does not fit the topology.
     @raise Invalid_argument on nonsensical parameters. *)
 

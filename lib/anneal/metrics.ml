@@ -34,7 +34,7 @@ let time_to_solution ~time_per_read ~p_success ?(confidence = 0.99) () =
 
 let residual_energy samples ~ground_energy =
   let total = Sampleset.total_reads samples in
-  if total = 0 then nan
+  if total = 0 then None
   else begin
     let sum =
       List.fold_left
@@ -42,11 +42,11 @@ let residual_energy samples ~ground_energy =
           acc +. ((e.Sampleset.energy -. ground_energy) *. float_of_int e.Sampleset.occurrences))
         0. (Sampleset.entries samples)
     in
-    sum /. float_of_int total
+    Some (sum /. float_of_int total)
   end
 
 let pp_tts ppf = function
-  | None -> Format.pp_print_string ppf "inf"
+  | None -> Format.pp_print_string ppf "n/a"
   | Some t ->
     if t >= 1. then Format.fprintf ppf "%.2f s" t
     else if t >= 1e-3 then Format.fprintf ppf "%.2f ms" (1e3 *. t)

@@ -26,9 +26,13 @@ val time_to_solution :
     @raise Invalid_argument on non-positive [time_per_read] or
     [confidence] outside (0,1). *)
 
-val residual_energy : Sampleset.t -> ground_energy:float -> float
-(** Mean energy above ground across all reads (0 = every read perfect).
-    [nan] for an empty set. *)
+val residual_energy : Sampleset.t -> ground_energy:float -> float option
+(** Mean energy above ground across all reads ([Some 0.] = every read
+    perfect). [None] for an empty set — the mean of nothing is not a
+    number, and the seed revision's [nan] leaked into JSON output as a
+    parse error. *)
 
 val pp_tts : Format.formatter -> float option -> unit
-(** Human units ("3.2 ms", "inf" for [None]). *)
+(** Human units ("3.2 ms"). [None] — the ground state was never seen, so
+    no finite repeat count reaches the confidence target — prints "n/a"
+    rather than the misleading "inf". *)

@@ -1,5 +1,6 @@
 module Bitvec = Qsmt_util.Bitvec
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 
 type member =
@@ -72,19 +73,19 @@ let reseed params seed = { params with members = List.map (member_with_seed seed
 (* Returns the member's samples plus the hardware diagnostics when the
    member is the QPU-workflow emulation (its [on_read] already sees
    logical bits, so the shared verifier applies unchanged). *)
-let run_member ~stop ~on_read member q =
+let run_member ~stop ~on_read ~telemetry member q =
   match member with
-  | M_sa params -> (Sa.sample ~params ~stop ~on_read q, None)
-  | M_sqa params -> (Sqa.sample ~params ~stop ~on_read q, None)
-  | M_tabu params -> (Tabu.sample ~params ~stop ~on_read q, None)
-  | M_pt params -> (Pt.sample ~params ~stop ~on_read q, None)
-  | M_greedy params -> (Greedy.sample ~params ~stop ~on_read q, None)
+  | M_sa params -> (Sa.sample ~params ~stop ~on_read ~telemetry q, None)
+  | M_sqa params -> (Sqa.sample ~params ~stop ~on_read ~telemetry q, None)
+  | M_tabu params -> (Tabu.sample ~params ~stop ~on_read ~telemetry q, None)
+  | M_pt params -> (Pt.sample ~params ~stop ~on_read ~telemetry q, None)
+  | M_greedy params -> (Greedy.sample ~params ~stop ~on_read ~telemetry q, None)
   | M_exact keep -> (Exact.solve ?keep ~stop q, None)
   | M_hardware params ->
-    let r = Hardware.sample ~params ~stop ~on_read q in
+    let r = Hardware.sample ~params ~stop ~on_read ~telemetry q in
     (r.Hardware.samples, Some r.Hardware.stats)
 
-let run ?(params = default) ?verify q =
+let run ?(params = default) ?verify ?(telemetry = Telemetry.null) q =
   if params.members = [] then invalid_arg "Portfolio.run: no members";
   (match params.budget with
   | Some b when b <= 0. -> invalid_arg "Portfolio.run: budget <= 0"
@@ -100,15 +101,26 @@ let run ?(params = default) ?verify q =
      at their next poll point. *)
   let stop_all = Atomic.make false in
   let winner = Atomic.make None in
+  let tracked = Telemetry.enabled telemetry in
   let try_win name bits =
     (* Copy before publishing: heuristic reads hand us their live buffer. *)
-    if Atomic.compare_and_set winner None (Some (name, Bitvec.copy bits)) then
-      Atomic.set stop_all true
+    if Atomic.compare_and_set winner None (Some (name, Bitvec.copy bits)) then begin
+      Atomic.set stop_all true;
+      if tracked then
+        Telemetry.emit telemetry "portfolio.winner"
+          [
+            ("member", Telemetry.Str name);
+            ("elapsed_s", Telemetry.Float (Unix.gettimeofday () -. t0));
+          ]
+    end
   in
   let reports = Array.make n None in
   let run_one k =
     let m = members.(k) in
     let name = member_name m in
+    if tracked then
+      Telemetry.emit telemetry "portfolio.member.start"
+        [ ("member", Telemetry.Str name); ("index", Telemetry.Int k) ];
     let started = Unix.gettimeofday () in
     let deadline =
       match params.budget with Some b -> Some (started +. b) | None -> None
@@ -125,7 +137,7 @@ let run ?(params = default) ?verify q =
     let samples, hardware, failed =
       if Atomic.get stop_all then (Sampleset.empty, None, None)
       else
-        match run_member ~stop ~on_read m q with
+        match run_member ~stop ~on_read ~telemetry m q with
         | samples, hardware -> (samples, hardware, None)
         | exception e -> (Sampleset.empty, None, Some (Printexc.to_string e))
     in
@@ -144,6 +156,16 @@ let run ?(params = default) ?verify q =
       (Atomic.get stop_all || match deadline with Some d -> finished > d | None -> false)
       && failed = None
     in
+    if tracked then
+      Telemetry.emit telemetry "portfolio.member.done"
+        [
+          ("member", Telemetry.Str name);
+          ("index", Telemetry.Int k);
+          ("elapsed_s", Telemetry.Float (finished -. started));
+          ("reads", Telemetry.Int (Sampleset.total_reads samples));
+          ("cancelled", Telemetry.Bool cancelled);
+          ("failed", Telemetry.Bool (failed <> None));
+        ];
     reports.(k) <-
       Some
         { member_name = name; samples; elapsed = finished -. started; cancelled; failed; hardware }

@@ -66,11 +66,24 @@ val reseed : params -> int -> params
 (** Reseeds every member ([M_exact] is seedless and unchanged;
     [M_hardware] reseeds its inner annealer). *)
 
-val run : ?params:params -> ?verify:(Qsmt_util.Bitvec.t -> bool) -> Qsmt_qubo.Qubo.t -> result
+val run :
+  ?params:params ->
+  ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  Qsmt_qubo.Qubo.t ->
+  result
 (** Races the members. Without [verify] (and with no budget) every member
     runs to completion and [merged] is deterministic — a pure function of
     [params], independent of [jobs]. With [verify], member sample sets
     may be truncated by early exit, but [merged] always contains the
     winning read.
+
+    [telemetry] is shared with every member (their sweep streams and
+    counters interleave in the trace) and additionally records the member
+    lifecycle: [portfolio.member.start] (member, index),
+    [portfolio.member.done] (member, index, elapsed_s, reads, cancelled,
+    failed) and [portfolio.winner] (member, elapsed_s since the race
+    started) the instant a verified read is published. The telemetry sink
+    is mutex-serialised, so concurrent members may emit freely.
     @raise Invalid_argument on an empty member list or non-positive
     budget. *)

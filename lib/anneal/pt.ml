@@ -1,6 +1,7 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -26,7 +27,7 @@ let default =
     domains = 1;
   }
 
-let run_read ~ising ~params ~betas ?stop rng =
+let run_read ~ising ~params ~betas ?stop ?on_sweep rng =
   let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let k = Array.length betas in
@@ -56,7 +57,8 @@ let run_read ~ising ~params ~betas ?stop rng =
       done;
       note_best r
     done;
-    if sweep mod params.exchange_interval = 0 then
+    let swaps = ref 0 in
+    if sweep mod params.exchange_interval = 0 then begin
       (* alternate even/odd neighbor pairs to keep proposals independent *)
       let parity = sweep / params.exchange_interval mod 2 in
       let r = ref parity in
@@ -68,14 +70,19 @@ let run_read ~ising ~params ~betas ?stop rng =
         if log_ratio >= 0. || Prng.float rng < Float.exp log_ratio then begin
           let tmp = replicas.(a) in
           replicas.(a) <- replicas.(b);
-          replicas.(b) <- tmp
+          replicas.(b) <- tmp;
+          incr swaps
         end;
         r := !r + 2
       done
+    end;
+    (match on_sweep with
+    | None -> ()
+    | Some f -> f ~sweep ~best:!best_e ~swaps:!swaps)
   done;
   (!best, !best_e)
 
-let sample ?(params = default) ?stop ?on_read q =
+let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Pt.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Pt.sample: sweeps < 1";
   if params.replicas < 2 then invalid_arg "Pt.sample: replicas < 2";
@@ -95,11 +102,33 @@ let sample ?(params = default) ?stop ?on_read q =
     let ratio = (beta_cold /. beta_hot) ** (1. /. float_of_int (k - 1)) in
     let betas = Array.init k (fun r -> beta_hot *. (ratio ** float_of_int r)) in
     let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
+    let stride = Sa.sweep_stride params.sweeps in
     let run r =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let ((bits, _) as sample) = run_read ~ising ~params ~betas ?stop rng in
+        let on_sweep =
+          if not tracked then None
+          else
+            Some
+              (fun ~sweep ~best ~swaps ->
+                if sweep mod stride = 0 || sweep = params.sweeps then begin
+                  Telemetry.emit telemetry "pt.sweep"
+                    [
+                      ("read", Telemetry.Int r);
+                      ("sweep", Telemetry.Int sweep);
+                      ("energy", Telemetry.Float best);
+                      ("swaps", Telemetry.Int swaps);
+                    ];
+                  if swaps > 0 then Telemetry.count telemetry "pt.replica_swaps" swaps
+                end)
+        in
+        let ((bits, e) as sample) = run_read ~ising ~params ~betas ?stop ?on_sweep rng in
+        if tracked then begin
+          Telemetry.count telemetry "pt.reads" 1;
+          Telemetry.observe telemetry "pt.read_energy" e
+        end;
         (match on_read with Some f -> f bits | None -> ());
         Some sample
       end

@@ -27,8 +27,11 @@ val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per read: the coldest replica's best-ever configuration.
     [stop] and [on_read] follow the cooperative cancellation contract
-    documented at {!Sa.sample}. *)
+    documented at {!Sa.sample}. [telemetry] streams strided [pt.sweep]
+    events (read, sweep, best energy, accepted swaps that sweep) plus a
+    [pt.replica_swaps] counter and [pt.reads] / [pt.read_energy]. *)

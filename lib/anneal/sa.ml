@@ -1,6 +1,7 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -19,21 +20,39 @@ let default = { reads = 32; sweeps = 1000; schedule = None; seed = 0; domains = 
 let read_rng ~seed r = Prng.stream ~seed r
 
 (* The Metropolis loop over an already-built incremental state: O(1) per
-   proposal, O(degree) per accepted flip. *)
+   proposal, O(degree) per accepted flip. The loop body exists twice:
+   the bare variant is the benchmarked hot kernel and must not pay for
+   observability it isn't using; the counting variant additionally tracks
+   accepted flips for the per-sweep callback. *)
 let anneal_fields ~rng ~schedule ?on_sweep ?stop fields =
   let n = Fields.num_spins fields in
   let stopped () = match stop with Some f -> f () | None -> false in
   let k = ref 0 in
   let sweeps = Schedule.sweeps schedule in
-  while !k < sweeps && not (stopped ()) do
-    let beta = Schedule.beta schedule !k in
-    for i = 0 to n - 1 do
-      let delta = Fields.delta fields i in
-      if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Fields.flip fields i
-    done;
-    (match on_sweep with Some f -> f ~sweep:!k ~energy:(Fields.energy fields) | None -> ());
-    incr k
-  done
+  match on_sweep with
+  | None ->
+    while !k < sweeps && not (stopped ()) do
+      let beta = Schedule.beta schedule !k in
+      for i = 0 to n - 1 do
+        let delta = Fields.delta fields i in
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then Fields.flip fields i
+      done;
+      incr k
+    done
+  | Some f ->
+    while !k < sweeps && not (stopped ()) do
+      let beta = Schedule.beta schedule !k in
+      let accepted = ref 0 in
+      for i = 0 to n - 1 do
+        let delta = Fields.delta fields i in
+        if delta <= 0. || Prng.float rng < Float.exp (-.beta *. delta) then begin
+          Fields.flip fields i;
+          incr accepted
+        end
+      done;
+      f ~sweep:!k ~energy:(Fields.energy fields) ~accepted:!accepted;
+      incr k
+    done
 
 let anneal_ising ~rng ~schedule ?init ?on_sweep ?stop ising =
   let n = Ising.num_spins ising in
@@ -64,7 +83,13 @@ let descend_fields fields =
     end
   done
 
-let sample ?(params = default) ?stop ?on_read q =
+(* Strided sweep instrumentation: full trajectories at telemetry
+   resolution would be reads x sweeps events; one event every
+   [sweeps/32] sweeps (plus the final sweep) keeps traces readable while
+   preserving the curve's shape. Shared by every sweep-loop sampler. *)
+let sweep_stride sweeps = max 1 (sweeps / 32)
+
+let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sa.sample: sweeps < 1";
   let n = Qubo.num_vars q in
@@ -77,14 +102,36 @@ let sample ?(params = default) ?stop ?on_read q =
       | None -> Schedule.auto ~sweeps:params.sweeps ising
     in
     let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
+    let sweeps = Schedule.sweeps schedule in
+    let stride = sweep_stride sweeps in
     let run_read r =
       if stopped () then None
       else begin
         let rng = read_rng ~seed:params.seed r in
         let fields = Fields.create ising (Bitvec.random rng n) in
-        anneal_fields ~rng ~schedule ?stop fields;
+        let on_sweep =
+          if not tracked then None
+          else
+            Some
+              (fun ~sweep ~energy ~accepted ->
+                if sweep mod stride = 0 || sweep = sweeps - 1 then
+                  Telemetry.emit telemetry "sa.sweep"
+                    [
+                      ("read", Telemetry.Int r);
+                      ("sweep", Telemetry.Int sweep);
+                      ("beta", Telemetry.Float (Schedule.beta schedule sweep));
+                      ("energy", Telemetry.Float energy);
+                      ("acceptance", Telemetry.Float (float_of_int accepted /. float_of_int n));
+                    ])
+        in
+        anneal_fields ~rng ~schedule ?on_sweep ?stop fields;
         if params.postprocess then descend_fields fields;
         let spins = Fields.spins fields in
+        if tracked then begin
+          Telemetry.count telemetry "sa.reads" 1;
+          Telemetry.observe telemetry "sa.read_energy" (Fields.energy fields)
+        end;
         (match on_read with Some f -> f spins | None -> ());
         Some (spins, Fields.energy fields)
       end

@@ -23,10 +23,17 @@ type params = {
 
 val default : params
 
+val sweep_stride : int -> int
+(** [sweep_stride sweeps] is the sweep-event decimation every sweep-loop
+    sampler uses: one telemetry event every [max 1 (sweeps / 32)] sweeps
+    (plus the final sweep), so traces stay proportional to reads, not to
+    reads × sweeps. *)
+
 val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** Anneals and returns all reads as a sample set (energies are QUBO
@@ -41,13 +48,19 @@ val sample :
     or none. [on_read] observes each completed read's final bits — the
     portfolio solver uses it to verify decodes and trip [stop] as soon as
     one read solves the constraint. Without [stop]/[on_read] the result is
-    a pure function of [params], independent of [domains]. *)
+    a pure function of [params], independent of [domains].
+
+    [telemetry] (default {!Qsmt_util.Telemetry.null}) streams strided
+    [sa.sweep] events (read, sweep, β, tracked energy, acceptance rate)
+    plus an [sa.reads] counter and an [sa.read_energy] histogram.
+    Instrumentation never touches the PRNG, so samples are bit-identical
+    with telemetry on or off. *)
 
 val anneal_ising :
   rng:Qsmt_util.Prng.t ->
   schedule:Schedule.t ->
   ?init:Qsmt_util.Bitvec.t ->
-  ?on_sweep:(sweep:int -> energy:float -> unit) ->
+  ?on_sweep:(sweep:int -> energy:float -> accepted:int -> unit) ->
   ?stop:(unit -> bool) ->
   Qsmt_qubo.Ising.t ->
   Qsmt_util.Bitvec.t * float
@@ -57,6 +70,9 @@ val anneal_ising :
     composition (the hardware model reuses it on embedded problems).
     The whole read runs on a {!Qsmt_qubo.Fields} state, so proposals are
     O(1) and the energy is always available; [on_sweep] observes it after
-    every sweep (used by {!Convergence} to record trajectories). [stop]
+    every sweep together with the number of accepted flips that sweep
+    (used by {!Convergence} to record trajectories and by telemetry for
+    acceptance rates). The bare no-callback loop is kept separate so the
+    benchmarked kernel pays nothing when unobserved. [stop]
     is polled between sweeps; when it returns [true] the read returns its
     current configuration immediately. *)

@@ -14,27 +14,27 @@ type t = { name : string; recipe : recipe }
 
 let name t = t.name
 
-let run_detailed ?verify t q =
+let run_detailed ?verify ?(telemetry = Qsmt_util.Telemetry.null) t q =
   match t.recipe with
-  | R_sa params -> (Sa.sample ~params q, None)
-  | R_sqa params -> (Sqa.sample ~params q, None)
-  | R_tabu params -> (Tabu.sample ~params q, None)
-  | R_pt params -> (Pt.sample ~params q, None)
-  | R_greedy params -> (Greedy.sample ~params q, None)
+  | R_sa params -> (Sa.sample ~params ~telemetry q, None)
+  | R_sqa params -> (Sqa.sample ~params ~telemetry q, None)
+  | R_tabu params -> (Tabu.sample ~params ~telemetry q, None)
+  | R_pt params -> (Pt.sample ~params ~telemetry q, None)
+  | R_greedy params -> (Greedy.sample ~params ~telemetry q, None)
   | R_exact keep -> (Exact.solve ?keep q, None)
   | R_hardware params ->
-    let r = Hardware.sample ~params q in
+    let r = Hardware.sample ~params ~telemetry q in
     (r.Hardware.samples, Some r.Hardware.stats)
   | R_hardware_auto f ->
-    let r = Hardware.sample ~params:(f q) q in
+    let r = Hardware.sample ~params:(f q) ~telemetry q in
     (r.Hardware.samples, Some r.Hardware.stats)
   | R_portfolio params ->
-    let r = Portfolio.run ~params ?verify q in
+    let r = Portfolio.run ~params ?verify ~telemetry q in
     ( r.Portfolio.merged,
       List.find_map (fun rep -> rep.Portfolio.hardware) r.Portfolio.reports )
   | R_custom f -> (f q, None)
 
-let run ?verify t q = fst (run_detailed ?verify t q)
+let run ?verify ?telemetry t q = fst (run_detailed ?verify ?telemetry t q)
 
 let make ~name f = { name; recipe = R_custom f }
 let simulated_annealing ?(params = Sa.default) () = { name = "sa"; recipe = R_sa params }

@@ -8,15 +8,23 @@ type t
 
 val name : t -> string
 
-val run : ?verify:(Qsmt_util.Bitvec.t -> bool) -> t -> Qsmt_qubo.Qubo.t -> Sampleset.t
+val run :
+  ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  t ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
 (** May raise the underlying sampler's exceptions (e.g.
     {!Hardware.Embedding_failed}, {!Exact}'s size cap). [verify] is an
     early-exit hook consumed only by {!portfolio} samplers (see
     {!Portfolio.run}); every other sampler ignores it, keeping their
-    output deterministic. *)
+    output deterministic. [telemetry] is handed to the underlying sampler
+    (ignored by {!exact} and {!make} samplers); instrumentation never
+    consumes PRNG values, so samples are identical with or without it. *)
 
 val run_detailed :
   ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t * Hardware.stats option

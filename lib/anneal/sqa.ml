@@ -1,6 +1,7 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -40,7 +41,7 @@ let j_perp ~beta_slice gamma =
   let t = Float.max t 1e-300 in
   -0.5 /. beta_slice *. Float.log t
 
-let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
+let run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng =
   let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let p = params.trotter in
@@ -80,6 +81,20 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
       if !delta <= 0. || Prng.float rng < Float.exp (-.beta *. !delta) then
         Array.iter (fun slice -> Fields.flip slice i) slices
     done;
+    (match on_sweep with
+    | None -> ()
+    | Some f ->
+      (* Tracked classical energies of every slice: the spread between
+         the best and worst world line is the replica-coherence signal
+         SQA diagnostics watch. *)
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun slice ->
+          let e = Fields.energy slice in
+          if e < !lo then lo := e;
+          if e > !hi then hi := e)
+        slices;
+      f ~sweep:!sweep ~gamma:!gamma ~best:!lo ~spread:(!hi -. !lo));
     gamma := !gamma *. ratio;
     incr sweep
   done;
@@ -95,7 +110,7 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop rng =
     slices;
   (Fields.spins !best, !best_e)
 
-let sample ?(params = default) ?stop ?on_read q =
+let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Sqa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sqa.sample: sweeps < 1";
   if params.trotter < 2 then invalid_arg "Sqa.sample: trotter < 2";
@@ -119,11 +134,32 @@ let sample ?(params = default) ?stop ?on_read q =
       | None -> Float.max 1. (3. *. Ising.max_abs_field ising)
     in
     let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
+    let stride = Sa.sweep_stride params.sweeps in
     let run r =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let ((bits, _) as sample) = run_read ~ising ~params ~beta ~gamma_hot ?stop rng in
+        let on_sweep =
+          if not tracked then None
+          else
+            Some
+              (fun ~sweep ~gamma ~best ~spread ->
+                if sweep mod stride = 0 || sweep = params.sweeps - 1 then
+                  Telemetry.emit telemetry "sqa.sweep"
+                    [
+                      ("read", Telemetry.Int r);
+                      ("sweep", Telemetry.Int sweep);
+                      ("gamma", Telemetry.Float gamma);
+                      ("energy", Telemetry.Float best);
+                      ("replica_spread", Telemetry.Float spread);
+                    ])
+        in
+        let ((bits, e) as sample) = run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng in
+        if tracked then begin
+          Telemetry.count telemetry "sqa.reads" 1;
+          Telemetry.observe telemetry "sqa.read_energy" e
+        end;
         (match on_read with Some f -> f bits | None -> ());
         Some sample
       end

@@ -40,8 +40,13 @@ val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per read: the lowest-classical-energy slice of that read's
     final configuration. [stop] and [on_read] follow the cooperative
-    cancellation contract documented at {!Sa.sample}. *)
+    cancellation contract documented at {!Sa.sample}. [telemetry] streams
+    strided [sqa.sweep] events (read, sweep, Γ, best slice energy,
+    replica spread = worst − best world line) plus [sqa.reads] /
+    [sqa.read_energy]; the spread is the replica-coherence signal that
+    distinguishes the quantum-fluctuation phase from the frozen tail. *)

@@ -1,6 +1,7 @@
 module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -15,7 +16,7 @@ type params = {
 
 let default = { restarts = 8; iterations = 500; tenure = None; seed = 0; domains = 1 }
 
-let search ising ~rng ~iterations ~tenure ?stop () =
+let search ising ~rng ~iterations ~tenure ?stop ?on_iter () =
   let n = Ising.num_spins ising in
   (* Incremental state: the best-admissible-move scan below reads n cached
      deltas in O(n) instead of rescanning n adjacency rows. *)
@@ -33,30 +34,39 @@ let search ising ~rng ~iterations ~tenure ?stop () =
     (* Best admissible move: most negative delta among non-tabu flips,
        or any tabu flip that would beat the incumbent (aspiration). *)
     let chosen = ref (-1) and chosen_delta = ref infinity in
+    let chosen_tabu = ref false in
     for i = 0 to n - 1 do
       let delta = Fields.delta fields i in
+      let is_tabu = tabu_until.(i) > it in
       let admissible =
-        tabu_until.(i) <= it || Fields.energy fields +. delta < !best_energy -. 1e-12
+        (not is_tabu) || Fields.energy fields +. delta < !best_energy -. 1e-12
       in
       if admissible && delta < !chosen_delta then begin
         chosen := i;
-        chosen_delta := delta
+        chosen_delta := delta;
+        chosen_tabu := is_tabu
       end
     done;
     (* All moves tabu and none aspirates: fall back to a random kick so
        the search cannot stall. *)
-    let i = if !chosen >= 0 then !chosen else Prng.int rng n in
+    let kicked = !chosen < 0 in
+    let i = if kicked then Prng.int rng n else !chosen in
     Fields.flip fields i;
     tabu_until.(i) <- it + 1 + tenure;
     if Fields.energy fields < !best_energy then begin
       best_energy := Fields.energy fields;
       best := Bitvec.copy (Fields.spins fields)
     end;
+    (match on_iter with
+    | None -> ()
+    | Some f ->
+      f ~iter:it ~energy:(Fields.energy fields) ~best:!best_energy ~aspirated:!chosen_tabu
+        ~kicked);
     incr cursor
   done;
   (!best, !best_energy)
 
-let sample ?(params = default) ?stop ?on_read q =
+let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.restarts < 1 then invalid_arg "Tabu.sample: restarts < 1";
   if params.iterations < 1 then invalid_arg "Tabu.sample: iterations < 1";
   let n = Qubo.num_vars q in
@@ -71,11 +81,35 @@ let sample ?(params = default) ?stop ?on_read q =
     in
     let ising = Ising.of_qubo q in
     let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
+    let stride = Sa.sweep_stride params.iterations in
     let run r =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let ((bits, _) as sample) = search ising ~rng ~iterations:params.iterations ~tenure ?stop () in
+        let on_iter =
+          if not tracked then None
+          else
+            Some
+              (fun ~iter ~energy ~best ~aspirated ~kicked ->
+                if aspirated then Telemetry.count telemetry "tabu.aspirations" 1;
+                if kicked then Telemetry.count telemetry "tabu.kicks" 1;
+                if iter mod stride = 0 || iter = params.iterations - 1 then
+                  Telemetry.emit telemetry "tabu.iter"
+                    [
+                      ("restart", Telemetry.Int r);
+                      ("iter", Telemetry.Int iter);
+                      ("energy", Telemetry.Float energy);
+                      ("best", Telemetry.Float best);
+                    ])
+        in
+        let ((bits, e) as sample) =
+          search ising ~rng ~iterations:params.iterations ~tenure ?stop ?on_iter ()
+        in
+        if tracked then begin
+          Telemetry.count telemetry "tabu.reads" 1;
+          Telemetry.observe telemetry "tabu.read_energy" e
+        end;
         (match on_read with Some f -> f bits | None -> ());
         Some sample
       end

@@ -22,9 +22,13 @@ val sample :
   ?params:params ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** Returns the best assignment found by each restart. [stop] and
     [on_read] follow the cooperative cancellation contract documented at
     {!Sa.sample} ([stop] is polled every 64 iterations inside a
-    restart). *)
+    restart). [telemetry] streams strided [tabu.iter] events (restart,
+    iteration, current and best energy) plus [tabu.aspirations] /
+    [tabu.kicks] counters (tenure overridden by aspiration; random kick
+    when every move is tabu) and [tabu.reads] / [tabu.read_energy]. *)

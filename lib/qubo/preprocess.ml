@@ -1,4 +1,5 @@
 module Bitvec = Qsmt_util.Bitvec
+module Telemetry = Qsmt_util.Telemetry
 
 type t = {
   original_vars : int;
@@ -7,7 +8,7 @@ type t = {
   residual_qubo : Qubo.t;
 }
 
-let reduce q =
+let reduce ?(telemetry = Telemetry.null) q =
   let n = Qubo.num_vars q in
   let lin = Array.init n (Qubo.linear q) in
   let coup = Array.init n (fun _ -> Hashtbl.create 4) in
@@ -71,11 +72,22 @@ let reduce q =
         coup.(i))
     free_of_residual;
   Qubo.set_offset b !offset;
+  let free = Array.length free_of_residual in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.count telemetry "preprocess.fixed" (n - free);
+    Telemetry.count telemetry "preprocess.free" free;
+    Telemetry.emit telemetry "preprocess.done"
+      [
+        ("vars", Telemetry.Int n);
+        ("fixed", Telemetry.Int (n - free));
+        ("free", Telemetry.Int free);
+      ]
+  end;
   {
     original_vars = n;
     state;
     free_of_residual;
-    residual_qubo = Qubo.freeze ~num_vars:(Array.length free_of_residual) b;
+    residual_qubo = Qubo.freeze ~num_vars:free b;
   }
 
 let residual t = t.residual_qubo

@@ -22,10 +22,12 @@ type t
 (** The reduction: which variables were fixed to what, and the residual
     problem over the free variables. *)
 
-val reduce : Qubo.t -> t
+val reduce : ?telemetry:Qsmt_util.Telemetry.t -> Qubo.t -> t
 (** Runs the fixing rules to fixpoint. Never worsens the optimum: every
     optimal assignment of the original problem is recoverable as (fixed
-    values) ∪ (an optimal assignment of the residual). *)
+    values) ∪ (an optimal assignment of the residual). [telemetry]
+    records [preprocess.fixed] / [preprocess.free] counters and one
+    [preprocess.done] event. *)
 
 val residual : t -> Qubo.t
 (** The reduced QUBO over [num_free] fresh variables [0..num_free-1]

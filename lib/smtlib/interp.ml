@@ -1,5 +1,6 @@
 module Constr = Qsmt_strtheory.Constr
 module Solver = Qsmt_strtheory.Solver
+module Telemetry = Qsmt_util.Telemetry
 
 let ( let* ) = Result.bind
 
@@ -13,6 +14,7 @@ type backend = {
 
 type state = {
   backend : backend;
+  telemetry : Telemetry.t;
   mutable env : Typecheck.env;
   mutable assertions : Ast.term list; (* newest first *)
   mutable last_model : (string * Eval.value) list option;
@@ -25,7 +27,7 @@ let value_of_constr_value = function
   | Constr.Pos (Some i) -> Some (Eval.V_int i)
   | Constr.Pos None -> None
 
-let annealing_backend ?params ?sampler () =
+let annealing_backend ?params ?sampler ?(telemetry = Telemetry.null) () =
   let sampler =
     match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
   in
@@ -35,13 +37,13 @@ let annealing_backend ?params ?sampler () =
        but never unsat, so failure is always `Unknown. *)
     solve_generate =
       (fun constr ->
-        let outcome = Solver.solve ?params ~sampler constr in
+        let outcome = Solver.solve ?params ~sampler ~telemetry constr in
         match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
         | true, Some v -> `Value v
         | _, _ -> `Unknown);
     solve_joint =
       (fun conjuncts ->
-        match Qsmt_strtheory.Joint.solve ?params ~sampler conjuncts with
+        match Qsmt_strtheory.Joint.solve ?params ~sampler ~telemetry conjuncts with
         | Error _ -> `Unknown
         | Ok outcome ->
           if outcome.Qsmt_strtheory.Joint.satisfied then
@@ -49,12 +51,15 @@ let annealing_backend ?params ?sampler () =
           else `Unknown);
   }
 
-let create ?params ?sampler ?backend () =
+let create ?params ?sampler ?backend ?(telemetry = Telemetry.null) () =
   let backend =
-    match backend with Some b -> b | None -> annealing_backend ?params ?sampler ()
+    match backend with
+    | Some b -> b
+    | None -> annealing_backend ?params ?sampler ~telemetry ()
   in
   {
     backend;
+    telemetry;
     env = Typecheck.empty_env;
     assertions = [];
     last_model = None;
@@ -162,6 +167,7 @@ let exec st command =
     | Ast.Assert term ->
       let* () = Typecheck.check_assertion st.env term in
       st.assertions <- term :: st.assertions;
+      Telemetry.count st.telemetry "smtlib.assertions" 1;
       Ok []
     | Ast.Push n ->
       for _ = 1 to n do
@@ -182,7 +188,16 @@ let exec st command =
         end
       in
       pop n
-    | Ast.Check_sat -> Ok (check_sat st)
+    | Ast.Check_sat ->
+      Ok
+        (Telemetry.with_span st.telemetry "smtlib.check_sat" (fun span ->
+             let lines = check_sat st in
+             (match lines with
+             | [ verdict ] ->
+               Telemetry.emit st.telemetry ~span "smtlib.verdict"
+                 [ ("result", Telemetry.Str verdict) ]
+             | _ -> ());
+             lines))
     | Ast.Get_model -> begin
       match st.last_model with
       | None -> Error "no model available (run (check-sat) first, it must answer sat)"
@@ -235,6 +250,8 @@ let run_script st commands =
   in
   go [] commands
 
-let run_string ?params ?sampler ?backend source =
-  let* commands = Parser.parse_script source in
-  run_script (create ?params ?sampler ?backend ()) commands
+let run_string ?params ?sampler ?backend ?(telemetry = Telemetry.null) source =
+  let* commands =
+    Telemetry.with_span telemetry "smtlib.parse" (fun _ -> Parser.parse_script source)
+  in
+  run_script (create ?params ?sampler ?backend ~telemetry ()) commands

@@ -32,19 +32,28 @@ type backend = {
     and not a hard dependency on either solver family. *)
 
 val annealing_backend :
-  ?params:Qsmt_strtheory.Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> unit -> backend
+  ?params:Qsmt_strtheory.Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  unit ->
+  backend
 (** QUBO compile + sampler backend. Never answers [`Unsat] (sampling is
     incomplete). The sampler defaults to
-    {!Qsmt_strtheory.Solver.default_sampler} with seed 0. *)
+    {!Qsmt_strtheory.Solver.default_sampler} with seed 0. [telemetry] is
+    handed to every {!Qsmt_strtheory.Solver.solve} /
+    {!Qsmt_strtheory.Joint.solve} the backend performs. *)
 
 val create :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?backend:backend ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   unit ->
   state
 (** [backend] wins when given; otherwise [annealing_backend ?params
-    ?sampler ()]. *)
+    ?sampler ~telemetry ()]. The state also uses [telemetry] itself: an
+    [smtlib.assertions] counter and one [smtlib.check_sat] span (with an
+    [smtlib.verdict] event) per [check-sat]. *)
 
 val exec : state -> Ast.command -> (string list, string) result
 (** Output lines of one command. [Error] is a solver-level error
@@ -58,10 +67,12 @@ val run_string :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?backend:backend ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   string ->
   (string list, string) result
 (** Parse and run a whole script from source text. Optional arguments as
-    in {!create}. *)
+    in {!create}; parsing is additionally bracketed in an [smtlib.parse]
+    span. *)
 
 val model : state -> (string * Eval.value) list option
 (** Model from the last [check-sat], if it answered [sat]. *)

@@ -5,8 +5,18 @@
     sample (a bit vector over the constraint's variables) back into a
     {!Constr.value}. *)
 
-val to_qubo : ?params:Params.t -> Constr.t -> Qsmt_qubo.Qubo.t
-(** @raise Invalid_argument if the constraint fails
+val op_name : Constr.t -> string
+(** Stable lowercase tag of the constraint's operation ("equals",
+    "indexof", …) — the key telemetry counters and events are named
+    under. *)
+
+val to_qubo :
+  ?params:Params.t -> ?telemetry:Qsmt_util.Telemetry.t -> Constr.t -> Qsmt_qubo.Qubo.t
+(** [telemetry] records per-operator encoding totals — counters
+    [encode.<op>.vars] and [encode.<op>.penalty_terms] (quadratic
+    interactions) — plus one [encode.done] event with the same numbers
+    and the constant offset.
+    @raise Invalid_argument if the constraint fails
     {!Constr.validate}. *)
 
 val decode : Constr.t -> Qsmt_util.Bitvec.t -> Constr.value

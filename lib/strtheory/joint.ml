@@ -56,12 +56,12 @@ type outcome = {
 
 let verdicts cs s = List.map (fun c -> (c, Constr.verify c (Constr.Str s))) cs
 
-let solve ?params ?sampler cs =
+let solve ?params ?sampler ?telemetry cs =
   let sampler =
     match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
   in
   let* qubo, _length = encode ?params cs in
-  let samples = Sampler.run sampler qubo in
+  let samples = Sampler.run ?telemetry sampler qubo in
   let decoded =
     List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
   in

@@ -37,6 +37,7 @@ type outcome = {
 val solve :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t list ->
   (outcome, string) result
 (** Samples once over the merged QUBO and scans in energy order for the

@@ -2,6 +2,7 @@ module Sampleset = Qsmt_anneal.Sampleset
 module Sampler = Qsmt_anneal.Sampler
 module Sa = Qsmt_anneal.Sa
 module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
 
 type outcome = {
   constr : Constr.t;
@@ -13,12 +14,17 @@ type outcome = {
   hardware : Qsmt_anneal.Hardware.stats option;
 }
 
-type stage_timing = { encode_s : float; sample_s : float; decode_s : float }
+type stage_timing = {
+  encode_s : float;
+  sample_s : float;
+  decode_s : float;
+  verify_s : float;
+}
 
 let default_sampler ~seed =
   Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed } ()
 
-let pick_value constr samples =
+let pick_value ~verify constr samples =
   (* First (= lowest-energy) sample whose decode verifies; otherwise the
      overall best sample. Decoding is lazy — the seed revision decoded
      every entry up front, so a best read that verifies immediately still
@@ -31,7 +37,7 @@ let pick_value constr samples =
     end
     | e :: rest ->
       let value = Compile.decode constr e.Sampleset.bits in
-      if Constr.verify constr value then (value, true, e.Sampleset.energy)
+      if verify value then (value, true, e.Sampleset.energy)
       else
         let best =
           match best with Some _ -> best | None -> Some (value, e.Sampleset.energy)
@@ -42,28 +48,81 @@ let pick_value constr samples =
 
 let now () = Unix.gettimeofday ()
 
-let solve_timed ?params ?sampler constr =
+let solve_timed ?params ?sampler ?(telemetry = Telemetry.null) constr =
   let sampler = match sampler with Some s -> s | None -> default_sampler ~seed:0 in
+  (* Verification happens in two places — inside the sampler (the
+     portfolio's early-exit callback, possibly from several domains at
+     once) and in the decode scan below — so its cost is accumulated
+     under a mutex rather than read off wall-clock checkpoints.
+     [sample_s] stays raw sampler wall time; [verify_s] is the total
+     verification work wherever it ran; [decode_s] is the decode scan
+     minus its share of the verify time. *)
+  let verify_mutex = Mutex.create () in
+  let verify_total = ref 0. in
+  let timed dt =
+    Mutex.lock verify_mutex;
+    verify_total := !verify_total +. dt;
+    Mutex.unlock verify_mutex
+  in
+  let verify_value value =
+    let s = now () in
+    let ok = Constr.verify constr value in
+    timed (now () -. s);
+    ok
+  in
+  let solve_span = Telemetry.span telemetry "solve" in
   let t0 = now () in
-  let qubo = Compile.to_qubo ?params constr in
+  let qubo =
+    Telemetry.with_span telemetry ~parent:solve_span "encode" (fun _ ->
+        Compile.to_qubo ?params ~telemetry constr)
+  in
   let t1 = now () in
   (* The verifier lets portfolio samplers exit as soon as any read
      decodes to a satisfying value; deterministic samplers ignore it. *)
-  let verify bits = Constr.verify constr (Compile.decode constr bits) in
-  let samples, hardware = Sampler.run_detailed ~verify sampler qubo in
+  let verify bits =
+    let s = now () in
+    let value = Compile.decode constr bits in
+    timed (now () -. s);
+    verify_value value
+  in
+  let samples, hardware =
+    Telemetry.with_span telemetry ~parent:solve_span "sample" (fun _ ->
+        Sampler.run_detailed ~verify ~telemetry sampler qubo)
+  in
   let t2 = now () in
-  let value, satisfied, energy = pick_value constr samples in
+  let verify_before_pick = !verify_total in
+  let value, satisfied, energy =
+    Telemetry.with_span telemetry ~parent:solve_span "decode" (fun _ ->
+        pick_value ~verify:verify_value constr samples)
+  in
   let t3 = now () in
+  if Telemetry.enabled telemetry then begin
+    Telemetry.count telemetry "solve.constraints" 1;
+    Telemetry.emit telemetry ~span:solve_span "solve.done"
+      [
+        ("op", Telemetry.Str (Compile.op_name constr));
+        ("satisfied", Telemetry.Bool satisfied);
+        ("energy", Telemetry.Float energy);
+        ("reads", Telemetry.Int (Sampleset.total_reads samples));
+      ]
+  end;
+  Telemetry.finish telemetry solve_span;
   ( { constr; qubo; samples; value; satisfied; energy; hardware },
-    { encode_s = t1 -. t0; sample_s = t2 -. t1; decode_s = t3 -. t2 } )
+    {
+      encode_s = t1 -. t0;
+      sample_s = t2 -. t1;
+      decode_s = t3 -. t2 -. (!verify_total -. verify_before_pick);
+      verify_s = !verify_total;
+    } )
 
-let solve ?params ?sampler constr = fst (solve_timed ?params ?sampler constr)
+let solve ?params ?sampler ?telemetry constr =
+  fst (solve_timed ?params ?sampler ?telemetry constr)
 
-let solve_batch ?params ?sampler ?(jobs = 0) constrs =
+let solve_batch ?params ?sampler ?telemetry ?(jobs = 0) constrs =
   let jobs = if jobs > 0 then jobs else Parallel.recommended_domains () in
   let constrs = Array.of_list constrs in
   Array.to_list (Parallel.init_array ~domains:jobs (Array.length constrs) (fun i ->
-      solve_timed ?params ?sampler constrs.(i)))
+      solve_timed ?params ?sampler ?telemetry constrs.(i)))
 
 type pipeline_error = {
   stage_index : int;
@@ -71,8 +130,8 @@ type pipeline_error = {
   completed : outcome list;
 }
 
-let solve_pipeline ?params ?sampler pipeline =
-  let first = solve ?params ?sampler pipeline.Pipeline.initial in
+let solve_pipeline ?params ?sampler ?telemetry pipeline =
+  let first = solve ?params ?sampler ?telemetry pipeline.Pipeline.initial in
   (* Stages transform a string; a positional decode (only the initial
      constraint can produce one, via Includes) has no string to feed
      forward, so the run stops with a typed error instead of silently
@@ -81,7 +140,7 @@ let solve_pipeline ?params ?sampler pipeline =
     | [] -> Ok (List.rev acc)
     | stage :: rest ->
       let constr = Pipeline.constraint_for stage ~input in
-      let outcome = solve ?params ?sampler constr in
+      let outcome = solve ?params ?sampler ?telemetry constr in
       let acc = outcome :: acc in
       (match outcome.value with
       | Constr.Str s -> go (index + 1) s acc rest

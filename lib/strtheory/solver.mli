@@ -22,29 +22,54 @@ type outcome = {
 
 type stage_timing = {
   encode_s : float;  (** wall-clock seconds building the QUBO *)
-  sample_s : float;  (** annealing *)
-  decode_s : float;  (** decoding + verification over the sample set *)
+  sample_s : float;
+      (** annealing, raw wall time (includes any in-sampler verification
+          a portfolio's early-exit callback performed) *)
+  decode_s : float;
+      (** the decode scan over the sample set, verification excluded *)
+  verify_s : float;
+      (** total verification work — the sampler's early-exit callbacks
+          (decode + check, previously hidden inside [sample_s]) plus the
+          checks of the decode scan, accumulated across domains *)
 }
 
 val default_sampler : seed:int -> Qsmt_anneal.Sampler.t
 (** Simulated annealing, 32 reads × 1000 sweeps — the configuration the
     experiments use unless stated otherwise. *)
 
-val solve : ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> outcome
+val solve :
+  ?params:Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  Constr.t ->
+  outcome
 (** Samples once and scans the sample set in ascending energy order for
     the first decoded value that verifies; if none verifies, the
     lowest-energy decode is returned with [satisfied = false]. The
     sampler defaults to [default_sampler ~seed:0]. *)
 
 val solve_timed :
-  ?params:Params.t -> ?sampler:Qsmt_anneal.Sampler.t -> Constr.t -> outcome * stage_timing
+  ?params:Params.t ->
+  ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  Constr.t ->
+  outcome * stage_timing
 (** {!solve} plus per-stage wall-clock timing (the Figure 1 trace).
     Passes the constraint verifier down to the sampler so portfolio
-    samplers can early-exit on the first satisfying read. *)
+    samplers can early-exit on the first satisfying read.
+
+    [telemetry] wraps the whole call in a [solve] span with [encode] /
+    [sample] / [decode] children, shares the handle with the encoder (per
+    operator counters) and the sampler (sweep streams, portfolio
+    lifecycle), and emits one [solve.done] event (op, satisfied, energy,
+    reads) plus a [solve.constraints] counter. Instrumentation never
+    consumes PRNG values, so the outcome is identical with or without
+    it. *)
 
 val solve_batch :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   ?jobs:int ->
   Constr.t list ->
   (outcome * stage_timing) list
@@ -71,6 +96,7 @@ type pipeline_error = {
 val solve_pipeline :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
   Pipeline.t ->
   (outcome list, pipeline_error) result
 (** Runs the initial constraint, then each stage on the previous decoded

@@ -1,0 +1,452 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ts : float;
+  ev : string;
+  span : int;
+  parent : int;
+  fields : (string * value) list;
+}
+
+type hist = {
+  mutable h_n : int;
+  mutable h_lo : float;
+  mutable h_hi : float;
+  mutable h_mean : float;
+  mutable h_m2 : float; (* Welford sum of squared deviations *)
+}
+
+type sink = Null | Collector of event list ref | Aggregate | Jsonl of out_channel
+
+type t = {
+  sink : sink;
+  mutex : Mutex.t;
+  epoch : float;
+  next_id : int Atomic.t;
+  mutable last_ts : float;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  span_agg : (string, (int * float) ref) Hashtbl.t;
+}
+
+type span = { id : int; sname : string; sparent : int; start : float }
+
+let no_span = { id = -1; sname = ""; sparent = -1; start = 0. }
+
+let make sink =
+  {
+    sink;
+    mutex = Mutex.create ();
+    epoch = Unix.gettimeofday ();
+    next_id = Atomic.make 0;
+    last_ts = 0.;
+    counters = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+    span_agg = Hashtbl.create 16;
+  }
+
+let null = make Null
+let enabled t = match t.sink with Null -> false | _ -> true
+let collector () = make (Collector (ref []))
+let aggregate_only () = make Aggregate
+let jsonl oc = make (Jsonl oc)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding *)
+
+let buf_add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let buf_add_json_float buf x =
+  (* JSON has no inf/nan literals; clamp to null so a pathological
+     observation can never corrupt the trace. *)
+  if Float.is_finite x then Buffer.add_string buf (Printf.sprintf "%.9g" x)
+  else Buffer.add_string buf "null"
+
+let buf_add_value buf = function
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float x -> buf_add_json_float buf x
+  | Str s -> buf_add_json_string buf s
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let event_to_json e =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "{\"ts\":";
+  buf_add_json_float buf e.ts;
+  Buffer.add_string buf ",\"ev\":";
+  buf_add_json_string buf e.ev;
+  if e.span >= 0 then Buffer.add_string buf (Printf.sprintf ",\"span\":%d" e.span);
+  if e.parent >= 0 then Buffer.add_string buf (Printf.sprintf ",\"parent\":%d" e.parent);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ',';
+      buf_add_json_string buf k;
+      Buffer.add_char buf ':';
+      buf_add_value buf v)
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+(* Caller holds the mutex. Wall clock reads are clamped to the previous
+   timestamp so the exported stream is non-decreasing even if the system
+   clock steps backwards mid-run. *)
+let now_locked t =
+  let raw = Unix.gettimeofday () -. t.epoch in
+  let ts = if raw > t.last_ts then raw else t.last_ts in
+  t.last_ts <- ts;
+  ts
+
+let write_locked t e =
+  match t.sink with
+  | Null -> ()
+  | Aggregate -> ()
+  | Collector r -> r := e :: !r
+  | Jsonl oc ->
+    output_string oc (event_to_json e);
+    output_char oc '\n'
+
+let emit_locked t ?(span = no_span) ev fields =
+  let e = { ts = now_locked t; ev; span = span.id; parent = span.sparent; fields } in
+  write_locked t e
+
+let emit t ?span ev fields =
+  if enabled t then locked t (fun () -> emit_locked t ?span ev fields)
+
+let count t name n =
+  if enabled t then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.replace t.counters name (ref n))
+
+let observe t name x =
+  if enabled t then
+    locked t (fun () ->
+        let h =
+          match Hashtbl.find_opt t.hists name with
+          | Some h -> h
+          | None ->
+            let h = { h_n = 0; h_lo = infinity; h_hi = neg_infinity; h_mean = 0.; h_m2 = 0. } in
+            Hashtbl.replace t.hists name h;
+            h
+        in
+        h.h_n <- h.h_n + 1;
+        if x < h.h_lo then h.h_lo <- x;
+        if x > h.h_hi then h.h_hi <- x;
+        let d = x -. h.h_mean in
+        h.h_mean <- h.h_mean +. (d /. float_of_int h.h_n);
+        h.h_m2 <- h.h_m2 +. (d *. (x -. h.h_mean)))
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let span t ?(parent = no_span) name =
+  if not (enabled t) then no_span
+  else begin
+    let id = Atomic.fetch_and_add t.next_id 1 in
+    locked t (fun () ->
+        let start = now_locked t in
+        let e =
+          { ts = start; ev = "span.begin"; span = id; parent = parent.id; fields = [ ("name", Str name) ] }
+        in
+        write_locked t e;
+        { id; sname = name; sparent = parent.id; start })
+  end
+
+let finish t sp =
+  if enabled t && sp.id >= 0 then
+    locked t (fun () ->
+        let ts = now_locked t in
+        let dur = ts -. sp.start in
+        let e =
+          {
+            ts;
+            ev = "span.end";
+            span = sp.id;
+            parent = sp.sparent;
+            fields = [ ("name", Str sp.sname); ("dur_s", Float dur) ];
+          }
+        in
+        write_locked t e;
+        match Hashtbl.find_opt t.span_agg sp.sname with
+        | Some r ->
+          let n, total = !r in
+          r := (n + 1, total +. dur)
+        | None -> Hashtbl.replace t.span_agg sp.sname (ref (1, dur)))
+
+let with_span t ?parent name f =
+  let sp = span t ?parent name in
+  Fun.protect ~finally:(fun () -> finish t sp) (fun () -> f sp)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate read-back and flush *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (locked t (fun () -> sorted_bindings t.counters))
+let find_counter t name = locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.counters name))
+
+type hist_summary = {
+  h_count : int;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+  h_stddev : float;
+}
+
+let summarize h =
+  {
+    h_count = h.h_n;
+    h_min = h.h_lo;
+    h_max = h.h_hi;
+    h_mean = h.h_mean;
+    h_stddev = (if h.h_n < 2 then 0. else sqrt (h.h_m2 /. float_of_int (h.h_n - 1)));
+  }
+
+let histograms t =
+  List.map (fun (k, h) -> (k, summarize h)) (locked t (fun () -> sorted_bindings t.hists))
+
+let span_totals t =
+  List.map
+    (fun (k, r) ->
+      let n, total = !r in
+      (k, n, total))
+    (locked t (fun () -> sorted_bindings t.span_agg))
+
+let events t =
+  match t.sink with Collector r -> locked t (fun () -> List.rev !r) | _ -> []
+
+let flush t =
+  if enabled t then
+    locked t (fun () ->
+        List.iter
+          (fun (name, r) -> emit_locked t "counter" [ ("name", Str name); ("n", Int !r) ])
+          (sorted_bindings t.counters);
+        List.iter
+          (fun (name, h) ->
+            let s = summarize h in
+            emit_locked t "hist"
+              [
+                ("name", Str name);
+                ("count", Int s.h_count);
+                ("min", Float s.h_min);
+                ("max", Float s.h_max);
+                ("mean", Float s.h_mean);
+                ("stddev", Float s.h_stddev);
+              ])
+          (sorted_bindings t.hists);
+        match t.sink with Jsonl oc -> Stdlib.flush oc | _ -> ())
+
+let with_jsonl path f =
+  let oc = open_out path in
+  let t = jsonl oc in
+  Fun.protect
+    ~finally:(fun () ->
+      flush t;
+      close_out oc)
+    (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL validation.
+
+   A trace is a CI artifact consumed by external tooling, so "it parses"
+   has to mean real JSON, not just "our writer ran" — this is a small
+   but complete JSON reader (objects, arrays, strings with escapes,
+   numbers, literals) used by `qsmt trace` and the cram/CI smoke. *)
+
+exception Bad of string
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let parse_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && line.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C at byte %d" c !pos)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else begin
+        let c = line.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          if !pos >= n then fail "dangling escape";
+          let e = line.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub line !pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> fail "bad \\u escape"
+            | Some code ->
+              (* traces are ASCII; decode BMP escapes to '?' outside it *)
+              if code < 128 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?');
+            pos := !pos + 4
+          | _ -> fail "unknown escape");
+          go ()
+        | c -> Buffer.add_char buf c; go ()
+      end
+    in
+    go ()
+  in
+  let parse_literal word v =
+    if !pos + String.length word <= n && String.sub line !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("bad literal at byte " ^ string_of_int !pos)
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char line.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some x -> J_num x
+    | None -> fail ("bad number at byte " ^ string_of_int start)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J_obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            J_obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J_list []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            J_list (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some 't' -> parse_literal "true" (J_bool true)
+    | Some 'f' -> parse_literal "false" (J_bool false)
+    | Some 'n' -> parse_literal "null" J_null
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos) else Ok v
+  | exception Bad msg -> Error msg
+
+let validate_jsonl ic =
+  let rec go lineno count last_ts =
+    match In_channel.input_line ic with
+    | None -> Ok count
+    | Some line when String.trim line = "" -> go (lineno + 1) count last_ts
+    | Some line -> begin
+      match parse_json line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok (J_obj members) -> begin
+        match (List.assoc_opt "ev" members, List.assoc_opt "ts" members) with
+        | Some (J_str _), Some (J_num ts) ->
+          if ts < last_ts then
+            Error
+              (Printf.sprintf "line %d: timestamp %g decreases (previous %g)" lineno ts last_ts)
+          else go (lineno + 1) (count + 1) ts
+        | Some (J_str _), _ -> Error (Printf.sprintf "line %d: missing numeric \"ts\"" lineno)
+        | _, _ -> Error (Printf.sprintf "line %d: missing string \"ev\"" lineno)
+      end
+      | Ok _ -> Error (Printf.sprintf "line %d: not a JSON object" lineno)
+    end
+  in
+  go 1 0 neg_infinity
+
+let validate_jsonl_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> validate_jsonl ic)

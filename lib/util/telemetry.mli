@@ -1,0 +1,154 @@
+(** Unified observability for the solve pipeline.
+
+    One event vocabulary replaces the ad-hoc records the layers grew
+    independently ([Solver.stage_timing], bench-side TTS math, hand-rolled
+    hardware stats printing): monotonic spans with parent/child nesting,
+    named counters, streaming histograms, and point events, all pushed
+    through a pluggable sink. Three sinks are built in:
+
+    - {!null} — disabled. Every operation starts with one physical
+      comparison against this handle and returns; instrumented hot paths
+      pay nothing measurable when telemetry is off.
+    - {!collector} — in-memory event buffer, what tests read back.
+    - {!jsonl} / {!with_jsonl} — streaming JSONL writer, what the CLI's
+      [--trace FILE] and CI artifacts use. One event per line, timestamps
+      strictly monotone (wall-clock reads are clamped so a stepped clock
+      can never produce an out-of-order trace).
+
+    Handles are domain-safe: a single mutex orders sink writes and
+    aggregate updates, and span ids come from an atomic counter, so the
+    portfolio's concurrent members can all log into one trace. Aggregates
+    (counters, histogram moments, per-name span totals) are maintained on
+    the handle for every non-null sink, which is what the CLI's
+    [--metrics] summary table prints without needing to re-read the
+    event stream.
+
+    Event vocabulary (the names instrumented code emits) is documented in
+    DESIGN.md §Telemetry; the invariants the validator checks are:
+    every line parses as a JSON object, has a string ["ev"] and a float
+    ["ts"], and the ["ts"] sequence is non-decreasing. *)
+
+type t
+(** A telemetry handle: sink + aggregate state. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  ts : float;  (** seconds since the handle was created, non-decreasing *)
+  ev : string;  (** event name, e.g. ["span.begin"], ["sa.sweep"] *)
+  span : int;  (** owning span id, [-1] when none *)
+  parent : int;  (** parent span id, [-1] when none *)
+  fields : (string * value) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(** {1 Handles} *)
+
+val null : t
+(** The disabled handle. All operations are no-ops; {!enabled} is
+    [false]. This is the default everywhere a [?telemetry] argument is
+    omitted. *)
+
+val enabled : t -> bool
+(** [false] only for {!null}. Instrumentation sites with a per-iteration
+    cost hoist this check out of their loops. *)
+
+val collector : unit -> t
+(** In-memory sink; read back with {!events}. *)
+
+val aggregate_only : unit -> t
+(** Enabled handle that keeps counters / histograms / span totals but
+    discards the event stream — what [--metrics] without [--trace]
+    uses. *)
+
+val jsonl : out_channel -> t
+(** Streams each event to the channel as one JSON object per line. The
+    caller owns the channel; call {!flush} before closing it. *)
+
+val with_jsonl : string -> (t -> 'a) -> 'a
+(** [with_jsonl path f] opens [path], runs [f] with a {!jsonl} handle,
+    then flushes (appending counter / histogram summary events) and
+    closes — also on exception. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Spans} *)
+
+type span
+(** A started span. Copies of the value are cheap and immutable. *)
+
+val no_span : span
+(** The absent parent (also what {!span} returns on {!null}). *)
+
+val span : t -> ?parent:span -> string -> span
+(** Starts a span and emits [span.begin]. *)
+
+val finish : t -> span -> unit
+(** Emits [span.end] with a [dur_s] field and folds the duration into the
+    per-name span aggregate. Finishing {!no_span} or a span of a
+    different handle is a no-op. *)
+
+val with_span : t -> ?parent:span -> string -> (span -> 'a) -> 'a
+(** [with_span t name f] brackets [f] in {!span}/{!finish}; the span is
+    finished also when [f] raises. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Counters, histograms, point events} *)
+
+val count : t -> string -> int -> unit
+(** [count t name n] adds [n] to the named counter. Aggregate-only: no
+    event is emitted until {!flush}, so counting in a loop is cheap. *)
+
+val observe : t -> string -> float -> unit
+(** Streaming histogram: folds the observation into running
+    count/min/max/mean/variance (Welford). Summarised at {!flush}. *)
+
+val emit : t -> ?span:span -> string -> (string * value) list -> unit
+(** A point event (e.g. one [sa.sweep] of an energy trajectory). *)
+
+val flush : t -> unit
+(** Emits one [counter] event per counter and one [hist] event per
+    histogram (then clears neither — flushing twice re-emits totals),
+    and flushes the channel for {!jsonl} handles. No-op on {!null}. *)
+
+(* ------------------------------------------------------------------ *)
+(** {1 Reading aggregates back} *)
+
+val events : t -> event list
+(** Events recorded so far, oldest first. Empty unless the handle is a
+    {!collector}. *)
+
+val counters : t -> (string * int) list
+(** Counter totals, sorted by name. *)
+
+type hist_summary = {
+  h_count : int;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+  h_stddev : float;
+}
+
+val histograms : t -> (string * hist_summary) list
+(** Histogram summaries, sorted by name. *)
+
+val span_totals : t -> (string * int * float) list
+(** Per span name: (name, finished count, total seconds), sorted by
+    name. *)
+
+val find_counter : t -> string -> int option
+
+(* ------------------------------------------------------------------ *)
+(** {1 JSONL encoding / validation} *)
+
+val event_to_json : event -> string
+(** One-line JSON object: [{"ts":…,"ev":…,"span":…,"parent":…,…fields}].
+    [span]/[parent] are omitted when [-1]; field names must not collide
+    with the reserved keys (["ts"], ["ev"], ["span"], ["parent"]). *)
+
+val validate_jsonl : in_channel -> (int, string) result
+(** Reads a trace produced by a {!jsonl} handle and checks the contract:
+    every non-empty line is a well-formed JSON object with a string
+    ["ev"] and a float ["ts"], and timestamps never decrease. Returns the
+    number of events, or a message naming the first offending line. *)
+
+val validate_jsonl_file : string -> (int, string) result

@@ -112,6 +112,44 @@ Classical backend proves unsat:
   constraint: find "xyz" within "aaaa"
   result    : unsat
 
+Telemetry: --metrics prints the aggregate table. Wall-clock values vary
+run to run and are masked; everything seeded — counts, energies,
+success probability — is byte-stable:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --metrics | grep -v timing | sed -E 's/ +[0-9]+\.[0-9]+ ?ms$/ [TIME]/'
+  constraint: reverse "hello"
+  qubo      : qubo(vars=35, interactions=0, offset=21)
+  result    : "olleh" (energy 0, verified)
+  metrics   : spans (count, total)
+    decode                          1 [TIME]
+    encode                          1 [TIME]
+    sample                          1 [TIME]
+    solve                           1 [TIME]
+  metrics   : counters
+    encode.reverse.penalty_terms      0
+    encode.reverse.vars            35
+    sa.reads                       32
+    solve.constraints               1
+  metrics   : histograms (count, min, mean, max)
+    sa.read_energy                 32          0     0.4375          3
+  metrics   : time-to-solution
+    p_success                       0.719
+    time_per_read [TIME]
+    tts(99%) [TIME]
+
+--trace streams the full event log as JSONL; the event count is
+deterministic (strided sweep events depend only on sweep indices, never
+on wall clock), and `qsmt trace` validates the format contract:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace trace.jsonl > /dev/null
+  $ ../../bin/qsmt.exe trace trace.jsonl
+  trace.jsonl: 1103 events, well-formed JSONL, monotone timestamps
+
+  $ printf '{"ts":1.0,"ev":"a"}\n{"ts":0.5,"ev":"b"}\n' > bad.jsonl
+  $ ../../bin/qsmt.exe trace bad.jsonl
+  qsmt: invalid trace: line 2: timestamp 0.5 decreases (previous 1)
+  [2]
+
 Errors are reported, not crashed on:
 
   $ ../../bin/qsmt.exe gen contains 2 cat 2>&1

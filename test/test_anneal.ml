@@ -962,7 +962,11 @@ let test_metrics_tts () =
 
 let test_metrics_residual () =
   let s = Sampleset.of_entries [ entry "01" 1. 1; entry "10" 3. 1 ] in
-  check (Alcotest.float 1e-12) "mean above ground" 1. (Metrics.residual_energy s ~ground_energy:1.)
+  (match Metrics.residual_energy s ~ground_energy:1. with
+  | Some r -> check (Alcotest.float 1e-12) "mean above ground" 1. r
+  | None -> Alcotest.fail "expected Some residual");
+  check Alcotest.bool "empty set has no residual" true
+    (Metrics.residual_energy Sampleset.empty ~ground_energy:0. = None)
 
 (* ------------------------------------------------------------------ *)
 (* Spinglass *)

@@ -1,0 +1,342 @@
+(* Unit tests for annealing figures of merit (Metrics) and the
+   telemetry layer (spans, counters, histograms, JSONL round-trip).
+
+   The Metrics formulas are the quantities every bench table reports;
+   each test here pins a hand-computed value so a refactor of the
+   log-ratio arithmetic cannot silently shift published numbers. *)
+
+module Bitvec = Qsmt_util.Bitvec
+module Telemetry = Qsmt_util.Telemetry
+module Sampleset = Qsmt_anneal.Sampleset
+module Metrics = Qsmt_anneal.Metrics
+
+let check = Alcotest.check
+
+let feq ?(eps = 1e-9) name want got =
+  if Float.abs (want -. got) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name want got
+
+(* A set with [good] reads at the ground energy 0.0 and [bad] reads at
+   energy 2.0. Distinct bit patterns so aggregation keeps them apart. *)
+let two_level ~good ~bad =
+  let entry bits energy occurrences =
+    { Sampleset.bits = Bitvec.of_string bits; energy; occurrences }
+  in
+  Sampleset.of_entries
+    (List.concat
+       [
+         (if good > 0 then [ entry "00" 0.0 good ] else []);
+         (if bad > 0 then [ entry "11" 2.0 bad ] else []);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* success_probability *)
+
+let test_success_basic () =
+  let s = two_level ~good:3 ~bad:1 in
+  feq "3/4 good" 0.75 (Metrics.success_probability s ~ground_energy:0.0 ());
+  feq "empty is 0" 0.
+    (Metrics.success_probability Sampleset.empty ~ground_energy:0.0 ())
+
+let test_success_tolerance_edges () =
+  let entry bits energy occurrences =
+    { Sampleset.bits = Bitvec.of_string bits; energy; occurrences }
+  in
+  let s = Sampleset.of_entries [ entry "0" 1.0 1; entry "1" (1.0 +. 1e-10) 1 ] in
+  (* default tol 1e-9: both reads count as ground *)
+  feq "within default tol" 1.0 (Metrics.success_probability s ~ground_energy:1.0 ());
+  (* tol 0 would still admit exactly-equal energies but not the +1e-10 read *)
+  feq "tol 0 excludes epsilon-above" 0.5
+    (Metrics.success_probability s ~ground_energy:1.0 ~tol:0. ());
+  (* a generous tol admits everything *)
+  feq "wide tol admits all" 1.0
+    (Metrics.success_probability s ~ground_energy:1.0 ~tol:1e-3 ());
+  (* ground strictly below every read: nothing counts *)
+  feq "unreached ground" 0.
+    (Metrics.success_probability s ~ground_energy:0.0 ~tol:1e-6 ())
+
+(* ------------------------------------------------------------------ *)
+(* repeats_needed *)
+
+let test_repeats_boundaries () =
+  check Alcotest.(option int) "p=0 unreachable" None
+    (Metrics.repeats_needed ~p_success:0. ~confidence:0.99);
+  check Alcotest.(option int) "p<0 unreachable" None
+    (Metrics.repeats_needed ~p_success:(-0.5) ~confidence:0.99);
+  check Alcotest.(option int) "p=1 one read" (Some 1)
+    (Metrics.repeats_needed ~p_success:1. ~confidence:0.99);
+  check Alcotest.(option int) "p>1 clamps to one read" (Some 1)
+    (Metrics.repeats_needed ~p_success:1.5 ~confidence:0.99)
+
+let test_repeats_hand_computed () =
+  (* p=0.5, conf=0.99: ln(0.01)/ln(0.5) = 6.64... -> 7 reads *)
+  check Alcotest.(option int) "p=.5 conf=.99" (Some 7)
+    (Metrics.repeats_needed ~p_success:0.5 ~confidence:0.99);
+  (* p=0.9, conf=0.99: ln(0.01)/ln(0.1) = 2 exactly *)
+  check Alcotest.(option int) "p=.9 conf=.99" (Some 2)
+    (Metrics.repeats_needed ~p_success:0.9 ~confidence:0.99);
+  (* p=0.99, conf=0.5: one read already exceeds the target *)
+  check Alcotest.(option int) "easy target" (Some 1)
+    (Metrics.repeats_needed ~p_success:0.99 ~confidence:0.5)
+
+let test_repeats_confidence_domain () =
+  let raises c =
+    match Metrics.repeats_needed ~p_success:0.5 ~confidence:c with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "confidence 0 rejected" true (raises 0.);
+  check Alcotest.bool "confidence 1 rejected" true (raises 1.);
+  check Alcotest.bool "confidence 1.5 rejected" true (raises 1.5);
+  check Alcotest.bool "confidence 0.5 fine" false (raises 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* time_to_solution *)
+
+let test_tts_hand_computed () =
+  (* TTS = t_read * ln(1-conf)/ln(1-p). With p=0.9, conf=0.99 the ratio
+     is exactly 2, so TTS = 2 * t_read. *)
+  (match Metrics.time_to_solution ~time_per_read:1e-3 ~p_success:0.9 () with
+  | Some t -> feq "p=.9 doubles t_read" 2e-3 t ~eps:1e-12
+  | None -> Alcotest.fail "expected Some");
+  (* p=0.5, conf=0.99: ratio ln(0.01)/ln(0.5) = 6.6438561897747... *)
+  (match Metrics.time_to_solution ~time_per_read:2.0 ~p_success:0.5 () with
+  | Some t -> feq "p=.5" (2.0 *. (Float.log 0.01 /. Float.log 0.5)) t ~eps:1e-12
+  | None -> Alcotest.fail "expected Some");
+  (* explicit confidence: conf=0.5, p=0.5 -> exactly one read's time *)
+  match Metrics.time_to_solution ~time_per_read:0.25 ~p_success:0.5 ~confidence:0.5 () with
+  | Some t -> feq "conf=.5 p=.5 is one read" 0.25 t ~eps:1e-12
+  | None -> Alcotest.fail "expected Some"
+
+let test_tts_boundaries () =
+  check Alcotest.bool "p=0 -> None" true
+    (Metrics.time_to_solution ~time_per_read:1. ~p_success:0. () = None);
+  (match Metrics.time_to_solution ~time_per_read:0.5 ~p_success:1. () with
+  | Some t -> feq "p=1 -> one read" 0.5 t
+  | None -> Alcotest.fail "expected Some");
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check Alcotest.bool "t_read=0 rejected" true
+    (raises (fun () -> Metrics.time_to_solution ~time_per_read:0. ~p_success:0.5 ()));
+  check Alcotest.bool "bad confidence rejected" true
+    (raises (fun () ->
+         Metrics.time_to_solution ~time_per_read:1. ~p_success:0.5 ~confidence:1. ()))
+
+let test_pp_tts () =
+  let s v = Format.asprintf "%a" Metrics.pp_tts v in
+  check Alcotest.string "never-seen prints n/a" "n/a" (s None);
+  check Alcotest.string "seconds" "2.50 s" (s (Some 2.5));
+  check Alcotest.string "millis" "3.20 ms" (s (Some 3.2e-3));
+  check Alcotest.string "micros" "4.0 us" (s (Some 4e-6))
+
+(* ------------------------------------------------------------------ *)
+(* residual_energy *)
+
+let test_residual () =
+  check Alcotest.bool "empty -> None" true
+    (Metrics.residual_energy Sampleset.empty ~ground_energy:0. = None);
+  (match Metrics.residual_energy (two_level ~good:1 ~bad:1) ~ground_energy:0. with
+  | Some r -> feq "mean of 0 and 2" 1.0 r
+  | None -> Alcotest.fail "expected Some");
+  match Metrics.residual_energy (two_level ~good:3 ~bad:1) ~ground_energy:0. with
+  | Some r -> feq "occurrence-weighted" 0.5 r
+  | None -> Alcotest.fail "expected Some"
+
+(* ================================================================== *)
+(* Telemetry *)
+
+let test_null_disabled () =
+  check Alcotest.bool "null disabled" false (Telemetry.enabled Telemetry.null);
+  (* every operation is a no-op, and reading aggregates is safe *)
+  Telemetry.count Telemetry.null "x" 3;
+  Telemetry.observe Telemetry.null "h" 1.0;
+  let sp = Telemetry.span Telemetry.null "s" in
+  Telemetry.finish Telemetry.null sp;
+  Telemetry.emit Telemetry.null "ev" [];
+  Telemetry.flush Telemetry.null;
+  check Alcotest.(list (pair string int)) "no counters" [] (Telemetry.counters Telemetry.null);
+  check Alcotest.int "no events" 0 (List.length (Telemetry.events Telemetry.null))
+
+let test_collector_events_and_counters () =
+  let t = Telemetry.collector () in
+  check Alcotest.bool "collector enabled" true (Telemetry.enabled t);
+  Telemetry.count t "reads" 8;
+  Telemetry.count t "reads" 4;
+  Telemetry.count t "other" 1;
+  Telemetry.emit t "point" [ ("k", Telemetry.Int 7) ];
+  check Alcotest.(option int) "counter sums" (Some 12) (Telemetry.find_counter t "reads");
+  check
+    Alcotest.(list (pair string int))
+    "sorted counters"
+    [ ("other", 1); ("reads", 12) ]
+    (Telemetry.counters t);
+  let evs = Telemetry.events t in
+  check Alcotest.int "one point event" 1 (List.length evs);
+  let e = List.hd evs in
+  check Alcotest.string "event name" "point" e.Telemetry.ev;
+  check Alcotest.bool "field survives" true
+    (List.assoc "k" e.Telemetry.fields = Telemetry.Int 7)
+
+let test_span_nesting () =
+  let t = Telemetry.collector () in
+  let outer = Telemetry.span t "outer" in
+  let inner = Telemetry.span t ~parent:outer "inner" in
+  Telemetry.finish t inner;
+  Telemetry.finish t outer;
+  (match Telemetry.events t with
+  | [ b_out; b_in; e_in; e_out ] ->
+    check Alcotest.string "begin outer" "span.begin" b_out.Telemetry.ev;
+    check Alcotest.string "begin inner" "span.begin" b_in.Telemetry.ev;
+    check Alcotest.int "inner's parent is outer" b_out.Telemetry.span b_in.Telemetry.parent;
+    check Alcotest.bool "distinct span ids" true
+      (b_out.Telemetry.span <> b_in.Telemetry.span);
+    check Alcotest.string "inner ends first" "span.end" e_in.Telemetry.ev;
+    check Alcotest.int "end matches begin" b_in.Telemetry.span e_in.Telemetry.span;
+    check Alcotest.string "outer ends last" "span.end" e_out.Telemetry.ev;
+    check Alcotest.bool "end carries duration" true
+      (List.mem_assoc "dur_s" e_in.Telemetry.fields)
+  | evs -> Alcotest.failf "expected 4 events, got %d" (List.length evs));
+  match Telemetry.span_totals t with
+  | [ ("inner", 1, d_in); ("outer", 1, d_out) ] ->
+    check Alcotest.bool "durations non-negative" true (d_in >= 0. && d_out >= 0.);
+    check Alcotest.bool "outer contains inner" true (d_out >= d_in)
+  | _ -> Alcotest.fail "span totals should list inner and outer once each"
+
+let test_with_span_on_raise () =
+  let t = Telemetry.collector () in
+  (try Telemetry.with_span t "risky" (fun _ -> failwith "boom") with Failure _ -> ());
+  match Telemetry.span_totals t with
+  | [ ("risky", 1, _) ] -> ()
+  | _ -> Alcotest.fail "span must be finished when the body raises"
+
+let test_timestamps_monotone () =
+  let t = Telemetry.collector () in
+  for i = 0 to 99 do
+    Telemetry.emit t "tick" [ ("i", Telemetry.Int i) ]
+  done;
+  let ts = List.map (fun e -> e.Telemetry.ts) (Telemetry.events t) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "non-decreasing ts" true (sorted ts)
+
+let test_histograms () =
+  let t = Telemetry.aggregate_only () in
+  List.iter (Telemetry.observe t "e") [ 1.0; 2.0; 3.0; 4.0 ];
+  match Telemetry.histograms t with
+  | [ ("e", h) ] ->
+    check Alcotest.int "count" 4 h.Telemetry.h_count;
+    feq "min" 1.0 h.Telemetry.h_min;
+    feq "max" 4.0 h.Telemetry.h_max;
+    feq "mean" 2.5 h.Telemetry.h_mean;
+    (* sample stddev of {1,2,3,4}: sqrt(5/3) *)
+    feq "stddev" (sqrt (5. /. 3.)) h.Telemetry.h_stddev ~eps:1e-9
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_jsonl_roundtrip () =
+  let path = Filename.temp_file "qsmt_telemetry" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.with_jsonl path (fun t ->
+          Telemetry.with_span t "solve" (fun solve ->
+              Telemetry.emit t ~span:solve "sa.sweep"
+                [ ("sweep", Telemetry.Int 1); ("energy", Telemetry.Float (-2.5)) ];
+              Telemetry.count t "sa.reads" 32;
+              Telemetry.observe t "sa.read_energy" 0.5));
+      match Telemetry.validate_jsonl_file path with
+      | Error msg -> Alcotest.failf "trace invalid: %s" msg
+      | Ok n ->
+        (* span.begin + sa.sweep + span.end + flushed counter + hist *)
+        check Alcotest.bool "all events present" true (n >= 5);
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        let has sub =
+          List.exists
+            (fun l ->
+              let rec find i =
+                i + String.length sub <= String.length l
+                && (String.sub l i (String.length sub) = sub || find (i + 1))
+              in
+              find 0)
+            !lines
+        in
+        check Alcotest.bool "sweep event serialised" true (has "\"ev\":\"sa.sweep\"");
+        check Alcotest.bool "counter flushed" true (has "sa.reads");
+        check Alcotest.bool "histogram flushed" true (has "sa.read_energy"))
+
+let test_validate_rejects_garbage () =
+  let path = Filename.temp_file "qsmt_telemetry_bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"ts\":1.0,\"ev\":\"a\"}\n{\"ts\":0.5,\"ev\":\"b\"}\n";
+      close_out oc;
+      match Telemetry.validate_jsonl_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "decreasing timestamps must be rejected")
+
+let test_instrumentation_is_invisible () =
+  (* The determinism contract: instrumentation never consumes PRNG state
+     or changes control flow, so a traced run returns bit-identical
+     samples to an untraced one. *)
+  let module Sa = Qsmt_anneal.Sa in
+  let module Qubo = Qsmt_qubo.Qubo in
+  let b = Qubo.builder () in
+  Qubo.add b 0 0 1.5;
+  Qubo.add b 3 3 (-2.0);
+  Qubo.add b 0 1 (-1.0);
+  Qubo.add b 2 4 0.75;
+  Qubo.add b 1 5 (-0.5);
+  let q = Qubo.freeze ~num_vars:6 b in
+  let params = { Sa.default with Sa.seed = 11; reads = 8; sweeps = 64 } in
+  let plain = Sa.sample ~params q in
+  let t = Telemetry.collector () in
+  let traced = Sa.sample ~params ~telemetry:t q in
+  let sig_of s =
+    List.map
+      (fun e -> (Bitvec.to_string e.Sampleset.bits, e.Sampleset.energy, e.Sampleset.occurrences))
+      (Sampleset.entries s)
+  in
+  check Alcotest.bool "bit-identical samples" true (sig_of plain = sig_of traced);
+  check Alcotest.(option int) "reads counted" (Some 8) (Telemetry.find_counter t "sa.reads");
+  check Alcotest.bool "sweep stream present" true
+    (List.exists (fun e -> e.Telemetry.ev = "sa.sweep") (Telemetry.events t))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "qsmt_metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "success basic" `Quick test_success_basic;
+          Alcotest.test_case "success tolerance edges" `Quick test_success_tolerance_edges;
+          Alcotest.test_case "repeats boundaries" `Quick test_repeats_boundaries;
+          Alcotest.test_case "repeats hand-computed" `Quick test_repeats_hand_computed;
+          Alcotest.test_case "repeats confidence domain" `Quick test_repeats_confidence_domain;
+          Alcotest.test_case "tts hand-computed" `Quick test_tts_hand_computed;
+          Alcotest.test_case "tts boundaries" `Quick test_tts_boundaries;
+          Alcotest.test_case "pp_tts" `Quick test_pp_tts;
+          Alcotest.test_case "residual energy" `Quick test_residual;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "null disabled" `Quick test_null_disabled;
+          Alcotest.test_case "collector events+counters" `Quick test_collector_events_and_counters;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "with_span on raise" `Quick test_with_span_on_raise;
+          Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+          Alcotest.test_case "histograms (Welford)" `Quick test_histograms;
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "validator rejects garbage" `Quick test_validate_rejects_garbage;
+          Alcotest.test_case "instrumentation invisible to sampler" `Quick
+            test_instrumentation_is_invisible;
+        ] );
+    ]
