@@ -3,6 +3,7 @@
    Subcommands:
      qsmt run FILE.smt2        execute an SMT-LIB script
      qsmt gen OP ARGS          generate a string for one operation
+     qsmt lint OP ARGS         statically analyze an encoding, no sampling
      qsmt matrix OP ARGS       print the QUBO matrix for one operation
      qsmt trace FILE.jsonl     validate a telemetry trace
      qsmt samplers             list available samplers
@@ -12,6 +13,10 @@
 module Constr = Qsmt_strtheory.Constr
 module Solver = Qsmt_strtheory.Solver
 module Compile = Qsmt_strtheory.Compile
+module Params = Qsmt_strtheory.Params
+module Lint = Qsmt_strtheory.Lint
+module Workload = Qsmt_strtheory.Workload
+module Analyze = Qsmt_qubo.Analyze
 module Qubo = Qsmt_qubo.Qubo
 module Qubo_print = Qsmt_qubo.Qubo_print
 module Sampler = Qsmt_anneal.Sampler
@@ -134,6 +139,70 @@ let metrics_arg =
         ~doc:
           "Print a telemetry summary (span totals, counters, histograms, time-to-solution) after \
            solving. Works with or without $(b,--trace).")
+
+(* --param KEY=VALUE, repeatable. Each assignment is validated through
+   Params.validate at parse time, so `--param soft=inf` dies as a CLI
+   error (exit 124) with the typed message instead of compiling a QUBO
+   full of garbage coefficients. *)
+let param_arg =
+  let assign =
+    let parse s =
+      match String.index_opt s '=' with
+      | None -> Error (`Msg (Printf.sprintf "%s: expected KEY=VALUE (keys: a strong soft b d)" s))
+      | Some eq -> begin
+        let key = String.sub s 0 eq in
+        let v = String.sub s (eq + 1) (String.length s - eq - 1) in
+        match float_of_string_opt v with
+        | None -> Error (`Msg (Printf.sprintf "%s is not a number" v))
+        | Some value -> begin
+          let update p =
+            match key with
+            | "a" -> Some { p with Params.a = value }
+            | "strong" -> Some { p with Params.strong_scale = value }
+            | "soft" -> Some { p with Params.soft_scale = value }
+            | "b" -> Some { p with Params.includes_b = value }
+            | "d" -> Some { p with Params.includes_d = value }
+            | _ -> None
+          in
+          match update Params.default with
+          | None -> Error (`Msg (Printf.sprintf "unknown parameter %S (keys: a strong soft b d)" key))
+          | Some probe -> begin
+            match Params.validate probe with
+            | Error inv -> Error (`Msg (Params.invalid_message inv))
+            | Ok () -> Ok (s, update)
+          end
+        end
+      end
+    in
+    Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
+  in
+  Arg.(
+    value & opt_all assign []
+    & info [ "param" ] ~docv:"KEY=VALUE"
+        ~doc:
+          "Override an encoding strength: $(b,a) (base penalty), $(b,strong) (forced-position \
+           multiplier), $(b,soft) (soft-bias multiplier), $(b,b) (includes one-hot penalty), \
+           $(b,d) (includes first-match increment). Repeatable; values must be finite and \
+           positive.")
+
+let params_of_assignments assigns =
+  match assigns with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun p (_, update) -> match update p with Some p -> p | None -> p)
+         Params.default assigns)
+
+let lint_level_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("error", `Error); ("warning", `Warning) ]) `Off
+    & info [ "lint-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Run the static encoding linter between encoding and sampling and refuse to sample \
+           when any finding reaches $(docv) ($(b,error) or $(b,warning); default $(b,off)). See \
+           $(b,qsmt lint).")
 
 (* The --metrics summary table: reads the aggregates maintained on the
    handle, so it needs no event stream (aggregate-only handles discard
@@ -344,7 +413,8 @@ let gen_tts (outcome, timing) =
   end
 
 let gen_action op args sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise show_matrix trace metrics =
+    chain_strength noise show_matrix param_assigns lint_level trace metrics =
+  let params = params_of_assignments param_assigns in
   match constraint_of_op op args with
   | Error (`Msg m) ->
     prerr_endline ("qsmt: " ^ m);
@@ -374,27 +444,38 @@ let gen_action op args sampler_kind seed reads sweeps domains jobs budget topolo
           build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
             ~topology_size ~chain_strength ~noise
         in
-        let outcome, timing =
-          with_telemetry ~trace ~metrics ~tts_of:gen_tts (fun telemetry ->
-              let outcome, timing = Solver.solve_timed ~sampler ~telemetry constr in
-              if show_matrix then
-                Format.printf "matrix    :@.%a@."
-                  (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
-                  outcome.Solver.qubo;
-              Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
-              Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value
-                outcome.Solver.value outcome.Solver.energy
-                (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
-              (match outcome.Solver.hardware with
-              | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
-              | None -> ());
-              Format.printf "timing    : encode %.1fus anneal %.1fms decode %.1fus verify %.1fus@."
-                (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
-                (1e6 *. timing.Solver.decode_s) (1e6 *. timing.Solver.verify_s);
-              (outcome, timing))
+        let result =
+          with_telemetry ~trace ~metrics
+            ~tts_of:(function Ok r -> gen_tts r | Error _ -> None)
+            (fun telemetry ->
+              match Solver.solve_timed ?params ~sampler ~lint:lint_level ~telemetry constr with
+              | exception Lint.Rejected (_, findings) -> Error findings
+              | outcome, timing ->
+                if show_matrix then
+                  Format.printf "matrix    :@.%a@."
+                    (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
+                    outcome.Solver.qubo;
+                Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
+                Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value
+                  outcome.Solver.value outcome.Solver.energy
+                  (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
+                (match outcome.Solver.hardware with
+                | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
+                | None -> ());
+                Format.printf
+                  "timing    : encode %.1fus anneal %.1fms decode %.1fus verify %.1fus@."
+                  (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
+                  (1e6 *. timing.Solver.decode_s) (1e6 *. timing.Solver.verify_s);
+                Ok (outcome, timing))
         in
-        ignore timing;
-        if outcome.Solver.satisfied then 0 else 1
+        match result with
+        | Error findings ->
+          Format.eprintf "qsmt: lint gate rejected the encoding (%d error(s), %d warning(s)):@."
+            (Analyze.count_severity findings Analyze.Error)
+            (Analyze.count_severity findings Analyze.Warning);
+          List.iter (fun f -> Format.eprintf "  %a@." Analyze.pp_finding f) findings;
+          1
+        | Ok (outcome, _) -> if outcome.Solver.satisfied then 0 else 1
       end
   end
 
@@ -406,7 +487,8 @@ let gen_cmd =
     Term.(
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
       $ domains_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
-      $ chain_strength_arg $ noise_arg $ show_matrix $ trace_arg $ metrics_arg)
+      $ chain_strength_arg $ noise_arg $ show_matrix $ param_arg $ lint_level_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -417,6 +499,268 @@ let gen_cmd =
            `P "qsmt gen palindrome 6 --sampler sqa";
            `P "qsmt gen regex 'a[bc]+' 5 --seed 3 --matrix";
            `P "qsmt gen includes 'hello world' world --sampler classical";
+         ])
+    term
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+module Smt_parser = Qsmt_smtlib.Parser
+module Smt_typecheck = Qsmt_smtlib.Typecheck
+module Smt_ast = Qsmt_smtlib.Ast
+module Smt_compile = Qsmt_smtlib.Compile
+
+(* The six Table 1 constraints — the paper's evaluation set, and the
+   regression corpus `qsmt lint --table1` gates in CI. *)
+let table1_constraints () =
+  let pattern =
+    match Qsmt_regex.Parser.parse "a[bc]+" with Ok p -> p | Error _ -> assert false
+  in
+  [
+    Constr.Reverse "hello";
+    Constr.Palindrome { length = 6 };
+    Constr.Regex { pattern; length = 5 };
+    Constr.Concat [ "hello"; " "; "world" ];
+    Constr.Index_of { length = 6; substring = "hi"; index = 2 };
+    Constr.Includes { haystack = "hello world"; needle = "world" };
+  ]
+
+(* Lintable constraints of an SMT-LIB script: everything the assertion
+   compiler would hand to the annealer. Trivial/classically-solved
+   problems compile no QUBO, so there is nothing to lint. *)
+let constraints_of_script source =
+  let ( let* ) = Result.bind in
+  let* cmds = Smt_parser.parse_script source in
+  let* env, asserts =
+    List.fold_left
+      (fun acc cmd ->
+        let* env, asserts = acc in
+        match cmd with
+        | Smt_ast.Declare_const (name, sort) ->
+          let* env = Smt_typecheck.declare env name sort in
+          Ok (env, asserts)
+        | Smt_ast.Assert t -> Ok (env, t :: asserts)
+        | _ -> acc)
+      (Ok (Smt_typecheck.empty_env, []))
+      cmds
+  in
+  let* problem = Smt_compile.compile env (List.rev asserts) in
+  match problem with
+  | Smt_compile.Trivial _ | Smt_compile.Solved _ -> Ok []
+  | Smt_compile.Generate { var; constr } | Smt_compile.Locate { var; constr } ->
+    Ok [ (var, constr) ]
+  | Smt_compile.Generate_joint { var; conjuncts } ->
+    Ok (List.map (fun c -> (var, c)) conjuncts)
+
+(* Deterministic single-site damage for the mutation-detection tests:
+   does the linter notice? `zero-penalty` deletes the first diagonal
+   penalty (an unconstrained bit where the oracle expects a forced one);
+   `flip-coupler` negates the first coupler (rewards what the encoding
+   meant to punish). Iteration is CSR-ascending, so the damaged site is
+   stable across runs. *)
+let apply_mutation kind q =
+  match kind with
+  | `None -> q
+  | (`Zero_penalty | `Flip_coupler) as kind ->
+    let b = Qubo.builder () in
+    Qubo.set_offset b (Qubo.offset q);
+    let mutated = ref false in
+    Qubo.iter_linear q (fun i v ->
+        if kind = `Zero_penalty && not !mutated then mutated := true
+        else Qubo.set b i i v);
+    Qubo.iter_quadratic q (fun i j v ->
+        if kind = `Flip_coupler && not !mutated then begin
+          mutated := true;
+          Qubo.set b i j (-.v)
+        end
+        else Qubo.set b i j v);
+    Qubo.freeze ~num_vars:(Qubo.num_vars q) b
+
+let lint_action op args table1 smt2 workload fail_on json chain topology topology_size
+    chain_strength seed max_enum no_soundness mutate param_assigns trace metrics =
+  let params = params_of_assignments param_assigns in
+  let targets =
+    match (op, table1, smt2, workload) with
+    | Some op, false, None, 0 -> begin
+      match constraint_of_op op args with
+      | Error (`Msg m) -> Error m
+      | Ok c -> begin
+        match Constr.validate c with
+        | Error m -> Error ("invalid constraint: " ^ m)
+        | Ok () -> Ok [ (Constr.describe c, c) ]
+      end
+    end
+    | None, true, None, 0 ->
+      Ok (List.map (fun c -> (Constr.describe c, c)) (table1_constraints ()))
+    | None, false, Some path, 0 -> begin
+      let source =
+        if path = "-" then In_channel.input_all In_channel.stdin
+        else In_channel.with_open_text path In_channel.input_all
+      in
+      match constraints_of_script source with
+      | Error m -> Error (path ^ ": " ^ m)
+      | Ok cs ->
+        Ok (List.map (fun (var, c) -> (Printf.sprintf "%s: %s" var (Constr.describe c), c)) cs)
+    end
+    | None, false, None, n when n > 0 ->
+      Ok
+        (List.map
+           (fun c -> (Constr.describe c, c))
+           (Workload.suite ~seed ~max_length:6 ~count:n ()))
+    | None, false, None, 0 ->
+      Error "nothing to lint: give an operation, --table1, --smt2 FILE, or --workload N"
+    | _ -> Error "choose exactly one of: an operation, --table1, --smt2 FILE, --workload N"
+  in
+  match targets with
+  | Error m ->
+    prerr_endline ("qsmt: " ^ m);
+    2
+  | Ok targets ->
+    let config =
+      {
+        Lint.analyze = { Analyze.default_config with Analyze.max_enum_vars = max_enum };
+        soundness = not no_soundness;
+        chain =
+          (if chain then
+             Some (Lint.chain_spec ~size:topology_size ?strength:chain_strength ~seed topology)
+           else None);
+      }
+    in
+    let worst = ref None in
+    with_telemetry ~trace ~metrics (fun telemetry ->
+        List.iter
+          (fun (name, constr) ->
+            let q, overwrites =
+              Qubo.with_overwrite_log (fun () -> Compile.to_qubo ?params constr)
+            in
+            let q = apply_mutation mutate q in
+            let findings = Lint.lint_compiled ~config ~overwrites ~telemetry constr q in
+            (match Analyze.max_severity findings with
+            | Some s when
+                (match !worst with
+                | None -> true
+                | Some w -> Analyze.severity_rank s > Analyze.severity_rank w) ->
+              worst := Some s
+            | _ -> ());
+            let errors = Analyze.count_severity findings Analyze.Error in
+            let warnings = Analyze.count_severity findings Analyze.Warning in
+            let infos = Analyze.count_severity findings Analyze.Info in
+            if json then
+              Format.printf
+                {|{"target":"%s","errors":%d,"warnings":%d,"infos":%d,"findings":[%s]}@.|}
+                (Lint.json_escape name) errors warnings infos
+                (String.concat "," (List.map Lint.finding_to_json findings))
+            else begin
+              Format.printf "==> %s@." name;
+              List.iter (fun f -> Format.printf "  %a@." Analyze.pp_finding f) findings;
+              if findings = [] then Format.printf "  clean@."
+              else Format.printf "  %d error(s), %d warning(s), %d info(s)@." errors warnings infos
+            end)
+          targets);
+    let worst_rank =
+      match !worst with None -> -1 | Some s -> Analyze.severity_rank s
+    in
+    let threshold =
+      match fail_on with
+      | `Never -> max_int
+      | `Warning -> Analyze.severity_rank Analyze.Warning
+      | `Error -> Analyze.severity_rank Analyze.Error
+    in
+    if worst_rank >= threshold then 1 else 0
+
+let lint_cmd =
+  let op =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operation name (as in $(b,qsmt gen)).")
+  in
+  let table1 =
+    Arg.(value & flag & info [ "table1" ] ~doc:"Lint the paper's six Table 1 constraints.")
+  in
+  let smt2 =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smt2" ] ~docv:"FILE"
+          ~doc:"Lint every annealer constraint an SMT-LIB script compiles to ($(b,-) for stdin).")
+  in
+  let workload =
+    Arg.(
+      value & opt int 0
+      & info [ "workload" ] ~docv:"N"
+          ~doc:"Lint $(docv) seeded random constraints from the workload generator.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]) `Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:"Exit 1 when any finding reaches $(docv) ($(b,error), $(b,warning), or $(b,never); default $(b,error)).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable output: one JSON object per linted constraint, findings inline.")
+  in
+  let chain =
+    Arg.(
+      value & flag
+      & info [ "chain" ]
+          ~doc:
+            "Also check hardware-embedding adequacy: embed into $(b,--topology) (auto-sized \
+             unless $(b,--topology-size) is given) and judge $(b,--chain-strength) against the \
+             recommended default and the max-local-field no-break bound.")
+  in
+  let max_enum =
+    Arg.(
+      value & opt int Analyze.default_config.Analyze.max_enum_vars
+      & info [ "max-enum" ] ~docv:"N"
+          ~doc:
+            "Exhaustive-soundness budget: enumerate the reduced residual only when it keeps at \
+             most $(docv) free variables (hard cap 24).")
+  in
+  let no_soundness =
+    Arg.(
+      value & flag
+      & info [ "no-soundness" ] ~doc:"Skip the exhaustive ground-set-vs-oracle check.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (enum [ ("none", `None); ("zero-penalty", `Zero_penalty); ("flip-coupler", `Flip_coupler) ]) `None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            "Damage the compiled QUBO before linting ($(b,zero-penalty): drop the first diagonal \
+             penalty; $(b,flip-coupler): negate the first coupler) — demonstrates and tests that \
+             the linter catches the broken encoding.")
+  in
+  let term =
+    Term.(
+      const lint_action $ op $ op_args $ table1 $ smt2 $ workload $ fail_on $ json $ chain
+      $ topology_arg $ topology_size_arg $ chain_strength_arg $ seed_arg $ max_enum
+      $ no_soundness $ mutate $ param_arg $ trace_arg $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze QUBO encodings: soundness, penalty gaps, precision, structure."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Compiles the constraint and analyzes the frozen QUBO without ever sampling: \
+              exhaustive ground-set soundness against the classical verifier (when the \
+              preprocessed residual is small enough to enumerate), penalty-gap and \
+              shallow-excitation margins, dynamic-range and non-dyadic precision, dead \
+              variables, overwrite collisions, disconnected components, and (with $(b,--chain)) \
+              embedding and chain-strength adequacy.";
+           `P
+             "ERROR findings mean sampling cannot return a trustworthy answer; WARNING means \
+              fragile on hardware; INFO is structure worth knowing. Exit status: 0 clean (below \
+              $(b,--fail-on)), 1 findings at or above $(b,--fail-on), 2 usage errors.";
+           `S Manpage.s_examples;
+           `P "qsmt lint reverse hello";
+           `P "qsmt lint --table1 --json";
+           `P "qsmt lint includes 'hello world' world --mutate flip-coupler";
+           `P "qsmt lint palindrome 4 --chain --topology king --chain-strength 0.5";
          ])
     term
 
@@ -598,6 +942,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "qsmt" ~version:"1.0.0"
        ~doc:"Quantum-annealing SMT solver for the theory of strings (QUBO formulations).")
-    [ run_cmd; gen_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
+    [ run_cmd; gen_cmd; lint_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

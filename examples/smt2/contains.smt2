@@ -1,0 +1,7 @@
+; Substring containment with a length bound (sec 4.3).
+(set-logic QF_S)
+(declare-const x String)
+(assert (str.contains x "cat"))
+(assert (= (str.len x) 5))
+(check-sat)
+(get-model)

@@ -1,0 +1,6 @@
+; Direct equality: the paper's simplest generative constraint (sec 4.1).
+(set-logic QF_S)
+(declare-const x String)
+(assert (= x "hello"))
+(check-sat)
+(get-value (x))

@@ -1,0 +1,6 @@
+; Position search (sec 4.4): the Int unknown is the one-hot Includes QUBO.
+(set-logic QF_SLIA)
+(declare-const i Int)
+(assert (= i (str.indexof "hello world" "world" 0)))
+(check-sat)
+(get-value (i))

@@ -1,0 +1,10 @@
+; Forced substring position (sec 4.5). The 0.1*A soft printable bias in
+; this encoding is fragile by design: `qsmt lint` reports it as a
+; shallow-excitation warning, which the CI gate tolerates (it fails on
+; errors only).
+(set-logic QF_SLIA)
+(declare-const x String)
+(assert (= (str.indexof x "hi" 0) 2))
+(assert (= (str.len x) 6))
+(check-sat)
+(get-value (x))

@@ -1,0 +1,8 @@
+; Regex membership at a fixed length (sec 4.9): a[bc]+ with |x| = 5.
+(set-logic QF_S)
+(declare-const x String)
+(assert (str.in_re x (re.++ (str.to_re "a")
+                            (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(assert (= (str.len x) 5))
+(check-sat)
+(get-model)

@@ -5,6 +5,16 @@ module Qgraph = Qsmt_qubo.Qgraph
 
 let default_strength q = Float.max 1. (2. *. Qubo.max_abs_coefficient q)
 
+let max_local_field q =
+  let n = Qubo.num_vars q in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    let field = ref (Float.abs (Qubo.linear q i)) in
+    List.iter (fun (_, v) -> field := !field +. Float.abs v) (Qubo.neighbors q i);
+    if !field > !worst then worst := !field
+  done;
+  !worst
+
 let embed_qubo q ~embedding ~hardware ~chain_strength =
   let b = Qubo.builder () in
   Qubo.iter_linear q (fun i v ->

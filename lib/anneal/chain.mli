@@ -12,6 +12,15 @@ val default_strength : Qsmt_qubo.Qubo.t -> float
 (** [2 × max |coefficient|], at least [1.] — a simple, robust version of
     D-Wave's uniform-torque-compensation default. *)
 
+val max_local_field : Qsmt_qubo.Qubo.t -> float
+(** [max_i (|Q_ii| + Σ_j |Q_ij|)] over the logical problem — the
+    worst-case energy a single logical variable's terms can exert on one
+    of its chain qubits. A chain strength at or above this bound
+    guarantees no ground state of the embedded problem breaks a chain;
+    below it, breaks are merely unlikely rather than impossible. The
+    static linter compares configured strengths against both this bound
+    and {!default_strength}. *)
+
 val embed_qubo :
   Qsmt_qubo.Qubo.t ->
   embedding:Embedding.t ->

@@ -1,0 +1,316 @@
+module Bitvec = Qsmt_util.Bitvec
+
+(* ------------------------------------------------------------------ *)
+(* findings *)
+
+type severity = Info | Warning | Error
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let severity_name = function Info -> "info" | Warning -> "warning" | Error -> "error"
+
+type location = Global | Var of int | Coupler of int * int
+
+type finding = {
+  severity : severity;
+  check : string;
+  location : location;
+  message : string;
+}
+
+let pp_location ppf = function
+  | Global -> Format.pp_print_string ppf "global"
+  | Var i -> Format.fprintf ppf "var %d" i
+  | Coupler (i, j) -> Format.fprintf ppf "coupler (%d,%d)" i j
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%-7s %-22s %a: %s"
+    (String.uppercase_ascii (severity_name f.severity))
+    f.check pp_location f.location f.message
+
+let max_severity findings =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | None -> Some f.severity
+      | Some s -> if severity_rank f.severity > severity_rank s then Some f.severity else acc)
+    None findings
+
+let count_severity findings s = List.length (List.filter (fun f -> f.severity = s) findings)
+
+(* ------------------------------------------------------------------ *)
+(* configuration *)
+
+type config = {
+  precision_ratio : float;
+  dyadic_bits : int;
+  gap_fraction : float;
+  max_enum_vars : int;
+}
+
+let default_config =
+  { precision_ratio = 1e3; dyadic_bits = 20; gap_fraction = 0.25; max_enum_vars = 20 }
+
+let max_enum_cap = 24
+
+let finding severity check location message = { severity; check; location; message }
+
+(* ------------------------------------------------------------------ *)
+(* structural checks *)
+
+let check_finite q =
+  let acc = ref [] in
+  let bad loc v =
+    acc :=
+      finding Error "non-finite-coefficient" loc
+        (Printf.sprintf "coefficient is %g; every downstream energy is garbage" v)
+      :: !acc
+  in
+  if not (Float.is_finite (Qubo.offset q)) then bad Global (Qubo.offset q);
+  Qubo.iter_linear q (fun i v -> if not (Float.is_finite v) then bad (Var i) v);
+  Qubo.iter_quadratic q (fun i j v -> if not (Float.is_finite v) then bad (Coupler (i, j)) v);
+  List.rev !acc
+
+(* Extremes over the finite coefficients only — non-finite entries are
+   check_finite's problem, and folding a nan here would poison the ratio. *)
+let coefficient_extremes q =
+  let max_abs = ref 0. and min_abs = ref infinity in
+  let fold v =
+    let a = Float.abs v in
+    if Float.is_finite a && a > 0. then begin
+      if a > !max_abs then max_abs := a;
+      if a < !min_abs then min_abs := a
+    end
+  in
+  Qubo.iter_linear q (fun _ v -> fold v);
+  Qubo.iter_quadratic q (fun _ _ v -> fold v);
+  if !max_abs = 0. then None else Some (!max_abs, !min_abs)
+
+let check_dynamic_range ?(config = default_config) q =
+  match coefficient_extremes q with
+  | None -> []
+  | Some (max_abs, min_abs) ->
+    let ratio = max_abs /. min_abs in
+    if ratio > config.precision_ratio then
+      [
+        finding Warning "dynamic-range" Global
+          (Printf.sprintf
+             "coefficient dynamic range %.3g (max |Q| %g, min nonzero |Q| %g) exceeds the analog \
+              precision limit %.3g: the smallest terms drown in hardware control noise"
+             ratio max_abs min_abs config.precision_ratio);
+      ]
+    else []
+
+let check_coefficient_quantum ?(config = default_config) q =
+  let quantum = Float.of_int (1 lsl config.dyadic_bits) in
+  let offenders = ref [] and total = ref 0 in
+  let fold loc v =
+    if Float.is_finite v && not (Float.is_integer (v *. quantum)) then begin
+      incr total;
+      if List.length !offenders < 3 then offenders := (loc, v) :: !offenders
+    end
+  in
+  fold Global (Qubo.offset q);
+  Qubo.iter_linear q (fun i v -> fold (Var i) v);
+  Qubo.iter_quadratic q (fun i j v -> fold (Coupler (i, j)) v);
+  if !total = 0 then []
+  else begin
+    let example =
+      match List.rev !offenders with
+      | (loc, v) :: _ -> Format.asprintf "%a = %.17g" pp_location loc v
+      | [] -> assert false
+    in
+    [
+      finding Info "coefficient-quantum" Global
+        (Printf.sprintf
+           "%d coefficient(s) are not multiples of 2^-%d (e.g. %s): energy sums are inexact, so \
+            exact ties may be resolved by rounding noise"
+           !total config.dyadic_bits example);
+    ]
+  end
+
+let dead_variables q =
+  let n = Qubo.num_vars q in
+  let dead = ref [] in
+  for i = n - 1 downto 0 do
+    if Qubo.linear q i = 0. && Qubo.degree q i = 0 then dead := i :: !dead
+  done;
+  !dead
+
+let format_var_list vars =
+  let shown = List.filteri (fun i _ -> i < 8) vars in
+  let body = String.concat ", " (List.map string_of_int shown) in
+  if List.length vars > 8 then body ^ ", ..." else body
+
+let check_dead_variables q =
+  match dead_variables q with
+  | [] -> []
+  | dead ->
+    [
+      finding Info "dead-variable" Global
+        (Printf.sprintf
+           "%d of %d variable(s) have no linear term and no couplers (%s): their bits decode to \
+            whatever the sampler left behind"
+           (List.length dead) (Qubo.num_vars q) (format_var_list dead));
+    ]
+
+let check_connectivity q =
+  let g = Qgraph.of_qubo q in
+  let coupled_components =
+    List.filter (fun c -> List.length c >= 2) (Qgraph.connected_components g)
+  in
+  if List.length coupled_components >= 2 then
+    [
+      finding Info "disconnected-components" Global
+        (Printf.sprintf
+           "the coupled variables split into %d independent components: one anneal solves several \
+            unrelated subproblems at once"
+           (List.length coupled_components));
+    ]
+  else []
+
+let check_preprocess q =
+  let r = Preprocess.reduce q in
+  let fixed = Preprocess.num_fixed r and n = Qubo.num_vars q in
+  if fixed = 0 || n = 0 then []
+  else
+    [
+      finding Info "preprocess-fixable" Global
+        (Printf.sprintf "dominance preprocessing fixes %d/%d variable(s) before any sampling" fixed
+           n);
+    ]
+
+let check_overwrites overwrites =
+  match overwrites with
+  | [] -> []
+  | collisions ->
+    let shown = List.filteri (fun i _ -> i < 3) collisions in
+    let examples =
+      String.concat ", "
+        (List.map
+           (fun ov ->
+             Printf.sprintf "Q[%d,%d] %g->%g" ov.Qubo.ov_i ov.Qubo.ov_j ov.Qubo.old_value
+               ov.Qubo.new_value)
+           shown)
+    in
+    [
+      finding Info "overwrite-collision" Global
+        (Printf.sprintf
+           "%d last-write-wins overwrite(s) during encoding (e.g. %s%s): each discarded an earlier \
+            penalty term (the paper's §4.3 semantics)"
+           (List.length collisions) examples
+           (if List.length collisions > 3 then ", ..." else ""));
+    ]
+
+let structural ?(config = default_config) ?(overwrites = []) q =
+  check_finite q
+  @ check_dynamic_range ~config q
+  @ check_coefficient_quantum ~config q
+  @ check_dead_variables q
+  @ check_connectivity q
+  @ check_preprocess q
+  @ check_overwrites overwrites
+
+(* ------------------------------------------------------------------ *)
+(* exhaustive enumeration *)
+
+type enumeration = {
+  reduction : Preprocess.t;
+  num_free : int;
+  energies : float array;
+  ground_energy : float;
+  ground_count : int;
+  spectral_gap : float option;
+  min_flip_gap : float option;
+}
+
+let gray k = k lxor (k lsr 1)
+
+(* Index of the bit that flips between gray (k-1) and gray k: the number
+   of trailing zeros of k. *)
+let flipped_bit k =
+  let rec go k acc = if k land 1 = 1 then acc else go (k lsr 1) (acc + 1) in
+  go k 0
+
+let ground_tolerance e = 1e-9 *. (1. +. Float.abs e.ground_energy)
+
+let assignment e k =
+  if k < 0 || k >= Array.length e.energies then
+    invalid_arg (Printf.sprintf "Analyze.assignment: index %d out of range" k);
+  let g = gray k in
+  let bits = Bitvec.init e.num_free (fun b -> (g lsr b) land 1 = 1) in
+  Preprocess.expand e.reduction bits
+
+let enumerate ?max_vars q =
+  let max_vars =
+    match max_vars with
+    | None -> default_config.max_enum_vars
+    | Some m -> min m max_enum_cap
+  in
+  let reduction = Preprocess.reduce q in
+  let free = Preprocess.num_free reduction in
+  if free > max_vars then Result.Error free
+  else begin
+    let residual = Preprocess.residual reduction in
+    let count = 1 lsl free in
+    let energies = Array.make count 0. in
+    let bits = Bitvec.create free in
+    (* Gray-code walk: one O(degree) flip per step. The residual offset
+       already accounts for the fixed variables, so residual energies are
+       original energies. *)
+    let e = ref (Qubo.energy residual bits) in
+    energies.(0) <- !e;
+    for k = 1 to count - 1 do
+      let b = flipped_bit k in
+      e := !e +. Qubo.flip_delta residual bits b;
+      Bitvec.flip bits b;
+      energies.(k) <- !e
+    done;
+    let ground_energy = Array.fold_left Float.min energies.(0) energies in
+    let tol = 1e-9 *. (1. +. Float.abs ground_energy) in
+    let ground_count = ref 0 in
+    let first_excited = ref infinity in
+    Array.iter
+      (fun v ->
+        if v <= ground_energy +. tol then incr ground_count
+        else if v < !first_excited then first_excited := v)
+      energies;
+    let spectral_gap =
+      if Float.is_finite !first_excited then Some (!first_excited -. ground_energy) else None
+    in
+    (* Shallowest single-bit excitation from one ground state of the
+       full problem (any ground representative works for the checks this
+       feeds: a soft bias shrinks it everywhere). *)
+    let min_flip_gap =
+      let partial =
+        {
+          reduction;
+          num_free = free;
+          energies;
+          ground_energy;
+          ground_count = !ground_count;
+          spectral_gap;
+          min_flip_gap = None;
+        }
+      in
+      let rec first_ground k =
+        if energies.(k) <= ground_energy +. tol then k else first_ground (k + 1)
+      in
+      let full = assignment partial (first_ground 0) in
+      let best = ref infinity in
+      for i = 0 to Qubo.num_vars q - 1 do
+        let d = Float.abs (Qubo.flip_delta q full i) in
+        if d > tol && d < !best then best := d
+      done;
+      if Float.is_finite !best then Some !best else None
+    in
+    Result.Ok
+      {
+        reduction;
+        num_free = free;
+        energies;
+        ground_energy;
+        ground_count = !ground_count;
+        spectral_gap;
+        min_flip_gap;
+      }
+  end

@@ -1,0 +1,157 @@
+(** Static analysis of frozen QUBOs — find broken or hardware-hostile
+    encodings before anything samples.
+
+    The paper's central artifact is the encoding: each string constraint
+    compiles to a QUBO whose ground states must decode exactly to the
+    constraint's satisfying assignments. Until now the only way to
+    discover a broken or fragile encoding was to run a sampler and
+    notice a wrong answer; Bian et al. ("Solving SAT and MaxSAT with a
+    Quantum Annealer") show that penalty-gap size and coefficient
+    precision — not annealer quality — dominate whether hardware finds
+    correct answers. This module is the QUBO half of the static gate:
+    checks that need only the matrix (finiteness, dynamic range,
+    coefficient quantum, dead variables, connectivity, preprocessing
+    headroom, builder overwrite collisions) plus an exhaustive
+    enumeration engine over the {!Preprocess} residual that the
+    constraint-aware linter ({!Qsmt_strtheory.Lint}) drives against its
+    semantic oracle.
+
+    Every check is pure and deterministic: same QUBO, same findings. *)
+
+(** {1 Findings} *)
+
+type severity = Info | Warning | Error
+
+val severity_rank : severity -> int
+(** [Info] = 0, [Warning] = 1, [Error] = 2. *)
+
+val severity_name : severity -> string
+(** Lowercase: ["info"] / ["warning"] / ["error"]. *)
+
+type location =
+  | Global  (** about the problem as a whole *)
+  | Var of int  (** one variable (a diagonal entry) *)
+  | Coupler of int * int  (** one interaction, [i < j] *)
+
+type finding = {
+  severity : severity;
+  check : string;
+      (** stable kebab-case tag of the check that fired, e.g.
+          ["dead-variable"]; telemetry counters and the CLI's JSON output
+          key on it *)
+  location : location;
+  message : string;  (** human-readable, one line *)
+}
+
+val pp_location : Format.formatter -> location -> unit
+val pp_finding : Format.formatter -> finding -> unit
+(** [SEVERITY check location: message]. *)
+
+val max_severity : finding list -> severity option
+(** Highest severity present, [None] on no findings. *)
+
+val count_severity : finding list -> severity -> int
+
+(** {1 Configuration} *)
+
+type config = {
+  precision_ratio : float;
+      (** warn when [max|Q| / min nonzero |Q|] exceeds this — analog
+          annealers realize coefficients with a few-percent error, so a
+          large dynamic range means small terms drown in control noise
+          (default 1e3) *)
+  dyadic_bits : int;
+      (** coefficients should be integer multiples of [2^-dyadic_bits];
+          others (e.g. the literal 0.1) make float energy sums inexact,
+          so exact ties wobble with summation order (default 20) *)
+  gap_fraction : float;
+      (** penalty gaps and single-flip excitations below
+          [gap_fraction × max|Q|] are flagged as fragile (default 0.25) *)
+  max_enum_vars : int;
+      (** exhaustive enumeration bails out when the preprocessed
+          residual keeps more free variables than this (default 20,
+          hard-capped at {!max_enum_cap}) *)
+}
+
+val default_config : config
+val max_enum_cap : int
+(** 24 — [2^24] energies is the largest table {!enumerate} will build. *)
+
+(** {1 Structural checks (no enumeration)} *)
+
+val check_finite : Qubo.t -> finding list
+(** [Error] per non-finite (nan/inf) linear, quadratic, or offset
+    entry. Everything downstream of a non-finite coefficient — energies,
+    gaps, sampler acceptance tests — is garbage. *)
+
+val check_dynamic_range : ?config:config -> Qubo.t -> finding list
+(** [Warning] when the coefficient dynamic range exceeds
+    [config.precision_ratio]; [Info] statistics otherwise are not
+    emitted (quiet when fine). *)
+
+val check_coefficient_quantum : ?config:config -> Qubo.t -> finding list
+(** [Info] when some coefficients are not integer multiples of
+    [2^-dyadic_bits] — energy comparisons are then inexact and exact
+    ties may be resolved by rounding noise (the known non-dyadic
+    [soft_scale = 0.1] wobble). *)
+
+val check_dead_variables : Qubo.t -> finding list
+(** [Info] listing variables with no linear term and no couplers: the
+    sampler leaves their bits wherever its PRNG dropped them. Normal for
+    generative encodings (free characters), suspicious for forced
+    ones. *)
+
+val check_connectivity : Qubo.t -> finding list
+(** [Info] when the coupled part of the interaction graph splits into
+    several components of two or more variables each — independent
+    subproblems sharing one anneal. Isolated vertices (diagonal-only
+    encodings) are not reported. *)
+
+val check_preprocess : Qubo.t -> finding list
+(** [Info]: how many variables {!Preprocess.reduce} would fix. *)
+
+val check_overwrites : Qubo.overwrite list -> finding list
+(** [Info] summarizing value-changing builder overwrites (collected with
+    {!Qubo.with_overwrite_log}): last-write-wins collisions are the
+    paper's §4.3 semantics, but each one silently discards an earlier
+    penalty term, so the linter surfaces where they happened. *)
+
+val structural : ?config:config -> ?overwrites:Qubo.overwrite list -> Qubo.t -> finding list
+(** All of the above, in the order listed. *)
+
+(** {1 Exhaustive enumeration} *)
+
+type enumeration = {
+  reduction : Preprocess.t;
+  num_free : int;  (** free variables of the residual *)
+  energies : float array;
+      (** length [2^num_free]; [energies.(k)] is the energy — of the
+          original problem — of {!assignment}[ e k]. Gray-code order. *)
+  ground_energy : float;
+  ground_count : int;  (** assignments within tolerance of the ground energy *)
+  spectral_gap : float option;
+      (** first excited level minus ground, [None] when the spectrum has
+          a single level *)
+  min_flip_gap : float option;
+      (** smallest nonzero [|flip_delta|] over all variables from one
+          ground state of the full problem — the shallowest single-bit
+          excitation, what a weak soft bias ([soft_scale·A]) shrinks;
+          [None] when every flip is free (fully degenerate) *)
+}
+
+val enumerate : ?max_vars:int -> Qubo.t -> (enumeration, int) result
+(** Reduces with {!Preprocess.reduce}, then enumerates every assignment
+    of the residual in Gray-code order (one O(degree) delta update per
+    step). [Error free] when the residual keeps [free > max_vars]
+    (default {!default_config}[.max_enum_vars]) variables. [max_vars] is
+    clamped to {!max_enum_cap}. *)
+
+val assignment : enumeration -> int -> Qsmt_util.Bitvec.t
+(** [assignment e k] is the full original-variable assignment behind
+    [e.energies.(k)]: the Gray code of [k] over the free variables,
+    expanded through the reduction.
+    @raise Invalid_argument if [k] is out of range. *)
+
+val ground_tolerance : enumeration -> float
+(** The absolute tolerance used to classify an energy as ground —
+    [1e-9 · (1 + |ground|)], exposed so callers classify identically. *)

@@ -28,10 +28,37 @@ let builder () = { entries = Hashtbl.create 64; b_offset = 0.; max_index = -1 }
 
 let touch b i j = if max i j > b.max_index then b.max_index <- max i j
 
+type overwrite = { ov_i : int; ov_j : int; old_value : float; new_value : float }
+
+(* Innermost [with_overwrite_log] scope; [None] outside any scope, so a
+   plain [set] pays one reference read. Not domain-safe by design — the
+   linter's compile step is single-threaded. *)
+let overwrite_log : overwrite list ref option ref = ref None
+
+let with_overwrite_log f =
+  let saved = !overwrite_log in
+  let log = ref [] in
+  overwrite_log := Some log;
+  Fun.protect
+    ~finally:(fun () -> overwrite_log := saved)
+    (fun () ->
+      let result = f () in
+      (result, List.rev !log))
+
 let set b i j q =
   check_indices i j;
   touch b i j;
-  Hashtbl.replace b.entries (normalize i j) q
+  let key = normalize i j in
+  (match !overwrite_log with
+  | Some log -> begin
+    match Hashtbl.find_opt b.entries key with
+    | Some old when old <> q ->
+      let ov_i, ov_j = key in
+      log := { ov_i; ov_j; old_value = old; new_value = q } :: !log
+    | _ -> ()
+  end
+  | None -> ());
+  Hashtbl.replace b.entries key q
 
 let get b i j =
   check_indices i j;

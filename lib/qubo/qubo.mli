@@ -44,14 +44,43 @@ val merge : into:builder -> builder -> unit
 (** [merge ~into src] adds every coefficient and the offset of [src] into
     [into] (summing semantics). *)
 
+(** {1 Write provenance} *)
+
+type overwrite = {
+  ov_i : int;
+  ov_j : int;  (** normalized: [ov_i <= ov_j] *)
+  old_value : float;
+  new_value : float;
+}
+(** One value-changing {!set} collision: the entry already held
+    [old_value] and was overwritten with the different [new_value].
+    Re-writing the value already present is not a collision. *)
+
+val with_overwrite_log : (unit -> 'a) -> 'a * overwrite list
+(** [with_overwrite_log f] records, for every builder touched while [f]
+    runs, each value-changing [set] overwrite, in program order. The
+    paper's substring encoding (§4.3) relies on last-write-wins
+    semantics, so collisions are not errors — the static analyzer
+    ({!Analyze}) surfaces them as findings instead of letting them stay
+    tribal knowledge. Recording is process-global and not domain-safe:
+    run it single-threaded (the linter's compile step is). Nested calls
+    log to the innermost scope. When no scope is active (the default),
+    {!set} pays one reference read and no allocation. *)
+
 (** {1 Freezing and inspection} *)
 
 val freeze : ?num_vars:int -> builder -> t
 (** [freeze ?num_vars b] compiles [b] to CSR. [num_vars] forces the
     variable count (useful when trailing variables are unconstrained, as
     in the paper's substring encodings); it must be at least the highest
-    index touched plus one. Entries that are exactly [0.] are dropped.
-    The builder remains usable afterwards. *)
+    index touched plus one. Entries that are exactly [0.] are dropped —
+    including negative zero ([-0. = 0.] under float comparison), so a
+    coefficient overwritten to zero is indistinguishable from one never
+    written. {!Analyze}'s dead-variable check relies on exactly this: a
+    variable whose every entry was dropped has no terms at all in the
+    frozen problem. Nonzero entries are copied verbatim (bit-exact, no
+    rounding), so [builder] values round-trip through [freeze]
+    unchanged. The builder remains usable afterwards. *)
 
 val num_vars : t -> int
 val offset : t -> float

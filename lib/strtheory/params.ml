@@ -8,14 +8,29 @@ type t = {
 
 let default = { a = 1.0; strong_scale = 2.0; soft_scale = 0.1; includes_b = 2.0; includes_d = 1.0 }
 
+type invalid_reason = Nonpositive | Not_finite
+
+type invalid = { field : string; value : float; reason : invalid_reason }
+
+let invalid_message { field; value; reason } =
+  match reason with
+  | Nonpositive -> Printf.sprintf "Params.%s must be positive, got %g" field value
+  | Not_finite -> Printf.sprintf "Params.%s must be finite, got %g" field value
+
 let validate t =
-  let bad name v = Error (Printf.sprintf "Params.%s must be positive, got %g" name v) in
-  if t.a <= 0. then bad "a" t.a
-  else if t.strong_scale <= 0. then bad "strong_scale" t.strong_scale
-  else if t.soft_scale <= 0. then bad "soft_scale" t.soft_scale
-  else if t.includes_b <= 0. then bad "includes_b" t.includes_b
-  else if t.includes_d <= 0. then bad "includes_d" t.includes_d
-  else Ok ()
+  let check field value =
+    (* NaN fails both comparisons below, so test finiteness first to
+       report it as Not_finite rather than falling through. *)
+    if not (Float.is_finite value) then Error { field; value; reason = Not_finite }
+    else if value <= 0. then Error { field; value; reason = Nonpositive }
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = check "a" t.a in
+  let* () = check "strong_scale" t.strong_scale in
+  let* () = check "soft_scale" t.soft_scale in
+  let* () = check "includes_b" t.includes_b in
+  check "includes_d" t.includes_d
 
 let pp ppf t =
   Format.fprintf ppf "A=%g strong=%g soft=%g B=%g D=%g" t.a t.strong_scale t.soft_scale

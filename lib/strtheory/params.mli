@@ -18,7 +18,20 @@ type t = {
 
 val default : t
 
-val validate : t -> (unit, string) result
-(** All strengths must be positive. *)
+type invalid_reason =
+  | Nonpositive  (** zero or negative: the penalty would vanish or invert *)
+  | Not_finite  (** nan or infinity: every compiled coefficient is garbage *)
+
+type invalid = { field : string; value : float; reason : invalid_reason }
+(** Which strength failed, with what value and why — a typed error so
+    the CLI's [--param] path can fail fast instead of compiling a
+    garbage QUBO (an earlier revision's "positive" check let [infinity]
+    through: [infinity > 0.] holds). *)
+
+val validate : t -> (unit, invalid) result
+(** All strengths must be finite and strictly positive. *)
+
+val invalid_message : invalid -> string
+(** One-line rendering of an {!invalid}. *)
 
 val pp : Format.formatter -> t -> unit

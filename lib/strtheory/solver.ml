@@ -48,7 +48,8 @@ let pick_value ~verify constr samples =
 
 let now () = Unix.gettimeofday ()
 
-let solve_timed ?params ?sampler ?(telemetry = Telemetry.null) constr =
+let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telemetry.null)
+    constr =
   let sampler = match sampler with Some s -> s | None -> default_sampler ~seed:0 in
   (* Verification happens in two places — inside the sampler (the
      portfolio's early-exit callback, possibly from several domains at
@@ -77,6 +78,13 @@ let solve_timed ?params ?sampler ?(telemetry = Telemetry.null) constr =
         Compile.to_qubo ?params ~telemetry constr)
   in
   let t1 = now () in
+  (* Optional pre-sample gate: reject statically-broken encodings before
+     any annealing time is spent. Raises [Lint.Rejected]. *)
+  (match lint with
+  | `Off -> ()
+  | (`Error | `Warning) as gate ->
+    Telemetry.with_span telemetry ~parent:solve_span "lint" (fun _ ->
+        Lint.gate_check ?config:lint_config ~telemetry ~gate constr qubo));
   (* The verifier lets portfolio samplers exit as soon as any read
      decodes to a satisfying value; deterministic samplers ignore it. *)
   let verify bits =
@@ -115,14 +123,14 @@ let solve_timed ?params ?sampler ?(telemetry = Telemetry.null) constr =
       verify_s = !verify_total;
     } )
 
-let solve ?params ?sampler ?telemetry constr =
-  fst (solve_timed ?params ?sampler ?telemetry constr)
+let solve ?params ?sampler ?lint ?lint_config ?telemetry constr =
+  fst (solve_timed ?params ?sampler ?lint ?lint_config ?telemetry constr)
 
-let solve_batch ?params ?sampler ?telemetry ?(jobs = 0) constrs =
+let solve_batch ?params ?sampler ?lint ?lint_config ?telemetry ?(jobs = 0) constrs =
   let jobs = if jobs > 0 then jobs else Parallel.recommended_domains () in
   let constrs = Array.of_list constrs in
   Array.to_list (Parallel.init_array ~domains:jobs (Array.length constrs) (fun i ->
-      solve_timed ?params ?sampler ?telemetry constrs.(i)))
+      solve_timed ?params ?sampler ?lint ?lint_config ?telemetry constrs.(i)))
 
 type pipeline_error = {
   stage_index : int;
@@ -130,8 +138,8 @@ type pipeline_error = {
   completed : outcome list;
 }
 
-let solve_pipeline ?params ?sampler ?telemetry pipeline =
-  let first = solve ?params ?sampler ?telemetry pipeline.Pipeline.initial in
+let solve_pipeline ?params ?sampler ?lint ?lint_config ?telemetry pipeline =
+  let first = solve ?params ?sampler ?lint ?lint_config ?telemetry pipeline.Pipeline.initial in
   (* Stages transform a string; a positional decode (only the initial
      constraint can produce one, via Includes) has no string to feed
      forward, so the run stops with a typed error instead of silently
@@ -140,7 +148,7 @@ let solve_pipeline ?params ?sampler ?telemetry pipeline =
     | [] -> Ok (List.rev acc)
     | stage :: rest ->
       let constr = Pipeline.constraint_for stage ~input in
-      let outcome = solve ?params ?sampler ?telemetry constr in
+      let outcome = solve ?params ?sampler ?lint ?lint_config ?telemetry constr in
       let acc = outcome :: acc in
       (match outcome.value with
       | Constr.Str s -> go (index + 1) s acc rest

@@ -40,23 +40,34 @@ val default_sampler : seed:int -> Qsmt_anneal.Sampler.t
 val solve :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?lint:Lint.gate ->
+  ?lint_config:Lint.config ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t ->
   outcome
 (** Samples once and scans the sample set in ascending energy order for
     the first decoded value that verifies; if none verifies, the
     lowest-energy decode is returned with [satisfied = false]. The
-    sampler defaults to [default_sampler ~seed:0]. *)
+    sampler defaults to [default_sampler ~seed:0].
+
+    [lint] (default [`Off]) runs the static linter between encoding and
+    sampling and raises {!Lint.Rejected} when any finding reaches the
+    gate severity — no annealing time is spent on an encoding the linter
+    can already prove broken. [lint_config] tunes the checks. *)
 
 val solve_timed :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?lint:Lint.gate ->
+  ?lint_config:Lint.config ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t ->
   outcome * stage_timing
 (** {!solve} plus per-stage wall-clock timing (the Figure 1 trace).
     Passes the constraint verifier down to the sampler so portfolio
-    samplers can early-exit on the first satisfying read.
+    samplers can early-exit on the first satisfying read. The lint gate
+    (when on) runs inside the [solve] span as a [lint] child; its cost is
+    not attributed to any of the four timing buckets.
 
     [telemetry] wraps the whole call in a [solve] span with [encode] /
     [sample] / [decode] children, shares the handle with the encoder (per
@@ -69,6 +80,8 @@ val solve_timed :
 val solve_batch :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?lint:Lint.gate ->
+  ?lint_config:Lint.config ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   ?jobs:int ->
   Constr.t list ->
@@ -96,6 +109,8 @@ type pipeline_error = {
 val solve_pipeline :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?lint:Lint.gate ->
+  ?lint_config:Lint.config ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Pipeline.t ->
   (outcome list, pipeline_error) result

@@ -150,6 +150,89 @@ on wall clock), and `qsmt trace` validates the format contract:
   qsmt: invalid trace: line 2: timestamp 0.5 decreases (previous 1)
   [2]
 
+Static encoding linter: no sampling, exhaustive ground-set soundness
+against the classical verifier, penalty-gap and precision margins. A
+sound diagonal encoding is clean apart from the preprocessing headroom
+note:
+
+  $ ../../bin/qsmt.exe lint equals a
+  ==> generate the string "a"
+    INFO    preprocess-fixable     global: dominance preprocessing fixes 7/7 variable(s) before any sampling
+    0 error(s), 0 warning(s), 1 info(s)
+
+The paper's indexOf soft bias (0.1·A, §4.5) is fragile by design — the
+linter calls out the shallow excitation and the non-dyadic coefficient,
+and --fail-on warning turns that into a failing exit:
+
+  $ ../../bin/qsmt.exe lint indexof 6 hi 2 --fail-on warning
+  ==> generate a length-6 string with "hi" at index 2
+    WARNING shallow-excitation     global: shallowest single-bit excitation from a ground state is 0.1 (< 0.5 = 0.25 x max|Q|): a soft bias this weak is easily lost to thermal noise or rounding
+    INFO    coefficient-quantum    global: 8 coefficient(s) are not multiples of 2^-20 (e.g. var 0 = -0.10000000000000001): energy sums are inexact, so exact ties may be resolved by rounding noise
+    INFO    dead-variable          global: 20 of 42 variable(s) have no linear term and no couplers (2, 3, 4, 5, 6, 9, 10, 11, ...): their bits decode to whatever the sampler left behind
+    INFO    preprocess-fixable     global: dominance preprocessing fixes 42/42 variable(s) before any sampling
+    0 error(s), 1 warning(s), 3 info(s)
+  [1]
+
+A broken encoding is an ERROR with the decoded counterexample — here the
+forced bit of "a" is deleted, so a ground state decodes to "!":
+
+  $ ../../bin/qsmt.exe lint equals a --mutate zero-penalty
+  ==> generate the string "a"
+    ERROR   unsound-ground-state   global: ground state (energy 1) decodes to "!", which violates the constraint
+    INFO    dead-variable          global: 1 of 7 variable(s) have no linear term and no couplers (0): their bits decode to whatever the sampler left behind
+    INFO    preprocess-fixable     global: dominance preprocessing fixes 7/7 variable(s) before any sampling
+    1 error(s), 0 warning(s), 2 info(s)
+  [1]
+
+--json emits one machine-readable object per constraint (the CI lint
+gate's artifact format); a flipped one-hot coupler rewards an invalid
+double-position state:
+
+  $ ../../bin/qsmt.exe lint includes 'hello world' world --mutate flip-coupler --json
+  {"target":"find \"world\" within \"hello world\"","errors":1,"warnings":0,"infos":2,"findings":[{"severity":"error","check":"unsound-ground-state","location":{"kind":"global"},"message":"ground state (energy -7) decodes to position 0, which violates the constraint"},{"severity":"info","check":"preprocess-fixable","location":{"kind":"global"},"message":"dominance preprocessing fixes 3/7 variable(s) before any sampling"},{"severity":"info","check":"soft-preference","location":{"kind":"global"},"message":"1 satisfying assignment(s) lie above the ground energy: soft biases / first-match preference steer the sampler to a subset of the solutions"}]}
+  [1]
+
+--chain judges a configured chain strength against the recommended
+default and the max-local-field no-break bound before any hardware run:
+
+  $ ../../bin/qsmt.exe lint palindrome 4 --chain --topology king --chain-strength 0.5 --fail-on warning
+  ==> generate a palindrome of length 4
+    WARNING chain-strength         global: chain strength 0.5 is below the recommended 4 (2 x max|Q|): chains break in practice and the hardware sampler's escalation loop would have to rescue this setting
+    INFO    disconnected-components global: the coupled variables split into 14 independent components: one anneal solves several unrelated subproblems at once
+    INFO    enumeration-skipped    global: residual keeps 28 free variables (> 20): ground-set soundness not statically checked
+    INFO    embedding              global: embeds into king(6x6): 28/36 qubits, max chain 1, chain strength 0.5
+    0 error(s), 1 warning(s), 3 info(s)
+  [1]
+
+SMT-LIB scripts lint through the same assertion compiler the solver
+uses:
+
+  $ echo '(declare-const x String)(assert (= x "hi"))(check-sat)' | ../../bin/qsmt.exe lint --smt2 -
+  ==> x: generate the string "hi"
+    INFO    preprocess-fixable     global: dominance preprocessing fixes 14/14 variable(s) before any sampling
+    0 error(s), 0 warning(s), 1 info(s)
+
+--param values are validated with the typed Params error at parse time
+(infinity used to sail through a bare positivity check):
+
+  $ ../../bin/qsmt.exe lint equals a --param soft=inf 2>&1 | head -1
+  qsmt: option '--param': Params.soft_scale must be finite, got inf
+
+  $ ../../bin/qsmt.exe lint equals a --param soft=inf 2> /dev/null
+  [124]
+
+The solver-side gate refuses to spend annealing time on an encoding the
+linter already rejects at the requested level:
+
+  $ ../../bin/qsmt.exe gen indexof 6 hi 2 --lint-level warning 2>&1
+  constraint: generate a length-6 string with "hi" at index 2
+  qsmt: lint gate rejected the encoding (0 error(s), 1 warning(s)):
+    WARNING shallow-excitation     global: shallowest single-bit excitation from a ground state is 0.1 (< 0.5 = 0.25 x max|Q|): a soft bias this weak is easily lost to thermal noise or rounding
+    INFO    coefficient-quantum    global: 8 coefficient(s) are not multiples of 2^-20 (e.g. var 0 = -0.10000000000000001): energy sums are inexact, so exact ties may be resolved by rounding noise
+    INFO    dead-variable          global: 20 of 42 variable(s) have no linear term and no couplers (2, 3, 4, 5, 6, 9, 10, 11, ...): their bits decode to whatever the sampler left behind
+    INFO    preprocess-fixable     global: dominance preprocessing fixes 42/42 variable(s) before any sampling
+  [1]
+
 Errors are reported, not crashed on:
 
   $ ../../bin/qsmt.exe gen contains 2 cat 2>&1

@@ -109,6 +109,106 @@ let test_builder_reusable_after_freeze () =
   check Alcotest.int "first freeze unchanged" 1 (Qubo.num_vars q1);
   check Alcotest.int "second sees new var" 2 (Qubo.num_vars q2)
 
+let test_freeze_drops_negative_zero () =
+  (* -0. = 0. under float comparison, so an entry overwritten to -0. is
+     dropped exactly like +0. — a variable whose every entry vanished
+     this way must look dead (no terms at all), which is the contract
+     Analyze's dead-variable check documents and relies on. *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-0.);
+  Qubo.set b 0 1 1.;
+  Qubo.set b 0 1 (-0.);
+  let q = Qubo.freeze b in
+  check Alcotest.int "no interactions" 0 (Qubo.num_interactions q);
+  check (Alcotest.float 0.) "no linear term" 0. (Qubo.linear q 0);
+  check Alcotest.int "degree 0" 0 (Qubo.degree q 0)
+
+(* Builder writes with exactly-representable and awkward (0.1-style)
+   values; freeze must copy surviving entries bit-exact, and last-write-
+   wins ordering must hold whatever interleaving of set/add produced
+   them. *)
+let prop_freeze_roundtrips_exact_values =
+  let gen =
+    let open QCheck2.Gen in
+    let value = oneof [ map float_of_int (int_range (-8) 8); float_range (-2.) 2. ] in
+    let* n = int_range 1 6 in
+    let* ops =
+      list_size (int_range 1 20)
+        (triple (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) bool value)
+    in
+    return (n, ops)
+  in
+  qtest "freeze round-trips coefficients bit-exact" gen (fun (n, ops) ->
+      let b = Qubo.builder () in
+      (* reference model: normalized-key map with set/add semantics *)
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun ((i, j), is_set, v) ->
+          let key = (min i j, max i j) in
+          if is_set then begin
+            Qubo.set b i j v;
+            Hashtbl.replace model key v
+          end
+          else begin
+            Qubo.add b i j v;
+            let old = Option.value (Hashtbl.find_opt model key) ~default:0. in
+            Hashtbl.replace model key (old +. v)
+          end)
+        ops;
+      let q = Qubo.freeze ~num_vars:n b in
+      Hashtbl.fold
+        (fun (i, j) v ok ->
+          let stored =
+            if i = j then Qubo.linear q i
+            else Option.value (List.assoc_opt j (Qubo.neighbors q i)) ~default:0.
+          in
+          (* bit-exact: Int64 comparison distinguishes what (=) cannot
+             (0. vs -0.) except that freeze canonicalizes dropped zeros *)
+          ok
+          &&
+          if v = 0. then stored = 0.
+          else Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float stored))
+        model true)
+
+let test_overwrite_log_records_collisions () =
+  let (), log =
+    Qubo.with_overwrite_log (fun () ->
+        let b = Qubo.builder () in
+        Qubo.set b 0 0 1.;
+        Qubo.set b 0 0 1.;
+        (* same value: not a collision *)
+        Qubo.set b 0 0 2.;
+        Qubo.set b 1 0 3.;
+        Qubo.set b 0 1 4.;
+        (* (1,0) and (0,1) are the same normalized entry *)
+        Qubo.add b 2 2 5.
+        (* add never logs *))
+  in
+  match log with
+  | [ first; second ] ->
+    check Alcotest.int "first i" 0 first.Qubo.ov_i;
+    check Alcotest.int "first j" 0 first.Qubo.ov_j;
+    check (Alcotest.float 0.) "first old" 1. first.Qubo.old_value;
+    check (Alcotest.float 0.) "first new" 2. first.Qubo.new_value;
+    check Alcotest.int "second normalized i" 0 second.Qubo.ov_i;
+    check Alcotest.int "second normalized j" 1 second.Qubo.ov_j;
+    check (Alcotest.float 0.) "second old" 3. second.Qubo.old_value;
+    check (Alcotest.float 0.) "second new" 4. second.Qubo.new_value
+  | log -> Alcotest.failf "expected 2 collisions, got %d" (List.length log)
+
+let test_overwrite_log_scoped () =
+  (* outside a scope nothing is recorded, and nested scopes log to the
+     innermost one only *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 1.;
+  Qubo.set b 0 0 2.;
+  let (), outer = Qubo.with_overwrite_log (fun () ->
+      let (), inner = Qubo.with_overwrite_log (fun () ->
+          Qubo.set b 0 0 3.) in
+      check Alcotest.int "inner sees its overwrite" 1 (List.length inner))
+  in
+  check Alcotest.int "outer saw nothing" 0 (List.length outer)
+
 (* ------------------------------------------------------------------ *)
 (* Frozen inspection *)
 
@@ -503,7 +603,11 @@ let () =
           Alcotest.test_case "merge" `Quick test_merge;
           Alcotest.test_case "freeze num_vars" `Quick test_freeze_num_vars;
           Alcotest.test_case "freeze drops zeros" `Quick test_freeze_drops_zeros;
+          Alcotest.test_case "freeze drops negative zero" `Quick test_freeze_drops_negative_zero;
           Alcotest.test_case "builder reusable" `Quick test_builder_reusable_after_freeze;
+          Alcotest.test_case "overwrite log collisions" `Quick test_overwrite_log_records_collisions;
+          Alcotest.test_case "overwrite log scoped" `Quick test_overwrite_log_scoped;
+          prop_freeze_roundtrips_exact_values;
         ] );
       ( "frozen",
         [

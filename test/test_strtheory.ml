@@ -59,11 +59,31 @@ let gen_short_lowercase = QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range
 (* Params / semantics *)
 
 let test_params_validate () =
-  check (Alcotest.result Alcotest.unit Alcotest.string) "default ok" (Ok ())
-    (Params.validate Params.default);
-  match Params.validate { Params.default with Params.a = 0. } with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "a = 0 should be rejected"
+  (match Params.validate Params.default with
+  | Ok () -> ()
+  | Error inv -> Alcotest.failf "default rejected: %s" (Params.invalid_message inv));
+  let expect_invalid label params field reason =
+    match Params.validate params with
+    | Ok () -> Alcotest.failf "%s should be rejected" label
+    | Error inv ->
+      check Alcotest.string (label ^ " field") field inv.Params.field;
+      check Alcotest.bool (label ^ " reason") true (inv.Params.reason = reason)
+  in
+  expect_invalid "a = 0" { Params.default with Params.a = 0. } "a" Params.Nonpositive;
+  expect_invalid "soft < 0" { Params.default with Params.soft_scale = -0.1 } "soft_scale"
+    Params.Nonpositive;
+  (* infinity passes a bare "positive" check — the typed validator must
+     classify it (and nan, which fails *both* float comparisons) as
+     Not_finite rather than letting them through to the encoders. *)
+  expect_invalid "b = inf" { Params.default with Params.includes_b = infinity } "includes_b"
+    Params.Not_finite;
+  expect_invalid "strong = nan" { Params.default with Params.strong_scale = Float.nan }
+    "strong_scale" Params.Not_finite;
+  (match Params.validate { Params.default with Params.includes_d = Float.nan } with
+  | Error inv ->
+    check Alcotest.string "message mentions field" "Params.includes_d must be finite, got nan"
+      (Params.invalid_message inv)
+  | Ok () -> Alcotest.fail "d = nan should be rejected")
 
 let test_semantics () =
   check Alcotest.string "reverse" "olleh" (Semantics.reverse "hello");
