@@ -2,6 +2,7 @@
 
    Subcommands:
      qsmt run FILE.smt2        execute an SMT-LIB script
+     qsmt repl                 interactive incremental session on stdin
      qsmt gen OP ARGS          generate a string for one operation
      qsmt lint OP ARGS         statically analyze an encoding, no sampling
      qsmt matrix OP ARGS       print the QUBO matrix for one operation
@@ -29,6 +30,8 @@ module Greedy = Qsmt_anneal.Greedy
 module Portfolio = Qsmt_anneal.Portfolio
 module Interp = Qsmt_smtlib.Interp
 module Eval = Qsmt_smtlib.Eval
+module Ast = Qsmt_smtlib.Ast
+module Parser = Qsmt_smtlib.Parser
 module Strsolver = Qsmt_classical.Strsolver
 module Smtgen = Qsmt_strtheory.Smtgen
 module Qubo_io = Qsmt_qubo.Qubo_io
@@ -292,15 +295,20 @@ let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology ~to
   | `Classical -> invalid_arg "build_sampler: classical is not a sampler"
 
 (* CDCL bit-blasting as an SMT-LIB theory backend: complete on the
-   supported fragment, so (unlike the samplers) it may answer `Unsat. *)
+   supported fragment, so (unlike the samplers) it may answer `Unsat.
+   One incremental session per backend — repeated queries across a
+   push/pop script hit the outcome cache, and conjunctions share a
+   single assumption-based CDCL instance that keeps its learned
+   clauses. *)
 let classical_backend () =
+  let session = Strsolver.Session.create () in
   let value_of = function
     | Constr.Str s -> Some (Eval.V_str s)
     | Constr.Pos (Some i) -> Some (Eval.V_int i)
     | Constr.Pos None -> None
   in
   let solve_one constr =
-    let o = Strsolver.solve constr in
+    let o = Strsolver.Session.solve session constr in
     match o.Strsolver.result with
     | `Unsat -> `Unsat
     | `Sat when o.Strsolver.satisfied -> begin
@@ -315,25 +323,32 @@ let classical_backend () =
     solve_generate = solve_one;
     solve_joint =
       (fun conjuncts ->
-        (* Solve each conjunct independently; any refuted conjunct
-           refutes the conjunction, and any conjunct's model that
-           verifies against all conjuncts is a model of the
-           conjunction. Anything else stays unknown. *)
-        let outcomes = List.map Strsolver.solve conjuncts in
-        if List.exists (fun o -> o.Strsolver.result = `Unsat) outcomes then `Unsat
-        else begin
-          let candidate_ok v = List.for_all (fun c -> Constr.verify c v) conjuncts in
-          let witness =
-            List.find_map
-              (fun o ->
-                match (o.Strsolver.result, o.Strsolver.value) with
-                | `Sat, Some (Constr.Str _ as v) when o.Strsolver.satisfied && candidate_ok v ->
-                  Some v
-                | _ -> None)
-              outcomes
-          in
-          match Option.bind witness value_of with Some v -> `Value v | None -> `Unknown
-        end);
+        match Strsolver.Session.solve_joint session conjuncts with
+        | Ok (`Sat s, _) -> `Value (Eval.V_str s)
+        | Ok (`Unsat, _) -> `Unsat (* exact: a real refutation *)
+        | Ok (`Unknown, _) -> `Unknown
+        | Error _ ->
+          (* not joint-encodable (an Includes conjunct, length mismatch):
+             solve each conjunct independently; any refuted conjunct
+             refutes the conjunction, and any conjunct's model that
+             verifies against all conjuncts is a model of the
+             conjunction. Anything else stays unknown. *)
+          let outcomes = List.map (Strsolver.Session.solve session) conjuncts in
+          if List.exists (fun o -> o.Strsolver.result = `Unsat) outcomes then `Unsat
+          else begin
+            let candidate_ok v = List.for_all (fun c -> Constr.verify c v) conjuncts in
+            let witness =
+              List.find_map
+                (fun o ->
+                  match (o.Strsolver.result, o.Strsolver.value) with
+                  | `Sat, Some (Constr.Str _ as v) when o.Strsolver.satisfied && candidate_ok v
+                    ->
+                    Some v
+                  | _ -> None)
+                outcomes
+            in
+            match Option.bind witness value_of with Some v -> `Value v | None -> `Unknown
+          end);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -832,6 +847,126 @@ let run_cmd =
       $ noise_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* repl *)
+
+(* Incremental REPL: reads s-expressions from stdin one top-level form
+   at a time (so push/pop/check-sat interleave with their output), keeps
+   one interpreter state — and therefore one incremental solver session
+   with its encode cache, warm starts and learned clauses — across
+   commands, and recovers from errors instead of aborting the way
+   `qsmt run` does. *)
+let repl_action sampler_kind seed reads sweeps domains jobs budget topology topology_size
+    chain_strength noise =
+  let st =
+    match sampler_kind with
+    | `Classical -> Interp.create ~backend:(classical_backend ()) ()
+    | _ ->
+      let sampler =
+        build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
+          ~topology_size ~chain_strength ~noise
+      in
+      Interp.create ~sampler ()
+  in
+  let stop = ref None in
+  let exec_chunk chunk =
+    match Parser.parse_script chunk with
+    | Error msg -> Printf.printf "(error %S)\n" msg
+    | Ok cmds ->
+      List.iter
+        (fun cmd ->
+          if !stop = None then begin
+            match Interp.exec st cmd with
+            | Ok lines ->
+              List.iter print_endline lines;
+              if cmd = Ast.Exit then stop := Some 0
+            | Error msg -> Printf.printf "(error %S)\n" msg
+          end)
+        cmds
+  in
+  (* Quote-aware paren balancing: a chunk is complete when the paren
+     depth returns to 0. SMT-LIB strings escape quotes by doubling, so a
+     bare toggle on '"' tracks in-string correctly for counting; ';'
+     comments run to end of line. The chunk text itself goes to the real
+     parser — this scanner only finds the boundaries. *)
+  let buf = Buffer.create 256 in
+  let depth = ref 0 and in_string = ref false and in_comment = ref false in
+  let feed c =
+    let keep () = if !depth > 0 || Buffer.length buf > 0 then Buffer.add_char buf c in
+    if !in_comment then begin
+      if c = '\n' then in_comment := false;
+      keep ()
+    end
+    else if !in_string then begin
+      if c = '"' then in_string := false;
+      Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | ';' ->
+        in_comment := true;
+        keep ()
+      | '"' ->
+        in_string := true;
+        Buffer.add_char buf c
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c;
+        if !depth <= 0 then begin
+          let chunk = Buffer.contents buf in
+          Buffer.clear buf;
+          depth := 0;
+          exec_chunk chunk;
+          flush stdout
+        end
+      | ' ' | '\t' | '\r' | '\n' -> keep ()
+      | _ -> Buffer.add_char buf c
+    end
+  in
+  let rec pump () =
+    if !stop = None then begin
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some line ->
+        String.iter feed line;
+        feed '\n';
+        pump ()
+    end
+  in
+  pump ();
+  match !stop with
+  | Some code -> code
+  | None ->
+    if !depth = 0 && (not !in_string) && String.trim (Buffer.contents buf) = "" then 0
+    else begin
+      prerr_endline "qsmt: unbalanced input at end of stream";
+      2
+    end
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Interactive SMT-LIB session on stdin. One incremental solver session persists across \
+          commands, so push/pop re-checks reuse cached encodings, warm-start the anneal from the \
+          previous model (or retain learned clauses with $(b,--sampler classical)); errors are \
+          reported as $(b,(error ...)) and the session continues."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "qsmt repl < session.smt2";
+           `P
+             "printf '(declare-const x String)(assert (str.palindrome x))(assert (= (str.len x) \
+              4))(check-sat)(get-model)(exit)' | qsmt repl";
+         ])
+    Term.(
+      const repl_action $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
+      $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
+      $ noise_arg)
+
+(* ------------------------------------------------------------------ *)
 (* export *)
 
 let export_action op args format =
@@ -942,6 +1077,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "qsmt" ~version:"1.0.0"
        ~doc:"Quantum-annealing SMT solver for the theory of strings (QUBO formulations).")
-    [ run_cmd; gen_cmd; lint_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
+    [ run_cmd; repl_cmd; gen_cmd; lint_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

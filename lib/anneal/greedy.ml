@@ -36,9 +36,14 @@ let descend q x =
   descend_fields fields;
   Fields.spins fields
 
-let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
+let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.restarts < 1 then invalid_arg "Greedy.sample: restarts < 1";
   let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Greedy.sample: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let ising = Ising.of_qubo q in
@@ -48,7 +53,12 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
       if stopped () then None
       else begin
         let rng = Prng.stream ~seed:params.seed r in
-        let fields = Fields.create ising (Bitvec.random rng n) in
+        let start =
+          match init with
+          | Some b when r = 0 -> Bitvec.copy b
+          | _ -> Bitvec.random rng n
+        in
+        let fields = Fields.create ising start in
         descend_fields fields;
         let bits = Fields.spins fields in
         if tracked then begin

@@ -16,13 +16,15 @@ val default : params
 
 val sample :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per restart: the local minimum reached by steepest descent
-    from a random start. [stop] and [on_read] follow the cooperative
+    from a random start. [init] replaces restart 0's random start with
+    the given assignment (see {!Sa.sample}). [stop] and [on_read] follow the cooperative
     cancellation contract documented at {!Sa.sample} (descents are not
     interrupted mid-run; [stop] skips remaining restarts). [telemetry]
     records [greedy.reads] and a [greedy.read_energy] histogram. *)

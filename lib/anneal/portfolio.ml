@@ -73,19 +73,22 @@ let reseed params seed = { params with members = List.map (member_with_seed seed
 (* Returns the member's samples plus the hardware diagnostics when the
    member is the QPU-workflow emulation (its [on_read] already sees
    logical bits, so the shared verifier applies unchanged). *)
-let run_member ~stop ~on_read ~telemetry member q =
+let run_member ?init ~stop ~on_read ~telemetry member q =
   match member with
-  | M_sa params -> (Sa.sample ~params ~stop ~on_read ~telemetry q, None)
-  | M_sqa params -> (Sqa.sample ~params ~stop ~on_read ~telemetry q, None)
-  | M_tabu params -> (Tabu.sample ~params ~stop ~on_read ~telemetry q, None)
-  | M_pt params -> (Pt.sample ~params ~stop ~on_read ~telemetry q, None)
-  | M_greedy params -> (Greedy.sample ~params ~stop ~on_read ~telemetry q, None)
+  | M_sa params -> (Sa.sample ~params ?init ~stop ~on_read ~telemetry q, None)
+  | M_sqa params -> (Sqa.sample ~params ?init ~stop ~on_read ~telemetry q, None)
+  | M_tabu params -> (Tabu.sample ~params ?init ~stop ~on_read ~telemetry q, None)
+  | M_pt params -> (Pt.sample ~params ?init ~stop ~on_read ~telemetry q, None)
+  | M_greedy params -> (Greedy.sample ~params ?init ~stop ~on_read ~telemetry q, None)
   | M_exact keep -> (Exact.solve ?keep ~stop q, None)
   | M_hardware params ->
+    (* The hardware path samples over physical qubits behind a minor
+       embedding; a logical warm start has no direct physical image, so
+       it is ignored rather than guessed. *)
     let r = Hardware.sample ~params ~stop ~on_read ~telemetry q in
     (r.Hardware.samples, Some r.Hardware.stats)
 
-let run ?(params = default) ?verify ?(telemetry = Telemetry.null) q =
+let run ?(params = default) ?init ?verify ?(telemetry = Telemetry.null) q =
   if params.members = [] then invalid_arg "Portfolio.run: no members";
   (match params.budget with
   | Some b when b <= 0. -> invalid_arg "Portfolio.run: budget <= 0"
@@ -137,7 +140,7 @@ let run ?(params = default) ?verify ?(telemetry = Telemetry.null) q =
     let samples, hardware, failed =
       if Atomic.get stop_all then (Sampleset.empty, None, None)
       else
-        match run_member ~stop ~on_read ~telemetry m q with
+        match run_member ?init ~stop ~on_read ~telemetry m q with
         | samples, hardware -> (samples, hardware, None)
         | exception e -> (Sampleset.empty, None, Some (Printexc.to_string e))
     in

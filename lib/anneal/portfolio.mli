@@ -68,11 +68,15 @@ val reseed : params -> int -> params
 
 val run :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?verify:(Qsmt_util.Bitvec.t -> bool) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   result
-(** Races the members. Without [verify] (and with no budget) every member
+(** Races the members. [init] warm-starts the first read/restart of every
+    heuristic member from the given assignment (ignored by exact and
+    hardware members); see {!Sa.sample}. Without [verify] (and with no
+    budget) every member
     runs to completion and [merged] is deterministic — a pure function of
     [params], independent of [jobs]. With [verify], member sample sets
     may be truncated by early exit, but [merged] always contains the

@@ -27,7 +27,7 @@ let default =
     domains = 1;
   }
 
-let run_read ~ising ~params ~betas ?stop ?on_sweep rng =
+let run_read ~ising ~params ~betas ?init ?stop ?on_sweep rng =
   let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let k = Array.length betas in
@@ -35,7 +35,10 @@ let run_read ~ising ~params ~betas ?stop ?on_sweep rng =
      temperatures, so the array stays temperature-indexed. Each replica
      owns an incremental Fields state, so a temperature swap is a handle
      exchange — no energy or field recomputation. *)
-  let replicas = Array.init k (fun _ -> Fields.create ising (Bitvec.random rng n)) in
+  let start _ =
+    match init with Some b -> Bitvec.copy b | None -> Bitvec.random rng n
+  in
+  let replicas = Array.init k (fun r -> Fields.create ising (start r)) in
   let best = ref (Bitvec.copy (Fields.spins replicas.(k - 1))) in
   let best_e = ref (Fields.energy replicas.(k - 1)) in
   let note_best r =
@@ -82,12 +85,17 @@ let run_read ~ising ~params ~betas ?stop ?on_sweep rng =
   done;
   (!best, !best_e)
 
-let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
+let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Pt.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Pt.sample: sweeps < 1";
-  if params.replicas < 2 then invalid_arg "Pt.sample: replicas < 2";
+  if params.replicas < 1 then invalid_arg "Pt.sample: replicas < 1";
   if params.exchange_interval < 1 then invalid_arg "Pt.sample: exchange_interval < 1";
   let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Pt.sample: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let ising = Ising.of_qubo q in
@@ -99,8 +107,13 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
       | None -> Schedule.default_beta_range ising
     in
     let k = params.replicas in
-    let ratio = (beta_cold /. beta_hot) ** (1. /. float_of_int (k - 1)) in
-    let betas = Array.init k (fun r -> beta_hot *. (ratio ** float_of_int r)) in
+    (* The geometric replica ladder is exactly [Schedule.make]'s geometric
+       grid (bit-identical for k >= 2); reusing it also inherits the
+       single-replica guard — the hand-rolled [1 / (k - 1)] here used to
+       divide by zero at k = 1. One replica degenerates to plain
+       Metropolis at [beta_cold] with no exchanges, which is still a
+       valid sampler. *)
+    let betas = Schedule.betas (Schedule.make ~beta_hot ~beta_cold ~sweeps:k ()) in
     let stopped () = match stop with Some f -> f () | None -> false in
     let tracked = Telemetry.enabled telemetry in
     let stride = Sa.sweep_stride params.sweeps in
@@ -124,7 +137,8 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
                   if swaps > 0 then Telemetry.count telemetry "pt.replica_swaps" swaps
                 end)
         in
-        let ((bits, e) as sample) = run_read ~ising ~params ~betas ?stop ?on_sweep rng in
+        let init = if r = 0 then init else None in
+        let ((bits, e) as sample) = run_read ~ising ~params ~betas ?init ?stop ?on_sweep rng in
         if tracked then begin
           Telemetry.count telemetry "pt.reads" 1;
           Telemetry.observe telemetry "pt.read_energy" e

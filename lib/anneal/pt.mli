@@ -12,7 +12,9 @@
 type params = {
   reads : int;  (** independent tempering runs (default 8) *)
   sweeps : int;  (** Metropolis sweeps per run (default 500) *)
-  replicas : int;  (** temperature rungs ≥ 2 (default 8) *)
+  replicas : int;
+      (** temperature rungs ≥ 1 (default 8); a single rung degenerates to
+          plain Metropolis at [beta_cold] with no exchanges *)
   beta_range : (float * float) option;
       (** (hot, cold); [None] (default) derives from the problem via
           {!Schedule.default_beta_range} *)
@@ -25,13 +27,15 @@ val default : params
 
 val sample :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per read: the coldest replica's best-ever configuration.
-    [stop] and [on_read] follow the cooperative cancellation contract
-    documented at {!Sa.sample}. [telemetry] streams strided [pt.sweep]
+    [init] warm-starts every replica of read 0 from the given assignment;
+    see {!Sa.sample} for the contract. [stop] and [on_read] follow the
+    cooperative cancellation contract documented at {!Sa.sample}. [telemetry] streams strided [pt.sweep]
     events (read, sweep, best energy, accepted swaps that sweep) plus a
     [pt.replica_swaps] counter and [pt.reads] / [pt.read_energy]. *)

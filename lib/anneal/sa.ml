@@ -89,10 +89,15 @@ let descend_fields fields =
    preserving the curve's shape. Shared by every sweep-loop sampler. *)
 let sweep_stride sweeps = max 1 (sweeps / 32)
 
-let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
+let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sa.sample: sweeps < 1";
   let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Sa.sample: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let ising = Ising.of_qubo q in
@@ -109,7 +114,15 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
       if stopped () then None
       else begin
         let rng = read_rng ~seed:params.seed r in
-        let fields = Fields.create ising (Bitvec.random rng n) in
+        (* Warm start: read 0 anneals from the caller's seed assignment
+           (reverse-anneal style); the other reads stay random so the set
+           retains diversity. *)
+        let start =
+          match init with
+          | Some b when r = 0 -> Bitvec.copy b
+          | _ -> Bitvec.random rng n
+        in
+        let fields = Fields.create ising start in
         let on_sweep =
           if not tracked then None
           else

@@ -31,6 +31,7 @@ val sweep_stride : int -> int
 
 val sample :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
@@ -39,6 +40,13 @@ val sample :
 (** Anneals and returns all reads as a sample set (energies are QUBO
     energies, offset included). A zero-variable problem yields a set with
     one empty assignment.
+
+    [init] warm-starts read 0 from the given assignment (reverse-anneal
+    style — the incremental solver passes the previous best sample);
+    every other read keeps its random start so the set stays diverse.
+    Passing [init] changes the PRNG draw sequence, so warm and cold runs
+    are not sample-for-sample comparable.
+    @raise Invalid_argument if [init] has the wrong length.
 
     [stop] is a cooperative cancellation flag, polled before each read
     starts and between sweeps inside a read: once it returns [true],

@@ -14,13 +14,37 @@ type t = { name : string; recipe : recipe }
 
 let name t = t.name
 
-let run_detailed ?verify ?(telemetry = Qsmt_util.Telemetry.null) t q =
+let run_detailed ?verify ?init ?(early_exit = false) ?(telemetry = Qsmt_util.Telemetry.null) t q
+    =
+  (* Early exit is opt-in (and needs a verifier): the stop/on_read hooks
+     truncate the heuristic samplers' read loops on the first verified
+     read, which changes the sample set — cold solves keep the exhaustive
+     deterministic behavior, incremental warm re-solves turn this on. *)
+  let hooks () =
+    match verify with
+    | Some ok when early_exit ->
+      let found = Atomic.make false in
+      let stop () = Atomic.get found in
+      let on_read bits = if (not (Atomic.get found)) && ok bits then Atomic.set found true in
+      (Some stop, Some on_read)
+    | _ -> (None, None)
+  in
   match t.recipe with
-  | R_sa params -> (Sa.sample ~params ~telemetry q, None)
-  | R_sqa params -> (Sqa.sample ~params ~telemetry q, None)
-  | R_tabu params -> (Tabu.sample ~params ~telemetry q, None)
-  | R_pt params -> (Pt.sample ~params ~telemetry q, None)
-  | R_greedy params -> (Greedy.sample ~params ~telemetry q, None)
+  | R_sa params ->
+    let stop, on_read = hooks () in
+    (Sa.sample ~params ?init ?stop ?on_read ~telemetry q, None)
+  | R_sqa params ->
+    let stop, on_read = hooks () in
+    (Sqa.sample ~params ?init ?stop ?on_read ~telemetry q, None)
+  | R_tabu params ->
+    let stop, on_read = hooks () in
+    (Tabu.sample ~params ?init ?stop ?on_read ~telemetry q, None)
+  | R_pt params ->
+    let stop, on_read = hooks () in
+    (Pt.sample ~params ?init ?stop ?on_read ~telemetry q, None)
+  | R_greedy params ->
+    let stop, on_read = hooks () in
+    (Greedy.sample ~params ?init ?stop ?on_read ~telemetry q, None)
   | R_exact keep -> (Exact.solve ?keep q, None)
   | R_hardware params ->
     let r = Hardware.sample ~params ~telemetry q in
@@ -29,12 +53,13 @@ let run_detailed ?verify ?(telemetry = Qsmt_util.Telemetry.null) t q =
     let r = Hardware.sample ~params:(f q) ~telemetry q in
     (r.Hardware.samples, Some r.Hardware.stats)
   | R_portfolio params ->
-    let r = Portfolio.run ~params ?verify ~telemetry q in
+    let r = Portfolio.run ~params ?init ?verify ~telemetry q in
     ( r.Portfolio.merged,
       List.find_map (fun rep -> rep.Portfolio.hardware) r.Portfolio.reports )
   | R_custom f -> (f q, None)
 
-let run ?verify ?telemetry t q = fst (run_detailed ?verify ?telemetry t q)
+let run ?verify ?init ?early_exit ?telemetry t q =
+  fst (run_detailed ?verify ?init ?early_exit ?telemetry t q)
 
 let make ~name f = { name; recipe = R_custom f }
 let simulated_annealing ?(params = Sa.default) () = { name = "sa"; recipe = R_sa params }

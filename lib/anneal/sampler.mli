@@ -10,20 +10,35 @@ val name : t -> string
 
 val run :
   ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  ?init:Qsmt_util.Bitvec.t ->
+  ?early_exit:bool ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** May raise the underlying sampler's exceptions (e.g.
-    {!Hardware.Embedding_failed}, {!Exact}'s size cap). [verify] is an
-    early-exit hook consumed only by {!portfolio} samplers (see
+    {!Hardware.Embedding_failed}, {!Exact}'s size cap).
+
+    [verify] by itself is consumed only by {!portfolio} samplers (see
     {!Portfolio.run}); every other sampler ignores it, keeping their
-    output deterministic. [telemetry] is handed to the underlying sampler
+    output deterministic. With [early_exit] (default [false]) the
+    heuristic samplers (SA, SQA, PT, tabu, greedy) additionally stop at
+    their next poll point once any read verifies — the incremental
+    solver's warm re-solves opt in, cold solves keep the exhaustive
+    deterministic sample sets.
+
+    [init] seeds the first read/restart of the heuristic samplers with
+    the given assignment (reverse-anneal-style warm start, see
+    {!Sa.sample}); exact, hardware and custom samplers ignore it.
+
+    [telemetry] is handed to the underlying sampler
     (ignored by {!exact} and {!make} samplers); instrumentation never
     consumes PRNG values, so samples are identical with or without it. *)
 
 val run_detailed :
   ?verify:(Qsmt_util.Bitvec.t -> bool) ->
+  ?init:Qsmt_util.Bitvec.t ->
+  ?early_exit:bool ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   t ->
   Qsmt_qubo.Qubo.t ->

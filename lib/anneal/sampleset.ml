@@ -84,12 +84,15 @@ let filter p t = List.filter p t
 let merge a b = aggregate (a @ b)
 
 let truncate k t =
-  let rec take k = function
-    | [] -> []
-    | _ when k <= 0 -> []
-    | e :: rest -> e :: take (k - 1) rest
+  (* Accumulator + reverse instead of the naive [e :: take (k-1) rest]:
+     the recursive form blows the stack when a huge sample set is
+     truncated to a still-huge prefix. *)
+  let rec take acc k = function
+    | [] -> List.rev acc
+    | _ when k <= 0 -> List.rev acc
+    | e :: rest -> take (e :: acc) (k - 1) rest
   in
-  take k t
+  take [] k t
 
 let ground_probability t ~tol =
   match t with

@@ -24,7 +24,7 @@ let make ?(kind = Geometric) ~beta_hot ~beta_cold ~sweeps () =
 
 let default_beta_range ising =
   let n = Ising.num_spins ising in
-  if n = 0 || Ising.max_abs_field ising = 0. then (0.1, 10.)
+  if n = 0 then (0.1, 10.)
   else begin
     (* Largest possible |ΔE| for one spin flip: 2(|h_i| + Σ_j |J_ij|),
        maximized over i. Smallest: twice the smallest nonzero coefficient.
@@ -39,10 +39,19 @@ let default_beta_range ising =
       done;
       max_delta := Float.max !max_delta (2. *. !reach)
     done;
-    let min_delta = 2. *. Ising.min_abs_nonzero ising in
-    let beta_hot = Float.log 2. /. !max_delta in
-    let beta_cold = Float.log 100. /. min_delta in
-    if beta_hot < beta_cold then (beta_hot, beta_cold) else (beta_cold /. 2., beta_cold)
+    if !max_delta = 0. then
+      (* Every field and coupler is zero: flips never change the energy,
+         so no schedule can be derived from the problem — keep the
+         historical fallback. A coupler-only model (all fields zero but
+         couplers present) does NOT land here: its row sums give a
+         perfectly usable range. *)
+      (0.1, 10.)
+    else begin
+      let min_delta = 2. *. Ising.min_abs_nonzero ising in
+      let beta_hot = Float.log 2. /. !max_delta in
+      let beta_cold = Float.log 100. /. min_delta in
+      if beta_hot < beta_cold then (beta_hot, beta_cold) else (beta_cold /. 2., beta_cold)
+    end
   end
 
 let auto ?kind ~sweeps ising =

@@ -41,7 +41,7 @@ let j_perp ~beta_slice gamma =
   let t = Float.max t 1e-300 in
   -0.5 /. beta_slice *. Float.log t
 
-let run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng =
+let run_read ~ising ~params ~beta ~gamma_hot ?init ?stop ?on_sweep rng =
   let stopped () = match stop with Some f -> f () | None -> false in
   let n = Ising.num_spins ising in
   let p = params.trotter in
@@ -49,8 +49,16 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng =
   let beta_slice = beta /. pf in
   (* One incremental Fields state per Trotter slice: local moves read an
      O(1) cached delta, and the world-line move sums P cached deltas
-     instead of rescanning P adjacency rows per variable. *)
-  let slices = Array.init p (fun _ -> Fields.create ising (Bitvec.random rng n)) in
+     instead of rescanning P adjacency rows per variable. A warm start
+     seeds every slice with the same assignment — a fully coherent world
+     line, which is exactly the reverse-anneal starting condition. *)
+  let start () =
+    match init with Some b -> Bitvec.copy b | None -> Bitvec.random rng n
+  in
+  let slices = Array.init p (fun _ -> Fields.create ising (start ())) in
+  (* Audited for the Pt single-step edge case: sweeps = 1 is guarded
+     before the [sweeps - 1] divisor, so the ratio is never inf/NaN —
+     gamma simply stays at gamma_hot for the only sweep. *)
   let ratio =
     if params.sweeps <= 1 then 1.
     else (params.gamma_cold /. gamma_hot) ** (1. /. float_of_int (params.sweeps - 1))
@@ -110,12 +118,17 @@ let run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng =
     slices;
   (Fields.spins !best, !best_e)
 
-let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
+let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Sqa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sqa.sample: sweeps < 1";
   if params.trotter < 2 then invalid_arg "Sqa.sample: trotter < 2";
   if params.gamma_cold <= 0. then invalid_arg "Sqa.sample: gamma_cold <= 0";
   let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Sqa.sample: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let ising = Ising.of_qubo q in
@@ -155,7 +168,10 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
                       ("replica_spread", Telemetry.Float spread);
                     ])
         in
-        let ((bits, e) as sample) = run_read ~ising ~params ~beta ~gamma_hot ?stop ?on_sweep rng in
+        let init = if r = 0 then init else None in
+        let ((bits, e) as sample) =
+          run_read ~ising ~params ~beta ~gamma_hot ?init ?stop ?on_sweep rng
+        in
         if tracked then begin
           Telemetry.count telemetry "sqa.reads" 1;
           Telemetry.observe telemetry "sqa.read_energy" e

@@ -38,13 +38,17 @@ val default : params
 
 val sample :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
 (** One entry per read: the lowest-classical-energy slice of that read's
-    final configuration. [stop] and [on_read] follow the cooperative
+    final configuration. [init] warm-starts read 0: every Trotter slice
+    begins at the given assignment (a fully coherent world line, the
+    reverse-anneal starting condition); see {!Sa.sample} for the
+    contract. [stop] and [on_read] follow the cooperative
     cancellation contract documented at {!Sa.sample}. [telemetry] streams
     strided [sqa.sweep] events (read, sweep, Γ, best slice energy,
     replica spread = worst − best world line) plus [sqa.reads] /

@@ -16,11 +16,12 @@ type params = {
 
 let default = { restarts = 8; iterations = 500; tenure = None; seed = 0; domains = 1 }
 
-let search ising ~rng ~iterations ~tenure ?stop ?on_iter () =
+let search ising ~rng ~iterations ~tenure ?init ?stop ?on_iter () =
   let n = Ising.num_spins ising in
   (* Incremental state: the best-admissible-move scan below reads n cached
      deltas in O(n) instead of rescanning n adjacency rows. *)
-  let fields = Fields.create ising (Bitvec.random rng n) in
+  let start = match init with Some b -> Bitvec.copy b | None -> Bitvec.random rng n in
+  let fields = Fields.create ising start in
   let best = ref (Bitvec.copy (Fields.spins fields)) in
   let best_energy = ref (Fields.energy fields) in
   let stopped () = match stop with Some f -> f () | None -> false in
@@ -66,10 +67,15 @@ let search ising ~rng ~iterations ~tenure ?stop ?on_iter () =
   done;
   (!best, !best_energy)
 
-let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
+let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.restarts < 1 then invalid_arg "Tabu.sample: restarts < 1";
   if params.iterations < 1 then invalid_arg "Tabu.sample: iterations < 1";
   let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Tabu.sample: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
   if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
   else begin
     let tenure =
@@ -103,8 +109,9 @@ let sample ?(params = default) ?stop ?on_read ?(telemetry = Telemetry.null) q =
                       ("best", Telemetry.Float best);
                     ])
         in
+        let init = if r = 0 then init else None in
         let ((bits, e) as sample) =
-          search ising ~rng ~iterations:params.iterations ~tenure ?stop ?on_iter ()
+          search ising ~rng ~iterations:params.iterations ~tenure ?init ?stop ?on_iter ()
         in
         if tracked then begin
           Telemetry.count telemetry "tabu.reads" 1;

@@ -20,12 +20,14 @@ val default : params
 
 val sample :
   ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
   ?stop:(unit -> bool) ->
   ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Qsmt_qubo.Qubo.t ->
   Sampleset.t
-(** Returns the best assignment found by each restart. [stop] and
+(** Returns the best assignment found by each restart. [init] warm-starts
+    restart 0 from the given assignment (see {!Sa.sample}). [stop] and
     [on_read] follow the cooperative cancellation contract documented at
     {!Sa.sample} ([stop] is polled every 64 iterations inside a
     restart). [telemetry] streams strided [tabu.iter] events (restart,

@@ -19,23 +19,27 @@ let pp_stats ppf s =
 let var_of = Cnf.var_of
 let negate = Cnf.negate
 
+(* Per-variable arrays are capacity-sized (>= nvars) so the incremental
+   interface can grow the variable set without rebuilding the solver;
+   every loop bounds itself by [nvars], never by array length. *)
 type solver = {
-  nvars : int;
+  mutable nvars : int;
   mutable clauses : int array array; (* grows; learned clauses appended *)
   mutable nclauses : int;
   mutable watches : int list array; (* per literal: clause indices watching it *)
-  assign : int array; (* -1 unassigned / 0 false / 1 true *)
-  level : int array;
-  reason : int array; (* clause index or -1 *)
-  trail : int array;
+  mutable assign : int array; (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : int array; (* clause index or -1 *)
+  mutable trail : int array;
   mutable trail_size : int;
   mutable qhead : int;
-  lim : int array; (* trail size at each decision level; lim.(0) unused *)
+  mutable lim : int array; (* trail size at each decision level; lim.(0) unused *)
   mutable decision_level : int;
-  activity : float array;
+  mutable activity : float array;
   mutable var_inc : float;
-  phase : bool array;
-  seen : bool array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  mutable dead : bool; (* level-0 contradiction derived: permanently unsat *)
   mutable s_decisions : int;
   mutable s_conflicts : int;
   mutable s_propagations : int;
@@ -47,11 +51,10 @@ let lit_value s lit =
   let a = s.assign.(var_of lit) in
   if a < 0 then -1 else if (a = 1) = Cnf.is_pos lit then 1 else 0
 
-let new_solver (cnf : Cnf.t) =
-  let n = cnf.Cnf.num_vars in
+let make_solver n =
   {
     nvars = n;
-    clauses = Array.make (max 16 (2 * Cnf.num_clauses cnf)) [||];
+    clauses = Array.make 16 [||];
     nclauses = 0;
     watches = Array.make (max 1 (2 * n)) [];
     assign = Array.make (max 1 n) (-1);
@@ -66,12 +69,44 @@ let new_solver (cnf : Cnf.t) =
     var_inc = 1.;
     phase = Array.make (max 1 n) false;
     seen = Array.make (max 1 n) false;
+    dead = false;
     s_decisions = 0;
     s_conflicts = 0;
     s_propagations = 0;
     s_learned = 0;
     s_restarts = 0;
   }
+
+let grow_vars s n =
+  if n > Array.length s.assign then begin
+    let cap = max n (2 * Array.length s.assign) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    s.assign <- grow s.assign (-1);
+    s.level <- grow s.level 0;
+    s.reason <- grow s.reason (-1);
+    s.trail <- grow s.trail 0;
+    s.activity <- grow s.activity 0.;
+    s.phase <- grow s.phase false;
+    s.seen <- grow s.seen false;
+    let w = Array.make (2 * cap) [] in
+    Array.blit s.watches 0 w 0 (Array.length s.watches);
+    s.watches <- w
+  end;
+  if n > s.nvars then s.nvars <- n
+
+(* [lim] needs one slot per possible decision level; with assumptions
+   there can be more levels than variables (already-true assumptions
+   still open an empty level each). *)
+let ensure_levels s levels =
+  if Array.length s.lim < levels + 1 then begin
+    let l = Array.make (max (levels + 1) (2 * Array.length s.lim)) 0 in
+    Array.blit s.lim 0 l 0 (Array.length s.lim);
+    s.lim <- l
+  end
 
 let enqueue s lit reason =
   let v = var_of lit in
@@ -98,6 +133,27 @@ let attach_clause s lits =
   s.watches.(lits.(0)) <- idx :: s.watches.(lits.(0));
   s.watches.(lits.(1)) <- idx :: s.watches.(lits.(1));
   idx
+
+(* Add an input clause at decision level 0, simplifying against the root
+   assignment: satisfied clauses are dropped, root-false literals removed.
+   The simplification is what makes late additions sound — a clause whose
+   literals are all already false would otherwise be attached with stale
+   watches and its conflict silently missed (watches only fire on new
+   assignments). *)
+let add_root_clause s clause =
+  if not s.dead then begin
+    List.iter
+      (fun lit ->
+        if var_of lit >= s.nvars then
+          invalid_arg "Cdcl: clause literal out of variable range")
+      clause;
+    if not (List.exists (fun lit -> lit_value s lit = 1) clause) then begin
+      match List.filter (fun lit -> lit_value s lit <> 0) clause with
+      | [] -> s.dead <- true
+      | [ lit ] -> enqueue s lit (-1)
+      | lits -> ignore (attach_clause s (Array.of_list lits))
+    end
+  end
 
 exception Conflict of int (* clause index *)
 
@@ -271,75 +327,134 @@ let add_learnt s clause =
 let extract_model s =
   Bitvec.init s.nvars (fun v -> s.assign.(v) = 1)
 
-let solve ?(conflict_budget = max_int) (cnf : Cnf.t) =
-  let start = Unix.gettimeofday () in
-  let s = new_solver cnf in
-  let finish result =
-    ( result,
-      {
-        decisions = s.s_decisions;
-        conflicts = s.s_conflicts;
-        propagations = s.s_propagations;
-        learned = s.s_learned;
-        restarts = s.s_restarts;
-        time_s = Unix.gettimeofday () -. start;
-      } )
-  in
-  (* load clauses: units enqueue at level 0, larger clauses attach *)
-  let contradiction = ref false in
-  List.iter
-    (fun clause ->
-      if not !contradiction then begin
-        match clause with
-        | [] -> contradiction := true
-        | [ lit ] -> begin
-          match lit_value s lit with
-          | 0 -> contradiction := true
-          | 1 -> ()
-          | _ -> enqueue s lit (-1)
-        end
-        | _ -> ignore (attach_clause s (Array.of_list clause))
-      end)
-    cnf.Cnf.clauses;
-  if !contradiction then finish Unsat
-  else begin
-    let budget_left = ref conflict_budget in
-    let restart_limit = ref 100 in
-    let conflicts_since_restart = ref 0 in
-    let rec search () =
-      match propagate s with
-      | () -> begin
+(* MiniSat-style search loop shared by one-shot and incremental solving.
+   Assumptions are established as their own decision levels, one per
+   assumption in list order — opened even when the assumption already
+   holds, so the level count always matches the assumption index. A
+   conflict at level 0 is a permanent contradiction ([dead]); an
+   assumption found false under the root assignment plus the earlier
+   assumptions is unsat only under these assumptions. Restarts cancel to
+   level 0 and the loop re-establishes the assumption levels on the way
+   back down. *)
+let search s ~assumptions ~conflict_budget =
+  let num_assumptions = Array.length assumptions in
+  ensure_levels s (s.nvars + num_assumptions);
+  let budget_left = ref conflict_budget in
+  let restart_limit = ref 100 in
+  let conflicts_since_restart = ref 0 in
+  let rec loop () =
+    match propagate s with
+    | () ->
+      if s.decision_level < num_assumptions then begin
+        let a = assumptions.(s.decision_level) in
+        match lit_value s a with
+        | 0 -> `Unsat_assumptions
+        | v ->
+          s.decision_level <- s.decision_level + 1;
+          s.lim.(s.decision_level) <- s.trail_size;
+          if v < 0 then enqueue s a (-1);
+          loop ()
+      end
+      else begin
         match decide s with
         | None -> `Sat
         | Some lit ->
           enqueue s lit (-1);
-          search ()
+          loop ()
       end
-      | exception Conflict ci ->
-        s.s_conflicts <- s.s_conflicts + 1;
-        incr conflicts_since_restart;
-        decr budget_left;
-        if s.decision_level = 0 then `Unsat
-        else if !budget_left <= 0 then `Unknown
-        else begin
-          let clause, backjump = analyze s ci in
-          cancel_until s backjump;
-          match add_learnt s clause with
-          | `Unsat -> `Unsat
-          | `Ok ->
-            decay s;
-            if !conflicts_since_restart >= !restart_limit then begin
-              s.s_restarts <- s.s_restarts + 1;
-              conflicts_since_restart := 0;
-              restart_limit := !restart_limit * 3 / 2;
-              cancel_until s 0
-            end;
-            search ()
-        end
+    | exception Conflict ci ->
+      s.s_conflicts <- s.s_conflicts + 1;
+      incr conflicts_since_restart;
+      decr budget_left;
+      if s.decision_level = 0 then begin
+        s.dead <- true;
+        `Unsat
+      end
+      else if !budget_left <= 0 then `Unknown
+      else begin
+        let clause, backjump = analyze s ci in
+        cancel_until s backjump;
+        match add_learnt s clause with
+        | `Unsat ->
+          s.dead <- true;
+          `Unsat
+        | `Ok ->
+          decay s;
+          if !conflicts_since_restart >= !restart_limit then begin
+            s.s_restarts <- s.s_restarts + 1;
+            conflicts_since_restart := 0;
+            restart_limit := !restart_limit * 3 / 2;
+            cancel_until s 0
+          end;
+          loop ()
+      end
+  in
+  if s.dead then `Unsat else loop ()
+
+let solve ?(conflict_budget = max_int) (cnf : Cnf.t) =
+  let start = Unix.gettimeofday () in
+  let s = make_solver cnf.Cnf.num_vars in
+  List.iter (add_root_clause s) cnf.Cnf.clauses;
+  let result =
+    match search s ~assumptions:[||] ~conflict_budget with
+    | `Sat -> Sat (extract_model s)
+    | `Unsat | `Unsat_assumptions -> Unsat
+    | `Unknown -> Unknown
+  in
+  ( result,
+    {
+      decisions = s.s_decisions;
+      conflicts = s.s_conflicts;
+      propagations = s.s_propagations;
+      learned = s.s_learned;
+      restarts = s.s_restarts;
+      time_s = Unix.gettimeofday () -. start;
+    } )
+
+module Incremental = struct
+  type t = { s : solver; conflict_budget : int }
+
+  let create ?(conflict_budget = max_int) ~num_vars () =
+    if num_vars < 0 then invalid_arg "Cdcl.Incremental.create: num_vars < 0";
+    { s = make_solver num_vars; conflict_budget }
+
+  let num_vars t = t.s.nvars
+  let ensure_vars t n = if n > t.s.nvars then grow_vars t.s n
+
+  let add_clauses t clauses =
+    cancel_until t.s 0;
+    List.iter (add_root_clause t.s) clauses
+
+  let solve ?(assumptions = []) t =
+    let start = Unix.gettimeofday () in
+    let s = t.s in
+    cancel_until s 0;
+    List.iter
+      (fun a ->
+        if var_of a >= s.nvars then
+          invalid_arg "Cdcl.Incremental.solve: assumption out of variable range")
+      assumptions;
+    let d0 = s.s_decisions
+    and c0 = s.s_conflicts
+    and p0 = s.s_propagations
+    and l0 = s.s_learned
+    and r0 = s.s_restarts in
+    let result =
+      match
+        search s ~assumptions:(Array.of_list assumptions)
+          ~conflict_budget:t.conflict_budget
+      with
+      | `Sat -> Sat (extract_model s)
+      | `Unsat | `Unsat_assumptions -> Unsat
+      | `Unknown -> Unknown
     in
-    match search () with
-    | `Sat -> finish (Sat (extract_model s))
-    | `Unsat -> finish Unsat
-    | `Unknown -> finish Unknown
-    | exception Conflict _ -> finish Unsat (* top-level propagation conflict *)
-  end
+    ( result,
+      {
+        decisions = s.s_decisions - d0;
+        conflicts = s.s_conflicts - c0;
+        propagations = s.s_propagations - p0;
+        learned = s.s_learned - l0;
+        restarts = s.s_restarts - r0;
+        time_s = Unix.gettimeofday () -. start;
+      } )
+end

@@ -31,3 +31,42 @@ val solve : ?conflict_budget:int -> Cnf.t -> result * stats
     before answering [Unknown]. Deterministic: no randomized decisions. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Incremental interface (MiniSat-style [solve] with assumptions).
+
+    One solver instance accumulates clauses across calls; everything
+    learned — conflict clauses, variable activities, saved phases —
+    survives to the next [solve], which is what makes re-solving a
+    lightly modified query cheap. Retraction is expressed with
+    {e assumption literals}: clauses are added permanently, so encode
+    each retractable group with a fresh activation variable [g] (clauses
+    of the form [¬g ∨ ...]) and pass [g] positively in [assumptions]
+    when the group is active. *)
+module Incremental : sig
+  type t
+
+  val create : ?conflict_budget:int -> num_vars:int -> unit -> t
+  (** Fresh solver over [num_vars] variables and no clauses.
+      [conflict_budget] applies to each {!solve} call separately.
+      @raise Invalid_argument if [num_vars] is negative. *)
+
+  val num_vars : t -> int
+
+  val ensure_vars : t -> int -> unit
+  (** Grow the variable set to at least the given size (no-op if already
+      large enough). New variables start unassigned and unconstrained. *)
+
+  val add_clauses : t -> Cnf.clause list -> unit
+  (** Add clauses permanently, simplifying against the root-level
+      assignment. An empty (or root-falsified) clause marks the solver
+      permanently unsat.
+      @raise Invalid_argument if a literal's variable is out of range. *)
+
+  val solve : ?assumptions:Cnf.literal list -> t -> result * stats
+  (** Solve the accumulated clauses under the given assumption literals.
+      Each assumption opens its own decision level (in list order, even
+      when already implied). [Unsat] with assumptions means
+      unsatisfiable {e under these assumptions} unless a root-level
+      contradiction was derived, in which case every later call answers
+      [Unsat] immediately. [stats] are per-call deltas. *)
+end

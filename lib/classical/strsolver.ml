@@ -1,5 +1,8 @@
 module Constr = Qsmt_strtheory.Constr
 module Pipeline = Qsmt_strtheory.Pipeline
+module Joint = Qsmt_strtheory.Joint
+module Bitvec = Qsmt_util.Bitvec
+module Ascii7 = Qsmt_util.Ascii7
 
 type outcome = {
   constr : Constr.t;
@@ -30,6 +33,114 @@ let solve ?conflict_budget constr =
     cnf_vars = cnf.Cnf.num_vars;
     cnf_clauses = Cnf.num_clauses cnf;
   }
+
+module Session = struct
+  (* Conjunctions share one incremental CDCL instance. Variable layout:
+     the common string's 7L bits first (every joint-encodable conjunct's
+     CNF puts its string bits there too, so they unify by renumbering
+     nothing), then per-conjunct blocks of auxiliary variables (selector
+     / DFA-state vars, shifted up from their local positions), then one
+     activation variable per conjunct. Each clause of conjunct [c] is
+     guarded as [¬g_c ∨ ...]; a query over conjuncts [cs] assumes
+     exactly their activation literals, so any subset of ever-seen
+     conjuncts can be (re-)queried — push/pop and check-sat-assuming
+     come for free, and learned clauses carry over. *)
+  type joint_state = {
+    length : int;
+    sat : Cdcl.Incremental.t;
+    guards : (Constr.t, int) Hashtbl.t; (* conjunct -> activation var *)
+    mutable next_var : int; (* next free variable above 7L *)
+  }
+
+  type t = {
+    conflict_budget : int option;
+    outcomes : (Constr.t, outcome) Hashtbl.t;
+    mutable joint : joint_state option; (* keyed by the common length *)
+  }
+
+  let create ?conflict_budget () =
+    { conflict_budget; outcomes = Hashtbl.create 16; joint = None }
+
+  let reset t =
+    Hashtbl.reset t.outcomes;
+    t.joint <- None
+
+  (* Bit-blasting and CDCL are deterministic, so a repeated single
+     constraint (the common case across push/pop re-checks) is a table
+     lookup. *)
+  let solve t constr =
+    match Hashtbl.find_opt t.outcomes constr with
+    | Some o -> o
+    | None ->
+      let o = solve ?conflict_budget:t.conflict_budget constr in
+      Hashtbl.add t.outcomes constr o;
+      o
+
+  let joint_state t length =
+    match t.joint with
+    | Some js when js.length = length -> js
+    | Some _ | None ->
+      (* a different common length means a different shared-bit block;
+         start over (learned clauses about other lengths don't apply) *)
+      let js =
+        {
+          length;
+          sat =
+            Cdcl.Incremental.create
+              ?conflict_budget:t.conflict_budget
+              ~num_vars:(7 * length) ();
+          guards = Hashtbl.create 16;
+          next_var = 7 * length;
+        }
+      in
+      t.joint <- Some js;
+      js
+
+  (* Load a conjunct's guarded clauses once, returning its activation
+     variable. *)
+  let guard_of js constr =
+    match Hashtbl.find_opt js.guards constr with
+    | Some g -> g
+    | None ->
+      let cnf = Bitblast.encode constr in
+      let shared = 7 * js.length in
+      let aux_base = js.next_var in
+      let aux_count = max 0 (cnf.Cnf.num_vars - shared) in
+      let g = aux_base + aux_count in
+      js.next_var <- g + 1;
+      Cdcl.Incremental.ensure_vars js.sat js.next_var;
+      let map_lit lit =
+        let v = Cnf.var_of lit in
+        let v = if v < shared then v else aux_base + (v - shared) in
+        if Cnf.is_pos lit then Cnf.pos v else Cnf.neg v
+      in
+      let clauses =
+        List.map (fun cl -> Cnf.neg g :: List.map map_lit cl) cnf.Cnf.clauses
+      in
+      Cdcl.Incremental.add_clauses js.sat clauses;
+      Hashtbl.add js.guards constr g;
+      g
+
+  let solve_joint t cs =
+    match Joint.common_length cs with
+    | Error e -> Error e
+    | Ok length ->
+      let js = joint_state t length in
+      let assumptions = List.map (fun c -> Cnf.pos (guard_of js c)) cs in
+      let result, sat_stats = Cdcl.Incremental.solve ~assumptions js.sat in
+      Ok
+        (match result with
+        | Cdcl.Sat model ->
+          let s = Ascii7.decode (Bitvec.init (7 * length) (Bitvec.get model)) in
+          if List.for_all (fun c -> Constr.verify c (Constr.Str s)) cs then
+            (`Sat s, sat_stats)
+          else (`Unknown, sat_stats) (* defensive: encodings are exact *)
+        | Cdcl.Unsat ->
+          (* a real proof: the active clauses are exactly the conjuncts'
+             (complete) encodings over the shared bits *)
+          (`Unsat, sat_stats)
+        | Cdcl.Unknown -> (`Unknown, sat_stats))
+end
 
 let solve_pipeline ?conflict_budget pipeline =
   let first = solve ?conflict_budget pipeline.Pipeline.initial in

@@ -17,6 +17,36 @@ type outcome = {
 
 val solve : ?conflict_budget:int -> Qsmt_strtheory.Constr.t -> outcome
 
+(** Incremental classical solving across a query sequence.
+
+    The SMT-LIB front-end's push/pop sessions re-check near-identical
+    queries; a session keeps (a) a per-constraint outcome cache (the
+    pipeline is deterministic, so a repeat is a lookup) and (b) one
+    {!Cdcl.Incremental} instance for conjunctions, where every conjunct
+    ever seen lives behind an activation literal over shared string
+    bits. Re-querying any subset of known conjuncts reuses all learned
+    clauses; a CDCL [Unsat] under the activation assumptions is a real
+    refutation of that conjunction (the guarded encodings are exact). *)
+module Session : sig
+  type t
+
+  val create : ?conflict_budget:int -> unit -> t
+  val reset : t -> unit
+
+  val solve : t -> Qsmt_strtheory.Constr.t -> outcome
+  (** Cached {!Strsolver.solve}. *)
+
+  val solve_joint :
+    t ->
+    Qsmt_strtheory.Constr.t list ->
+    ([ `Sat of string | `Unsat | `Unknown ] * Cdcl.stats, string) result
+  (** Exact conjunction solving over the shared [7·L] string bits
+      (unlike the annealer's additive QUBO merge, this is complete).
+      [Error] mirrors {!Qsmt_strtheory.Joint.common_length}: empty list,
+      an [Includes], disagreeing lengths, or a conjunct outside the
+      joint-encodable fragment. *)
+end
+
 val solve_pipeline :
   ?conflict_budget:int -> Qsmt_strtheory.Pipeline.t -> outcome list
 (** Sequential composition, mirroring the annealing solver's §4.12

@@ -16,6 +16,7 @@ type command =
   | Push of int
   | Pop of int
   | Check_sat
+  | Check_sat_assuming of term list
   | Get_model
   | Get_value of term list
   | Echo of string
@@ -54,6 +55,10 @@ let pp_command ppf = function
   | Push n -> Format.fprintf ppf "(push %d)" n
   | Pop n -> Format.fprintf ppf "(pop %d)" n
   | Check_sat -> Format.fprintf ppf "(check-sat)"
+  | Check_sat_assuming ts ->
+    Format.fprintf ppf "(check-sat-assuming (%a))"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_term)
+      ts
   | Get_model -> Format.fprintf ppf "(get-model)"
   | Get_value ts ->
     Format.fprintf ppf "(get-value (%a))"

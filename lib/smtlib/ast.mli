@@ -24,6 +24,9 @@ type command =
   | Push of int
   | Pop of int
   | Check_sat
+  | Check_sat_assuming of term list
+      (** check under extra assumptions that are not added to the
+          assertion stack *)
   | Get_model
   | Get_value of term list
   | Echo of string

@@ -28,22 +28,25 @@ let value_of_constr_value = function
   | Constr.Pos None -> None
 
 let annealing_backend ?params ?sampler ?(telemetry = Telemetry.null) () =
-  let sampler =
-    match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
-  in
+  (* One incremental session per backend: repeated queries over a
+     push/pop session reuse cached encodings, delta-patch the merged
+     QUBO, and warm-start the anneal from the previous best sample. A
+     cold first query behaves exactly like [Solver.solve] /
+     [Joint.solve]. *)
+  let session = Qsmt_strtheory.Incremental.create ?params ?sampler ~telemetry () in
   {
     backend_name = "annealing";
     (* A sampler is incomplete: it can certify sat (the decode verifies)
        but never unsat, so failure is always `Unknown. *)
     solve_generate =
       (fun constr ->
-        let outcome = Solver.solve ?params ~sampler ~telemetry constr in
+        let outcome = Qsmt_strtheory.Incremental.solve_generate session constr in
         match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
         | true, Some v -> `Value v
         | _, _ -> `Unknown);
     solve_joint =
       (fun conjuncts ->
-        match Qsmt_strtheory.Joint.solve ?params ~sampler ~telemetry conjuncts with
+        match Qsmt_strtheory.Incremental.solve_joint session conjuncts with
         | Error _ -> `Unknown
         | Ok outcome ->
           if outcome.Qsmt_strtheory.Joint.satisfied then
@@ -198,6 +201,33 @@ let exec st command =
                  [ ("result", Telemetry.Str verdict) ]
              | _ -> ());
              lines))
+    | Ast.Check_sat_assuming assumptions ->
+      let* () =
+        List.fold_left
+          (fun acc a ->
+            let* () = acc in
+            Typecheck.check_assertion st.env a)
+          (Ok ()) assumptions
+      in
+      (* Assumptions join the assertions for this one query only; the
+         stack, environment and assertion list are untouched afterwards.
+         A model found under assumptions stays available to (get-model),
+         matching how (check-sat) leaves its model behind. *)
+      let saved = st.assertions in
+      st.assertions <- List.rev_append (List.rev assumptions) st.assertions;
+      Telemetry.count st.telemetry "smtlib.assumptions" (List.length assumptions);
+      Fun.protect
+        ~finally:(fun () -> st.assertions <- saved)
+        (fun () ->
+          Ok
+            (Telemetry.with_span st.telemetry "smtlib.check_sat_assuming" (fun span ->
+                 let lines = check_sat st in
+                 (match lines with
+                 | [ verdict ] ->
+                   Telemetry.emit st.telemetry ~span "smtlib.verdict"
+                     [ ("result", Telemetry.Str verdict) ]
+                 | _ -> ());
+                 lines)))
     | Ast.Get_model -> begin
       match st.last_model with
       | None -> Error "no model available (run (check-sat) first, it must answer sat)"

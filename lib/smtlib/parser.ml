@@ -82,6 +82,16 @@ let command_of_sexp sexp =
     | _ -> Error "pop expects a non-negative numeral"
   end
   | Sexp.List [ Sexp.Atom "check-sat" ] -> Ok Ast.Check_sat
+  | Sexp.List [ Sexp.Atom "check-sat-assuming"; Sexp.List lits ] ->
+    let* ts =
+      List.fold_left
+        (fun acc lit ->
+          let* acc = acc in
+          let* t = term_of_sexp lit in
+          Ok (t :: acc))
+        (Ok []) lits
+    in
+    Ok (Ast.Check_sat_assuming (List.rev ts))
   | Sexp.List [ Sexp.Atom "get-model" ] -> Ok Ast.Get_model
   | Sexp.List [ Sexp.Atom "get-value"; Sexp.List targets ] ->
     let* ts =

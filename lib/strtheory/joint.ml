@@ -34,17 +34,24 @@ let common_length cs =
         (Ok len) rest
   end
 
-let encode ?params cs =
-  let* length = common_length cs in
+(* The one true merge fold. The incremental solver re-merges cached
+   per-conjunct QUBOs through this exact function, so its result is
+   bit-exact equal to a full recompile by construction — float additions
+   happen in the same order, per coefficient slot. *)
+let merge_frozen ~num_vars parts =
   let merged = Qubo.builder () in
   List.iter
-    (fun c ->
-      let q = Compile.to_qubo ?params c in
+    (fun q ->
       Qubo.iter_linear q (fun i v -> Qubo.add merged i i v);
       Qubo.iter_quadratic q (fun i j v -> Qubo.add merged i j v);
       Qubo.add_offset merged (Qubo.offset q))
-    cs;
-  Ok (Qubo.freeze ~num_vars:(7 * length) merged, length)
+    parts;
+  Qubo.freeze ~num_vars merged
+
+let encode ?params cs =
+  let* length = common_length cs in
+  let parts = List.map (fun c -> Compile.to_qubo ?params c) cs in
+  Ok (merge_frozen ~num_vars:(7 * length) parts, length)
 
 type outcome = {
   qubo : Qubo.t;

@@ -20,6 +20,18 @@ val compatible : Constr.t -> int option
     known length (every operation except {!Constr.Includes}), [None]
     otherwise. *)
 
+val common_length : Constr.t list -> (int, string) result
+(** The single string length every conjunct generates, or why there
+    isn't one (empty list, an {!Constr.Includes}, disagreeing lengths,
+    a failed validation). *)
+
+val merge_frozen : num_vars:int -> Qsmt_qubo.Qubo.t list -> Qsmt_qubo.Qubo.t
+(** [merge_frozen ~num_vars parts] adds the parts' coefficient matrices
+    and offsets (in list order) and freezes over [num_vars] variables.
+    This is {e the} merge fold: {!encode} goes through it, and the
+    incremental solver re-merges cached per-conjunct encodings through it
+    so the result is bit-exact identical to a full recompile. *)
+
 val encode : ?params:Params.t -> Constr.t list -> (Qsmt_qubo.Qubo.t * int, string) result
 (** [encode cs] merges the encodings; the result's second component is
     the common string length. [Error] if the list is empty, a conjunct

@@ -1,0 +1,79 @@
+The incremental REPL end to end. One interpreter state (and therefore
+one incremental solver session) lives across commands; the default
+sampler is seeded, so outputs are byte-stable.
+
+push/pop and check-sat-assuming against the annealing backend — the
+assumption is scoped to its check, and popping the length constraint
+returns the bare palindrome to unknown (no common length to compile):
+
+  $ ../../bin/qsmt.exe repl <<'EOF'
+  > (declare-const x String)
+  > (assert (str.palindrome x))
+  > (push)
+  > (assert (= (str.len x) 4))
+  > (check-sat)
+  > (get-value ((str.len x)))
+  > (pop)
+  > (check-sat-assuming ((= (str.len x) 2)))
+  > (check-sat)
+  > EOF
+  sat
+  (((str.len x) 4))
+  sat
+  unknown
+
+The classical backend keeps its learned clauses across checks and its
+unsat answers are proofs; retracting the extra conjunct by pop restores
+sat:
+
+  $ ../../bin/qsmt.exe repl --sampler classical <<'EOF'
+  > (declare-const x String)
+  > (assert (str.palindrome x))
+  > (assert (= (str.len x) 4))
+  > (assert (str.contains x "ab"))
+  > (check-sat)
+  > (get-model)
+  > (push)
+  > (assert (str.contains x "bb"))
+  > (check-sat)
+  > (pop)
+  > (check-sat)
+  > (exit)
+  > EOF
+  sat
+  (
+    (define-fun x () String "baab")
+  )
+  sat
+  sat
+
+A two-character palindrome cannot contain "ab": the classical backend
+refutes it, and the session keeps going after the unsat:
+
+  $ ../../bin/qsmt.exe repl --sampler classical <<'EOF'
+  > (declare-const x String)
+  > (assert (str.palindrome x))
+  > (assert (= (str.len x) 2))
+  > (check-sat-assuming ((str.contains x "ab")))
+  > (check-sat)
+  > EOF
+  unsat
+  sat
+
+Errors are reported in-band and the session recovers instead of
+aborting (unlike `qsmt run`):
+
+  $ ../../bin/qsmt.exe repl <<'EOF'
+  > (declare-const x String)
+  > (bogus)
+  > (assert (= x "hi"))
+  > (check-sat)
+  > EOF
+  (error "unsupported command bogus")
+  sat
+
+Unbalanced input at end of stream is a hard error (exit 2):
+
+  $ echo '(declare-const x String' | ../../bin/qsmt.exe repl
+  qsmt: unbalanced input at end of stream
+  [2]

@@ -898,8 +898,8 @@ let test_pt_deterministic () =
 
 let test_pt_validation () =
   let q = target_qubo "1" in
-  Alcotest.check_raises "replicas" (Invalid_argument "Pt.sample: replicas < 2") (fun () ->
-      ignore (Pt.sample ~params:{ pt_params with Pt.replicas = 1 } q));
+  Alcotest.check_raises "replicas" (Invalid_argument "Pt.sample: replicas < 1") (fun () ->
+      ignore (Pt.sample ~params:{ pt_params with Pt.replicas = 0 } q));
   Alcotest.check_raises "beta range" (Invalid_argument "Pt.sample: bad beta_range") (fun () ->
       ignore (Pt.sample ~params:{ pt_params with Pt.beta_range = Some (2., 1.) } q));
   Alcotest.check_raises "exchange" (Invalid_argument "Pt.sample: exchange_interval < 1")
@@ -1079,6 +1079,137 @@ let test_sampleset_pp () =
   check Alcotest.bool "empty renders" true
     (String.length (Format.asprintf "%a" Sampleset.pp Sampleset.empty) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental-PR regressions: schedule fallback, single-replica /
+   single-sweep edges, stack-safe truncate, warm starts *)
+
+let test_schedule_coupler_only_range () =
+  (* All fields exactly zero, one coupler: Q_01 = 4, Q_00 = Q_11 = -2
+     maps to h = 0, J_01 = 1 under x = (1+s)/2. The range used to fall
+     into the hardcoded (0.1, 10.) fallback whenever max_abs_field-like
+     heuristics saw no usable signal; the row sums derive it fine. *)
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-2.);
+  Qubo.set b 1 1 (-2.);
+  Qubo.set b 0 1 4.;
+  let ising = Ising.of_qubo (Qubo.freeze b) in
+  check (Alcotest.float 1e-12) "field 0" 0. (Ising.field ising 0);
+  check (Alcotest.float 1e-12) "field 1" 0. (Ising.field ising 1);
+  let hot, cold = Schedule.default_beta_range ising in
+  (* reach = |h| + Σ|J| = 1 per spin, max_delta = 2, min_delta = 2 *)
+  check (Alcotest.float 1e-12) "hot from rows" (Float.log 2. /. 2.) hot;
+  check (Alcotest.float 1e-12) "cold from rows" (Float.log 100. /. 2.) cold;
+  (* The fallback survives only for a genuinely flat problem (every
+     coefficient zero -> no flip ever changes the energy). *)
+  let flat = Qubo.builder () in
+  Qubo.set flat 0 0 0.;
+  check (Alcotest.pair (Alcotest.float 0.) (Alcotest.float 0.)) "flat fallback" (0.1, 10.)
+    (Schedule.default_beta_range (Ising.of_qubo (Qubo.freeze ~num_vars:2 flat)))
+
+let test_pt_single_replica () =
+  (* replicas = 1 used to divide by zero in the hand-rolled geometric
+     ladder (1 / (k - 1)) and produce inf/NaN betas. *)
+  let q = target_qubo "110" in
+  let s = Pt.sample ~params:{ pt_params with Pt.replicas = 1; sweeps = 300 } q in
+  check Alcotest.bool "nonempty" true (Sampleset.size s > 0);
+  Array.iter
+    (fun e -> check Alcotest.bool "finite energy" true (Float.is_finite e))
+    (Sampleset.energies s);
+  check (Alcotest.float 1e-9) "still solves" (Exact.minimum_energy q)
+    (Sampleset.lowest_energy s)
+
+let test_sqa_single_sweep () =
+  (* Audit companion to the Pt fix: Sqa's gamma ratio guards sweeps = 1
+     before the (sweeps - 1) divisor. *)
+  let q = target_qubo "11" in
+  let s = Sqa.sample ~params:{ Sqa.default with Sqa.reads = 2; sweeps = 1 } q in
+  Array.iter
+    (fun e -> check Alcotest.bool "finite energy" true (Float.is_finite e))
+    (Sampleset.energies s)
+
+let test_sampleset_truncate_huge () =
+  (* The old non-tail [take] blew the stack around this size. *)
+  let n = 300_000 in
+  let entries =
+    List.init n (fun i ->
+        {
+          Sampleset.bits = Bitvec.init 32 (fun k -> (i lsr k) land 1 = 1);
+          energy = float_of_int i;
+          occurrences = 1;
+        })
+  in
+  let s = Sampleset.of_entries entries in
+  let t = Sampleset.truncate (n - 1) s in
+  check Alcotest.int "kept n-1" (n - 1) (Sampleset.size t);
+  check (Alcotest.float 0.) "prefix preserved" 0. (Sampleset.lowest_energy t)
+
+let test_sampleset_energies_empty () =
+  check Alcotest.int "empty energies" 0 (Array.length (Sampleset.energies Sampleset.empty))
+
+let prop_sampleset_truncate =
+  qtest ~count:100 "truncate k = first min(k, size) entries"
+    QCheck2.Gen.(pair (int_range 0 20) (list_size (int_range 0 12) (int_range 0 7)))
+    (fun (k, xs) ->
+      let s =
+        Sampleset.of_entries
+          (List.map
+             (fun x ->
+               {
+                 Sampleset.bits = Bitvec.init 3 (fun b -> (x lsr b) land 1 = 1);
+                 energy = float_of_int x;
+                 occurrences = 1;
+               })
+             xs)
+      in
+      let t = Sampleset.truncate k s in
+      Sampleset.size t = min k (Sampleset.size s)
+      && Sampleset.entries t
+         = List.filteri (fun i _ -> i < k) (Sampleset.entries s))
+
+let test_init_length_validation () =
+  let q = target_qubo "1101" in
+  let bad = Bitvec.create 3 in
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s accepted a wrong-length init" name)
+    [
+      ("sa", fun () -> ignore (Sa.sample ~init:bad q));
+      ("sqa", fun () -> ignore (Sqa.sample ~init:bad q));
+      ("pt", fun () -> ignore (Pt.sample ~init:bad q));
+      ("tabu", fun () -> ignore (Tabu.sample ~init:bad q));
+      ("greedy", fun () -> ignore (Greedy.sample ~init:bad q));
+    ]
+
+let test_greedy_init_respected () =
+  (* A single restart seeded at the global minimum must return exactly
+     it: descent from a ground state has no improving move. *)
+  let q = target_qubo "101101" in
+  let ground = Bitvec.of_string "101101" in
+  let s =
+    Greedy.sample ~params:{ Greedy.default with Greedy.restarts = 1 } ~init:ground q
+  in
+  let best = Sampleset.best s in
+  check Alcotest.string "returns the seed" "101101" (Bitvec.to_string best.Sampleset.bits);
+  check (Alcotest.float 1e-12) "at ground energy" (Exact.minimum_energy q)
+    best.Sampleset.energy
+
+let test_sampler_early_exit () =
+  (* With a verifier and early_exit, heuristic samplers stop after the
+     first verified read instead of completing every read. *)
+  let q = target_qubo "11010" in
+  let ground = Bitvec.of_string "11010" in
+  let sampler = Sampler.simulated_annealing ~params:{ sa_params with Sa.reads = 32 } () in
+  let verify bits = Bitvec.equal bits ground in
+  let s = Sampler.run ~verify ~init:ground ~early_exit:true sampler q in
+  check Alcotest.bool "stopped early" true (Sampleset.total_reads s < 32);
+  check Alcotest.bool "found ground" true
+    (List.exists (fun e -> Bitvec.equal e.Sampleset.bits ground) (Sampleset.entries s));
+  (* Without early_exit the full read count is preserved. *)
+  let full = Sampler.run ~verify sampler q in
+  check Alcotest.int "no early exit by default" 32 (Sampleset.total_reads full)
+
 let () =
   Alcotest.run "qsmt_anneal"
     [
@@ -1092,6 +1223,9 @@ let () =
           Alcotest.test_case "energies sorted" `Quick test_sampleset_energies_sorted;
           Alcotest.test_case "merge/truncate/filter" `Quick test_sampleset_merge_truncate_filter;
           Alcotest.test_case "ground probability" `Quick test_sampleset_ground_probability;
+          Alcotest.test_case "truncate huge (stack-safe)" `Quick test_sampleset_truncate_huge;
+          Alcotest.test_case "energies on empty" `Quick test_sampleset_energies_empty;
+          prop_sampleset_truncate;
         ] );
       ( "schedule",
         [
@@ -1101,6 +1235,7 @@ let () =
           Alcotest.test_case "single sweep" `Quick test_schedule_single_sweep;
           Alcotest.test_case "validation" `Quick test_schedule_validation;
           Alcotest.test_case "auto range" `Quick test_schedule_auto_range;
+          Alcotest.test_case "coupler-only range" `Quick test_schedule_coupler_only_range;
         ] );
       ( "exact",
         [
@@ -1127,6 +1262,7 @@ let () =
           Alcotest.test_case "solves diagonal" `Quick test_sqa_solves_diagonal;
           Alcotest.test_case "deterministic" `Quick test_sqa_deterministic;
           Alcotest.test_case "validation" `Quick test_sqa_validation;
+          Alcotest.test_case "single sweep" `Quick test_sqa_single_sweep;
           prop_sqa_finds_ground_small;
         ] );
       ( "tabu",
@@ -1143,18 +1279,22 @@ let () =
           Alcotest.test_case "empty problem" `Quick test_pt_empty_problem;
           Alcotest.test_case "in default suite" `Quick test_pt_in_default_suite;
           Alcotest.test_case "with_seed" `Quick test_pt_with_seed;
+          Alcotest.test_case "single replica" `Quick test_pt_single_replica;
           prop_pt_finds_ground_small;
         ] );
       ( "greedy",
         [
           Alcotest.test_case "solves easy" `Quick test_greedy_solves_easy;
           Alcotest.test_case "descent monotone" `Quick test_greedy_descend_monotone;
+          Alcotest.test_case "init respected" `Quick test_greedy_init_respected;
         ] );
       ( "sampler",
         [
           Alcotest.test_case "interface" `Quick test_sampler_interface;
           Alcotest.test_case "with_seed" `Quick test_sampler_with_seed;
           Alcotest.test_case "custom" `Quick test_sampler_custom;
+          Alcotest.test_case "init length validation" `Quick test_init_length_validation;
+          Alcotest.test_case "early exit" `Quick test_sampler_early_exit;
         ] );
       ( "portfolio",
         [
