@@ -58,9 +58,9 @@ type row = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Qsmt_util.Mclock.now () in
   let r = f () in
-  (Unix.gettimeofday () -. t0, r)
+  (Qsmt_util.Mclock.now () -. t0, r)
 
 let mean = function
   | [] -> 0.

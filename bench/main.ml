@@ -83,7 +83,8 @@ let telemetry, close_trace =
         close_out oc )
 let reads = if fast then 8 else 32
 let sweeps = if fast then 200 else 1000
-let now = Unix.gettimeofday
+(* Monotonic (never steps backwards with wall-clock adjustments). *)
+let now = Qsmt_util.Mclock.now
 
 let header title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')

@@ -58,6 +58,17 @@ let sweeps_arg =
 let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Parallel domains for reads.")
 
+let packed_arg =
+  Arg.(
+    value & flag
+    & info [ "packed" ]
+        ~doc:
+          "Run simulated annealing through the bit-parallel multi-spin kernel: reads are packed \
+           64 to a machine word, so one memory pass per sweep advances a whole group of reads. \
+           With $(b,--sampler sa) the annealer itself switches kernels; with $(b,--sampler \
+           portfolio) an $(b,sa_packed) member joins the race. Other samplers ignore the flag \
+           (SQA and PT already run packed internally at their default widths).")
+
 let jobs_arg =
   Arg.(
     value & opt int 0
@@ -262,9 +273,12 @@ let with_telemetry ~trace ~metrics ?tts_of f =
    coming here — it is a different solver family, not a sampler, and an
    earlier revision silently handed such requests to [Sampler.exact]. *)
 let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology ~topology_size
-    ~chain_strength ~noise =
+    ~chain_strength ~noise ~packed =
   match kind with
-  | `Sa -> Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed; reads; sweeps; domains } ()
+  | `Sa ->
+    let params = { Sa.default with Sa.seed; reads; sweeps; domains } in
+    if packed then Sampler.simulated_annealing_packed ~params ()
+    else Sampler.simulated_annealing ~params ()
   | `Sqa ->
     Sampler.simulated_quantum_annealing
       ~params:{ Sqa.default with Sqa.seed; sweeps = max 1 (sweeps / 2); reads; domains } ()
@@ -290,8 +304,15 @@ let build_sampler kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology ~to
           noise_sigma = noise;
           anneal = { Sa.default with Sa.seed; reads; sweeps; domains } })
   | `Portfolio ->
-    Sampler.portfolio
-      ~params:{ Portfolio.members = Portfolio.default_members ~seed; jobs; budget } ()
+    let members = Portfolio.default_members ~seed in
+    let members =
+      (* The packed racer takes the reads knob (it shines at high read
+         counts); like every member its internal parallelism stays off. *)
+      if packed then
+        members @ [ Portfolio.M_sa_packed { Sa.default with Sa.seed; reads; sweeps; domains = 1 } ]
+      else members
+    in
+    Sampler.portfolio ~params:{ Portfolio.members; jobs; budget } ()
   | `Classical -> invalid_arg "build_sampler: classical is not a sampler"
 
 (* CDCL bit-blasting as an SMT-LIB theory backend: complete on the
@@ -427,8 +448,8 @@ let gen_tts (outcome, timing) =
     Some (p_success, time_per_read, Metrics.time_to_solution ~time_per_read ~p_success ())
   end
 
-let gen_action op args sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise show_matrix param_assigns lint_level trace metrics =
+let gen_action op args sampler_kind seed reads sweeps domains packed jobs budget topology
+    topology_size chain_strength noise show_matrix param_assigns lint_level trace metrics =
   let params = params_of_assignments param_assigns in
   match constraint_of_op op args with
   | Error (`Msg m) ->
@@ -457,7 +478,7 @@ let gen_action op args sampler_kind seed reads sweeps domains jobs budget topolo
       else begin
         let sampler =
           build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
-            ~topology_size ~chain_strength ~noise
+            ~topology_size ~chain_strength ~noise ~packed
         in
         let result =
           with_telemetry ~trace ~metrics
@@ -501,7 +522,7 @@ let gen_cmd =
   let term =
     Term.(
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
-      $ domains_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
+      $ domains_arg $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
       $ chain_strength_arg $ noise_arg $ show_matrix $ param_arg $ lint_level_arg $ trace_arg
       $ metrics_arg)
   in
@@ -810,8 +831,8 @@ let matrix_cmd =
 (* ------------------------------------------------------------------ *)
 (* run *)
 
-let run_action path sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise trace metrics =
+let run_action path sampler_kind seed reads sweeps domains packed jobs budget topology
+    topology_size chain_strength noise trace metrics =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
@@ -823,7 +844,7 @@ let run_action path sampler_kind seed reads sweeps domains jobs budget topology 
         | _ ->
           let sampler =
             build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
-              ~topology_size ~chain_strength ~noise
+              ~topology_size ~chain_strength ~noise ~packed
           in
           Interp.run_string ~sampler ~telemetry source)
   in
@@ -843,7 +864,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute an SMT-LIB script (QF_S generative fragment).")
     Term.(
       const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
-      $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
+      $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
       $ noise_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -855,15 +876,15 @@ let run_cmd =
    with its encode cache, warm starts and learned clauses — across
    commands, and recovers from errors instead of aborting the way
    `qsmt run` does. *)
-let repl_action sampler_kind seed reads sweeps domains jobs budget topology topology_size
-    chain_strength noise =
+let repl_action sampler_kind seed reads sweeps domains packed jobs budget topology
+    topology_size chain_strength noise =
   let st =
     match sampler_kind with
     | `Classical -> Interp.create ~backend:(classical_backend ()) ()
     | _ ->
       let sampler =
         build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
-          ~topology_size ~chain_strength ~noise
+          ~topology_size ~chain_strength ~noise ~packed
       in
       Interp.create ~sampler ()
   in
@@ -963,7 +984,7 @@ let repl_cmd =
          ])
     Term.(
       const repl_action $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
-      $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
+      $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
       $ noise_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -1060,13 +1081,17 @@ let trace_cmd =
 
 let samplers_action () =
   print_endline "sa         simulated annealing (D-Wave neal equivalent; the paper's solver)";
+  print_endline
+    "           (--packed runs reads 64-to-a-word through the multi-spin kernel)";
   print_endline "sqa        simulated quantum annealing (path-integral Monte Carlo)";
   print_endline "tabu       tabu search";
   print_endline "greedy     steepest-descent with restarts";
   print_endline "exact      exhaustive ground-state search (<= 30 variables)";
   print_endline
     "hardware   QPU-workflow emulation: minor embedding, chain penalties, control noise";
-  print_endline "portfolio  race sa/sqa/pt/tabu/greedy concurrently; first verified read wins";
+  print_endline
+    "portfolio  race sa/sqa/pt/tabu/greedy concurrently; first verified read wins (--packed adds \
+     an sa_packed member)";
   print_endline "classical  CDCL SAT solver over bit-blasted constraints (complete)";
   0
 

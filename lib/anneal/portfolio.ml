@@ -5,6 +5,7 @@ module Qubo = Qsmt_qubo.Qubo
 
 type member =
   | M_sa of Sa.params
+  | M_sa_packed of Sa.params
   | M_sqa of Sqa.params
   | M_tabu of Tabu.params
   | M_pt of Pt.params
@@ -36,6 +37,7 @@ type result = {
 
 let member_name = function
   | M_sa _ -> "sa"
+  | M_sa_packed _ -> "sa_packed"
   | M_sqa _ -> "sqa"
   | M_tabu _ -> "tabu"
   | M_pt _ -> "pt"
@@ -48,6 +50,7 @@ let member_name = function
    spent across members, not within them. *)
 let member_with_seed seed = function
   | M_sa p -> M_sa { p with Sa.seed; domains = 1 }
+  | M_sa_packed p -> M_sa_packed { p with Sa.seed; domains = 1 }
   | M_sqa p -> M_sqa { p with Sqa.seed; domains = 1 }
   | M_tabu p -> M_tabu { p with Tabu.seed; domains = 1 }
   | M_pt p -> M_pt { p with Pt.seed; domains = 1 }
@@ -76,6 +79,7 @@ let reseed params seed = { params with members = List.map (member_with_seed seed
 let run_member ?init ~stop ~on_read ~telemetry member q =
   match member with
   | M_sa params -> (Sa.sample ~params ?init ~stop ~on_read ~telemetry q, None)
+  | M_sa_packed params -> (Sa.run_packed ~params ?init ~stop ~on_read ~telemetry q, None)
   | M_sqa params -> (Sqa.sample ~params ?init ~stop ~on_read ~telemetry q, None)
   | M_tabu params -> (Tabu.sample ~params ?init ~stop ~on_read ~telemetry q, None)
   | M_pt params -> (Pt.sample ~params ?init ~stop ~on_read ~telemetry q, None)

@@ -17,6 +17,10 @@
 
 type member =
   | M_sa of Sa.params
+  | M_sa_packed of Sa.params
+      (** multi-read SA through the bit-parallel {!Qsmt_qubo.Multispin}
+          kernel ({!Sa.run_packed}): same read semantics as [M_sa], one
+          packed state per 64 reads — the high-reads racer *)
   | M_sqa of Sqa.params
   | M_tabu of Tabu.params
   | M_pt of Pt.params

@@ -5,6 +5,7 @@ module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
+module Multispin = Qsmt_qubo.Multispin
 
 type params = {
   reads : int;
@@ -26,6 +27,74 @@ let default =
     seed = 0;
     domains = 1;
   }
+
+(* Packed path: the temperature ladder becomes the lane dimension of one
+   {!Multispin} state — replicas at different rungs never interact
+   through spins, so a word-wide accept decision per site is exact
+   Metropolis for all of them at once (unlike SQA's coupled slices, no
+   colored passes are needed). A replica exchange swaps which rung a lane
+   answers to, not the configurations: two permutation arrays
+   ([lane_of_temp] and the per-lane beta vector fed to the accept mask)
+   make a swap O(1) bookkeeping, the packed analogue of the scalar
+   path's Fields-handle exchange. *)
+let run_read_packed ~ising ~params ~betas ?init ?stop ?on_sweep rng =
+  let stopped () = match stop with Some f -> f () | None -> false in
+  let n = Ising.num_spins ising in
+  let k = Array.length betas in
+  let start _ =
+    match init with Some b -> Bitvec.copy b | None -> Bitvec.random rng n
+  in
+  let ms = Multispin.create ising (Array.init k start) in
+  let dr = Multispin.draws rng in
+  (* lane_of_temp.(t) holds the lane currently at rung t (cold = high t);
+     beta_by_lane is its inverse image under betas, the accept-mask
+     vector. Both start as the identity assignment. *)
+  let lane_of_temp = Array.init k Fun.id in
+  let beta_by_lane = Array.copy betas in
+  let deltas = Array.make k 0. in
+  let best = ref (Multispin.lane_spins ms lane_of_temp.(k - 1)) in
+  let best_e = ref (Multispin.energy ms lane_of_temp.(k - 1)) in
+  let note_best () =
+    let l = Multispin.best_lane ms in
+    if Multispin.energy ms l < !best_e then begin
+      best_e := Multispin.energy ms l;
+      best := Multispin.lane_spins ms l
+    end
+  in
+  let sweep = ref 0 in
+  while !sweep < params.sweeps && not (stopped ()) do
+    incr sweep;
+    let sweep = !sweep in
+    for i = 0 to n - 1 do
+      Multispin.deltas ms i deltas;
+      let acc = Multispin.accept_mask ms ~draws:dr ~betas:beta_by_lane deltas in
+      if acc <> 0L then Multispin.flip ms i acc
+    done;
+    note_best ();
+    let swaps = ref 0 in
+    if sweep mod params.exchange_interval = 0 then begin
+      (* alternate even/odd neighbor pairs to keep proposals independent *)
+      let parity = sweep / params.exchange_interval mod 2 in
+      let r = ref parity in
+      while !r + 1 < k do
+        let a = !r and b = !r + 1 in
+        let la = lane_of_temp.(a) and lb = lane_of_temp.(b) in
+        let log_ratio =
+          (betas.(a) -. betas.(b)) *. (Multispin.energy ms la -. Multispin.energy ms lb)
+        in
+        if log_ratio >= 0. || Prng.float rng < Float.exp log_ratio then begin
+          lane_of_temp.(a) <- lb;
+          lane_of_temp.(b) <- la;
+          beta_by_lane.(la) <- betas.(b);
+          beta_by_lane.(lb) <- betas.(a);
+          incr swaps
+        end;
+        r := !r + 2
+      done
+    end;
+    (match on_sweep with None -> () | Some f -> f ~sweep ~best:!best_e ~swaps:!swaps)
+  done;
+  (!best, !best_e)
 
 let run_read ~ising ~params ~betas ?init ?stop ?on_sweep rng =
   let stopped () = match stop with Some f -> f () | None -> false in
@@ -138,6 +207,11 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
                 end)
         in
         let init = if r = 0 then init else None in
+        (* The ladder fits in one packed word up to 64 rungs; wider
+           ladders keep the scalar per-replica states. *)
+        let run_read =
+          if params.replicas <= Multispin.max_lanes then run_read_packed else run_read
+        in
         let ((bits, e) as sample) = run_read ~ising ~params ~betas ?init ?stop ?on_sweep rng in
         if tracked then begin
           Telemetry.count telemetry "pt.reads" 1;

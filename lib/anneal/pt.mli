@@ -7,7 +7,17 @@
     landscape, cold replicas refine — on frustrated problems (embedded
     chains, one-hot penalties) this mixes far better than a single cooled
     chain, which is why it's the standard classical competitor in the
-    annealing literature and belongs in the ablation suite. *)
+    annealing literature and belongs in the ablation suite.
+
+    When [replicas] ≤ {!Qsmt_qubo.Multispin.max_lanes} (always, at the
+    default 8) a read runs on the bit-parallel multi-spin kernel: the
+    ladder is the lane dimension of one packed state (rungs don't
+    interact through spins, so one word-wide accept decision per site is
+    exact), and an accepted exchange just permutes the lane↔rung
+    assignment — O(1) bookkeeping instead of a configuration swap. Wider
+    ladders fall back to the scalar per-replica states; the two paths
+    draw randomness differently, so results are not sample-identical
+    across the boundary. *)
 
 type params = {
   reads : int;  (** independent tempering runs (default 8) *)

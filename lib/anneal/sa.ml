@@ -5,6 +5,7 @@ module Telemetry = Qsmt_util.Telemetry
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
+module Multispin = Qsmt_qubo.Multispin
 
 type params = {
   reads : int;
@@ -151,4 +152,124 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
     in
     let samples = Parallel.init_array ~domains:params.domains params.reads run_read in
     Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
+  end
+
+type packed_mode = Bucketed | Lockstep
+
+let popcount64 w =
+  let c = ref 0 in
+  let m = ref w in
+  while !m <> 0L do
+    incr c;
+    m := Int64.logand !m (Int64.sub !m 1L)
+  done;
+  !c
+
+(* Multi-read SA over the packed kernel: reads are grouped 64 to a
+   Multispin state, so one sweep's CSR traffic serves a whole group of
+   reads. Starts come from the same per-read streams the scalar path
+   uses, so the two paths explore from identical configurations; in
+   [Lockstep] mode acceptance also consumes those streams with the
+   scalar discipline and the decoded samples are bit-identical to
+   {!sample}'s (postprocess off). [Bucketed] is the fast path: exact
+   Metropolis marginals from a per-group bulk stream. *)
+let run_packed ?(params = default) ?(mode = Bucketed) ?init ?stop ?on_read
+    ?(telemetry = Telemetry.null) q =
+  if params.reads < 1 then invalid_arg "Sa.run_packed: reads < 1";
+  if params.sweeps < 1 then invalid_arg "Sa.run_packed: sweeps < 1";
+  let n = Qubo.num_vars q in
+  (match init with
+  | Some b when Bitvec.length b <> n ->
+    invalid_arg
+      (Printf.sprintf "Sa.run_packed: init has %d bits, problem has %d vars" (Bitvec.length b) n)
+  | _ -> ());
+  if n = 0 then Sampleset.of_bits q [ Bitvec.create 0 ]
+  else begin
+    let ising = Ising.of_qubo q in
+    let schedule =
+      match params.schedule with
+      | Some s -> s
+      | None -> Schedule.auto ~sweeps:params.sweeps ising
+    in
+    let stopped () = match stop with Some f -> f () | None -> false in
+    let tracked = Telemetry.enabled telemetry in
+    let sweeps = Schedule.sweeps schedule in
+    let stride = sweep_stride sweeps in
+    let groups = (params.reads + Multispin.max_lanes - 1) / Multispin.max_lanes in
+    let run_group g =
+      if stopped () then None
+      else begin
+        let r0 = g * Multispin.max_lanes in
+        let lanes = min Multispin.max_lanes (params.reads - r0) in
+        (* Same per-read streams and warm-start rule as the scalar path:
+           lane l of group g is read r0 + l. *)
+        let rngs = Array.init lanes (fun l -> read_rng ~seed:params.seed (r0 + l)) in
+        let starts =
+          Array.init lanes (fun l ->
+              match init with
+              | Some b when r0 + l = 0 -> Bitvec.copy b
+              | _ -> Bitvec.random rngs.(l) n)
+        in
+        let ms = Multispin.create ising starts in
+        (* The bucketed accept path draws from one stream per group,
+           disjoint from every per-read stream. *)
+        let bulk_rng = read_rng ~seed:params.seed (params.reads + g) in
+        let dr = Multispin.draws bulk_rng in
+        let betas = Array.make lanes 0. in
+        let deltas = Array.make lanes 0. in
+        let k = ref 0 in
+        while !k < sweeps && not (stopped ()) do
+          let beta = Schedule.beta schedule !k in
+          let accepted = ref 0 in
+          (match mode with
+          | Bucketed -> accepted := Multispin.metropolis_sweep ms ~draws:dr ~beta
+          | Lockstep ->
+            Array.fill betas 0 lanes beta;
+            for i = 0 to n - 1 do
+              Multispin.deltas ms i deltas;
+              let mask = Multispin.accept_mask_lockstep ms ~rngs ~betas deltas in
+              if mask <> 0L then begin
+                Multispin.flip ms i mask;
+                if tracked then accepted := !accepted + popcount64 mask
+              end
+            done);
+          if tracked && (!k mod stride = 0 || !k = sweeps - 1) then
+            Telemetry.emit telemetry "sa.packed_sweep"
+              [
+                ("group", Telemetry.Int g);
+                ("lanes", Telemetry.Int lanes);
+                ("sweep", Telemetry.Int !k);
+                ("beta", Telemetry.Float beta);
+                ("best_energy", Telemetry.Float (Multispin.energy ms (Multispin.best_lane ms)));
+                ( "acceptance",
+                  Telemetry.Float (float_of_int !accepted /. float_of_int (n * lanes)) );
+              ];
+          incr k
+        done;
+        let out =
+          Array.init lanes (fun l ->
+              let spins = Multispin.lane_spins ms l in
+              let energy =
+                if params.postprocess then begin
+                  let fields = Fields.create ising spins in
+                  descend_fields fields;
+                  Fields.energy fields
+                end
+                else Multispin.energy ms l
+              in
+              (match on_read with Some f -> f spins | None -> ());
+              (spins, energy))
+        in
+        if tracked then begin
+          Telemetry.count telemetry "sa.reads" lanes;
+          Array.iter (fun (_, e) -> Telemetry.observe telemetry "sa.read_energy" e) out
+        end;
+        Some out
+      end
+    in
+    let packed = Parallel.init_array ~domains:params.domains groups run_group in
+    Sampleset.of_tracked q
+      (List.concat_map
+         (function None -> [] | Some a -> Array.to_list a)
+         (Array.to_list packed))
   end

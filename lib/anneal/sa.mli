@@ -64,6 +64,43 @@ val sample :
     Instrumentation never touches the PRNG, so samples are bit-identical
     with telemetry on or off. *)
 
+type packed_mode =
+  | Bucketed
+      (** Fast path: one bulk PRNG stream per 64-read group; accept
+          decisions for all lanes come from geometric octave bucketing
+          ({!Qsmt_qubo.Multispin.accept_mask}). Exact Metropolis
+          marginals, but a different draw sequence than {!sample}. *)
+  | Lockstep
+      (** Parity path: each lane consumes its own per-read stream with
+          the scalar sweep's exact conditional-draw discipline
+          ({!Qsmt_qubo.Multispin.accept_mask_lockstep}); decoded samples
+          are bit-identical to {!sample}'s (with [postprocess] off).
+          Slower — this is the oracle-check vehicle, not the perf
+          path. *)
+
+val run_packed :
+  ?params:params ->
+  ?mode:packed_mode ->
+  ?init:Qsmt_util.Bitvec.t ->
+  ?stop:(unit -> bool) ->
+  ?on_read:(Qsmt_util.Bitvec.t -> unit) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  Qsmt_qubo.Qubo.t ->
+  Sampleset.t
+(** Multi-read SA through the bit-parallel {!Qsmt_qubo.Multispin}
+    kernel: reads are packed 64 to a word-parallel state ([reads] not a
+    multiple of 64 leaves the last group with masked tail lanes), so one
+    CSR pass per site per sweep advances a whole group. Semantics match
+    {!sample}: same per-read starting configurations (derived from the
+    same streams), same schedule, same warm-start rule for [init], same
+    [stop] polling granularity (between sweeps, whole group), same
+    [on_read] observation of each decoded read, and [postprocess] runs
+    the same steepest descent per decoded lane. [mode] defaults to
+    {!Bucketed}. [domains] parallelises across groups, so it only helps
+    past 64 reads. Telemetry: strided [sa.packed_sweep] events (group,
+    lanes, sweep, β, best tracked energy, acceptance across lanes) plus
+    the same [sa.reads] / [sa.read_energy] aggregates as {!sample}. *)
+
 val anneal_ising :
   rng:Qsmt_util.Prng.t ->
   schedule:Schedule.t ->

@@ -1,5 +1,6 @@
 type recipe =
   | R_sa of Sa.params
+  | R_sa_packed of Sa.params
   | R_sqa of Sqa.params
   | R_tabu of Tabu.params
   | R_pt of Pt.params
@@ -33,6 +34,9 @@ let run_detailed ?verify ?init ?(early_exit = false) ?(telemetry = Qsmt_util.Tel
   | R_sa params ->
     let stop, on_read = hooks () in
     (Sa.sample ~params ?init ?stop ?on_read ~telemetry q, None)
+  | R_sa_packed params ->
+    let stop, on_read = hooks () in
+    (Sa.run_packed ~params ?init ?stop ?on_read ~telemetry q, None)
   | R_sqa params ->
     let stop, on_read = hooks () in
     (Sqa.sample ~params ?init ?stop ?on_read ~telemetry q, None)
@@ -64,6 +68,9 @@ let run ?verify ?init ?early_exit ?telemetry t q =
 let make ~name f = { name; recipe = R_custom f }
 let simulated_annealing ?(params = Sa.default) () = { name = "sa"; recipe = R_sa params }
 
+let simulated_annealing_packed ?(params = Sa.default) () =
+  { name = "sa_packed"; recipe = R_sa_packed params }
+
 let simulated_quantum_annealing ?(params = Sqa.default) () = { name = "sqa"; recipe = R_sqa params }
 
 let tabu ?(params = Tabu.default) () = { name = "tabu"; recipe = R_tabu params }
@@ -78,6 +85,7 @@ let with_seed t seed =
   let recipe =
     match t.recipe with
     | R_sa p -> R_sa { p with Sa.seed }
+    | R_sa_packed p -> R_sa_packed { p with Sa.seed }
     | R_sqa p -> R_sqa { p with Sqa.seed }
     | R_tabu p -> R_tabu { p with Tabu.seed }
     | R_pt p -> R_pt { p with Pt.seed }

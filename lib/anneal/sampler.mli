@@ -55,6 +55,13 @@ val make : name:string -> (Qsmt_qubo.Qubo.t -> Sampleset.t) -> t
     and failure modes). {!with_seed} leaves such samplers unchanged. *)
 
 val simulated_annealing : ?params:Sa.params -> unit -> t
+
+val simulated_annealing_packed : ?params:Sa.params -> unit -> t
+(** {!Sa.run_packed}: the same multi-read SA through the bit-parallel
+    multi-spin kernel — reads are packed 64 to a word, so high-reads
+    workloads pay one CSR pass per site per sweep for the whole group.
+    Named ["sa_packed"]. *)
+
 val simulated_quantum_annealing : ?params:Sqa.params -> unit -> t
 val tabu : ?params:Tabu.params -> unit -> t
 val parallel_tempering : ?params:Pt.params -> unit -> t

@@ -17,7 +17,16 @@
     fixed β. Each sweep applies Metropolis to every (slice, spin) pair,
     then one world-line move per variable (flipping a variable across all
     slices), which decorrelates much faster on the strongly tied late
-    phase. The best slice by classical energy is the read's result. *)
+    phase. The best slice by classical energy is the read's result.
+
+    When [trotter] ≤ {!Qsmt_qubo.Multispin.max_lanes} (always, at the
+    default 8) a read runs on the bit-parallel multi-spin kernel: the
+    slices are the lanes of one packed state, local moves advance every
+    slice per site in ring-colored passes (adjacent slices are coupled,
+    so they never decide simultaneously), and the transverse-field term
+    comes from word rotations. Wider Trotter numbers fall back to the
+    scalar per-slice states. The two paths draw randomness differently,
+    so results are not sample-identical across the boundary. *)
 
 type params = {
   reads : int;  (** independent runs (default 16) *)

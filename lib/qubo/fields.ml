@@ -26,7 +26,13 @@ let recompute t =
   t.energy <- Ising.energy t.ising t.spins;
   t.flips <- 0
 
+let check_refresh_every refresh_every =
+  if refresh_every < 0 then
+    invalid_arg
+      (Printf.sprintf "Fields: refresh_every %d is negative (0 means never refresh)" refresh_every)
+
 let create ?(refresh_every = 0) ising spins =
+  check_refresh_every refresh_every;
   check_length ising spins;
   let row_ptr, col, value = Ising.csr ising in
   let t =

@@ -35,9 +35,11 @@ val create : ?refresh_every:int -> Ising.t -> Ising.spins -> t
     is {e adopted}, not copied: {!flip} mutates it in place and {!spins}
     returns it. Mutating it behind the kernel's back invalidates the
     invariants (call {!refresh} if you must). [refresh_every], when
-    positive, recomputes from scratch after that many accepted flips
-    (default: never).
-    @raise Invalid_argument on spin-count mismatch. *)
+    positive, recomputes from scratch after that many accepted flips;
+    [0] is the documented "never refresh" sentinel (the default) and the
+    only admissible non-positive value.
+    @raise Invalid_argument on spin-count mismatch or negative
+    [refresh_every]. *)
 
 val problem : t -> Ising.t
 val num_spins : t -> int

@@ -145,6 +145,22 @@ val event_to_json : event -> string
     [span]/[parent] are omitted when [-1]; field names must not collide
     with the reserved keys (["ts"], ["ev"], ["span"], ["parent"]). *)
 
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+      (** Parsed JSON. Object members keep their document order. *)
+
+val parse_json : string -> (json, string) result
+(** Full-document JSON reader (objects, arrays, strings with escapes,
+    numbers, literals; insignificant whitespace allowed anywhere, so
+    pretty-printed multi-line documents parse too). Used line-wise by the
+    trace validator and whole-file by the benches to read their committed
+    [BENCH_*.json] baselines back without an external JSON dependency. *)
+
 val validate_jsonl : in_channel -> (int, string) result
 (** Reads a trace produced by a {!jsonl} handle and checks the contract:
     every non-empty line is a well-formed JSON object with a string
