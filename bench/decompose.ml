@@ -1,0 +1,229 @@
+(* Ext-16: decomposition scaling past one embedding.
+
+   Every earlier bench stops where one sampler call stops — the largest
+   Table-1 instance (palindrome-6, 42 logical variables). This bench
+   scales the palindrome family to 4x that size, solving each instance
+   two ways with the same SA budget: whole-problem (one sampler call
+   over all variables) and decomposed (qbsolv-style shards of at most 42
+   variables, solved concurrently over the domain pool, boundaries
+   iterated to convergence).
+
+   Recorded per instance: variables, shard/round/accept counts from the
+   decomp telemetry, both best energies, whether the decoded value
+   verifies, whether the stitched energy re-prices bit-exactly, and both
+   wall times. Gates (exit non-zero):
+     - every decomposed run must stitch bit-exactly (the string
+       encodings' coefficients are dyadic; a mismatch means the
+       incremental pricing broke);
+     - the 4x instance (palindrome-24, 168 vars) must decode to a
+       verified palindrome through the decomposed path;
+     - trajectory vs the committed bench/baselines/BENCH_7.json: any
+       instance the baseline solved (verified) must still verify, and
+       the decomposed/whole wall-time ratio must stay within 2.5x of the
+       baseline's ratio (ratios are machine-robust where absolute times
+       are not — same tolerance philosophy as the BENCH_2 gate).
+
+   Run with:
+     dune exec bench/decompose.exe                  full run, writes BENCH_7.json
+     QSMT_BENCH_FAST=1 dune exec ...                reduced (CI smoke) run *)
+
+module Telemetry = Qsmt_util.Telemetry
+module Qubo = Qsmt_qubo.Qubo
+module Decompose = Qsmt_qubo.Decompose
+module Sa = Qsmt_anneal.Sa
+module Sampler = Qsmt_anneal.Sampler
+module Sampleset = Qsmt_anneal.Sampleset
+module Constr = Qsmt_strtheory.Constr
+module Compile = Qsmt_strtheory.Compile
+module Mclock = Qsmt_util.Mclock
+
+let fast = Sys.getenv_opt "QSMT_BENCH_FAST" <> None
+let reads = if fast then 8 else 32
+let sweeps = if fast then 300 else 1000
+let subsize = 42 (* the largest single embedding the Table-1 suite uses *)
+
+let instances =
+  [
+    (* fits one shard: the decomposed path must fall back (identical work) *)
+    ("palindrome-6", Constr.Palindrome { length = 6 });
+    ("palindrome-12", Constr.Palindrome { length = 12 });
+    ("palindrome-18", Constr.Palindrome { length = 18 });
+    (* the acceptance instance: 4x the largest single embedding *)
+    ("palindrome-24", Constr.Palindrome { length = 24 });
+  ]
+
+type row = {
+  name : string;
+  vars : int;
+  shards : int;
+  rounds : int;
+  accepted : int;
+  fallback : bool;
+  whole_energy : float;
+  whole_s : float;
+  decomp_energy : float;
+  decomp_s : float;
+  verified : bool;
+  bit_exact : bool;
+}
+
+let sa_sampler () =
+  Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed = 5; reads; sweeps } ()
+
+let counter t name = Option.value ~default:0 (Telemetry.find_counter t name)
+
+let run_instance (name, constr) =
+  let qubo = Compile.to_qubo constr in
+  let n = Qubo.num_vars qubo in
+  let whole_s, whole = Mclock.elapsed (fun () -> Sampler.run (sa_sampler ()) qubo) in
+  let whole_energy = Sampleset.lowest_energy whole in
+  let t = Telemetry.aggregate_only () in
+  let decomposed =
+    Sampler.decomposed
+      ~params:{ Decompose.default with Decompose.subsize; seed = 5 }
+      (sa_sampler ())
+  in
+  let decomp_s, samples = Mclock.elapsed (fun () -> Sampler.run ~telemetry:t decomposed qubo) in
+  let best = Sampleset.best samples in
+  let verified = Constr.verify constr (Compile.decode constr best.Sampleset.bits) in
+  let fallback = counter t "decomp.fallback" > 0 in
+  let row =
+    {
+      name;
+      vars = n;
+      shards = counter t "decomp.shards";
+      rounds = counter t "decomp.rounds";
+      accepted = counter t "decomp.accepted";
+      fallback;
+      whole_energy;
+      whole_s;
+      decomp_energy = best.Sampleset.energy;
+      decomp_s;
+      verified;
+      (* the reprice_mismatch counter fires exactly when stitching was
+         not bit-exact; fallback runs never stitch *)
+      bit_exact = counter t "decomp.reprice_mismatch" = 0;
+    }
+  in
+  Format.printf
+    "%-14s %4d vars %2d shards %2d rounds  whole %8.1f (%6.1fms)  decomp %8.1f (%6.1fms) %s%s@."
+    row.name row.vars row.shards row.rounds row.whole_energy (1e3 *. row.whole_s)
+    row.decomp_energy (1e3 *. row.decomp_s)
+    (if row.verified then "verified" else "NOT-VERIFIED")
+    (if row.fallback then " [fallback]" else "");
+  row
+
+(* ------------------------------------------------------------------ *)
+(* baseline trajectory *)
+
+let baseline_path = "bench/baselines/BENCH_7.json"
+
+let jfield k = function Telemetry.J_obj kvs -> List.assoc_opt k kvs | _ -> None
+let jnum = function Some (Telemetry.J_num f) -> Some f | _ -> None
+let jstr = function Some (Telemetry.J_str s) -> Some s | _ -> None
+let jbool = function Some (Telemetry.J_bool b) -> Some b | _ -> None
+
+(* (name, verified, decomp_s / whole_s) per baseline instance *)
+let baseline_rows () =
+  match In_channel.with_open_text baseline_path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+    match Telemetry.parse_json text with
+    | Error _ -> None
+    | Ok doc ->
+      (match jfield "instances" doc with
+      | Some (Telemetry.J_list insts) ->
+        Some
+          (List.filter_map
+             (fun inst ->
+               match
+                 ( jstr (jfield "name" inst),
+                   jbool (jfield "verified" inst),
+                   jnum (jfield "whole_s" inst),
+                   jnum (jfield "decomp_s" inst) )
+               with
+               | Some name, Some verified, Some ws, Some ds when ws > 0. ->
+                 Some (name, verified, ds /. ws)
+               | _ -> None)
+             insts)
+      | _ -> None))
+
+let gate rows =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun r ->
+      if not r.bit_exact then fail "%s: stitched energy did not re-price bit-exactly" r.name)
+    rows;
+  (match List.find_opt (fun r -> r.name = "palindrome-24") rows with
+  | Some r ->
+    if r.fallback then fail "palindrome-24: expected decomposition, got fallback";
+    if not r.verified then fail "palindrome-24: decomposed solve did not verify"
+  | None -> fail "palindrome-24 missing from the run");
+  (match baseline_rows () with
+  | None -> Format.printf "no baseline at %s; trajectory gate skipped@." baseline_path
+  | Some base ->
+    List.iter
+      (fun (bname, bverified, bratio) ->
+        match List.find_opt (fun r -> r.name = bname) rows with
+        | None -> ()
+        | Some r ->
+          if bverified && not r.verified then
+            fail "%s: baseline verified, this run did not" bname;
+          if r.whole_s > 0. then begin
+            let ratio = r.decomp_s /. r.whole_s in
+            (* generous: catches "stitching became pathologically slower
+               than whole-problem solving", not scheduler jitter *)
+            if ratio > 2.5 *. bratio && ratio > 1.5 then
+              fail "%s: decomp/whole time ratio %.2f vs baseline %.2f (>2.5x drift)" bname
+                ratio bratio
+          end)
+      base);
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+
+let json_out rows path =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"bench\": \"decompose\",\n";
+  p "  \"pr\": 7,\n";
+  p "  \"fast\": %b,\n" fast;
+  p "  \"reads\": %d,\n" reads;
+  p "  \"sweeps\": %d,\n" sweeps;
+  p "  \"subsize\": %d,\n" subsize;
+  p "  \"instances\": [\n";
+  List.iteri
+    (fun k r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" r.name;
+      p "      \"vars\": %d,\n" r.vars;
+      p "      \"shards\": %d,\n" r.shards;
+      p "      \"rounds\": %d,\n" r.rounds;
+      p "      \"accepted\": %d,\n" r.accepted;
+      p "      \"fallback\": %b,\n" r.fallback;
+      p "      \"whole_energy\": %g,\n" r.whole_energy;
+      p "      \"whole_s\": %.6f,\n" r.whole_s;
+      p "      \"decomp_energy\": %g,\n" r.decomp_energy;
+      p "      \"decomp_s\": %.6f,\n" r.decomp_s;
+      p "      \"verified\": %b,\n" r.verified;
+      p "      \"bit_exact\": %b\n" r.bit_exact;
+      p "    }%s\n" (if k = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let () =
+  Format.printf "decomposition scaling benchmark%s (reads=%d, sweeps=%d, subsize=%d, seeds fixed)@."
+    (if fast then " [FAST]" else "")
+    reads sweeps subsize;
+  let rows = List.map run_instance instances in
+  json_out rows "BENCH_7.json";
+  Format.printf "@.wrote BENCH_7.json@.";
+  match gate rows with
+  | [] -> Format.printf "gate: ok@."
+  | failures ->
+    List.iter (fun m -> Format.printf "gate FAILED: %s@." m) failures;
+    exit 1

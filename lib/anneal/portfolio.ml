@@ -141,23 +141,34 @@ let run ?(params = default) ?init ?verify ?(telemetry = Telemetry.null) q =
       | Some ok -> if ok bits then try_win name bits
       | None -> ()
     in
+    (* The whole member — its sampler run AND the verify scan below (the
+       predicate is caller code and may raise too) — reports failure as
+       data, never as an exception: one crashed member must not abort the
+       race, the survivors keep running and the caller reads the typed
+       [failed] field. *)
     let samples, hardware, failed =
       if Atomic.get stop_all then (Sampleset.empty, None, None)
       else
         match run_member ?init ~stop ~on_read ~telemetry m q with
-        | samples, hardware -> (samples, hardware, None)
+        | samples, hardware ->
+          (* Heuristic members verify through [on_read]; [Exact] only
+             yields a sample set at the end, so scan it here. Re-scanning
+             a heuristic's set is a harmless no-op once a winner exists. *)
+          (match verify with
+          | Some ok ->
+            (match
+               List.iter
+                 (fun e ->
+                   if Atomic.get winner = None && ok e.Sampleset.bits then
+                     try_win name e.Sampleset.bits)
+                 (Sampleset.entries samples)
+             with
+            | () -> (samples, hardware, None)
+            | exception e -> (samples, hardware, Some (Printexc.to_string e)))
+          | None -> (samples, hardware, None))
         | exception e -> (Sampleset.empty, None, Some (Printexc.to_string e))
     in
-    (* Heuristic members verify through [on_read]; [Exact] only yields a
-       sample set at the end, so scan it here. Re-scanning a heuristic's
-       set is a harmless no-op once a winner exists. *)
-    (match verify with
-    | Some ok ->
-      List.iter
-        (fun e ->
-          if Atomic.get winner = None && ok e.Sampleset.bits then try_win name e.Sampleset.bits)
-        (Sampleset.entries samples)
-    | None -> ());
+    if failed <> None then Telemetry.count telemetry "portfolio.member_failed" 1;
     let finished = Unix.gettimeofday () in
     let cancelled =
       (Atomic.get stop_all || match deadline with Some d -> finished > d | None -> false)
@@ -189,9 +200,24 @@ let run ?(params = default) ?init ?verify ?(telemetry = Telemetry.null) q =
       (Parallel.partition n jobs)
   in
   Parallel.Pool.run_list (Parallel.Pool.global ()) chains;
+  (* [run_one] is total, so every slot should be filled; if a worker job
+     nevertheless died before reaching member [k] (a pool-level failure,
+     not a member exception), the member surfaces as a typed per-member
+     failure rather than aborting the whole race. *)
   let reports =
     Array.to_list reports
-    |> List.map (function Some r -> r | None -> assert false)
+    |> List.mapi (fun k -> function
+         | Some r -> r
+         | None ->
+           Telemetry.count telemetry "portfolio.member_failed" 1;
+           {
+             member_name = member_name members.(k);
+             samples = Sampleset.empty;
+             elapsed = 0.;
+             cancelled = false;
+             failed = Some "member produced no result (worker job aborted)";
+             hardware = None;
+           })
   in
   let merged =
     List.fold_left (fun acc r -> Sampleset.merge acc r.samples) Sampleset.empty reports

@@ -45,7 +45,11 @@ type member_report = {
   samples : Sampleset.t;  (** possibly empty if cancelled before any read *)
   elapsed : float;  (** wall-clock seconds this member ran *)
   cancelled : bool;  (** stopped early (win elsewhere or budget) *)
-  failed : string option;  (** exception text if the member raised *)
+  failed : string option;
+      (** exception text if the member (or the verify scan over its
+          samples) raised — a crashed member never aborts the race, it
+          surfaces here while the survivors keep running, and each
+          failure bumps the [portfolio.member_failed] counter *)
   hardware : Hardware.stats option;
       (** chain/embedding diagnostics, for [M_hardware] members only *)
 }
@@ -90,8 +94,9 @@ val run :
     counters interleave in the trace) and additionally records the member
     lifecycle: [portfolio.member.start] (member, index),
     [portfolio.member.done] (member, index, elapsed_s, reads, cancelled,
-    failed) and [portfolio.winner] (member, elapsed_s since the race
-    started) the instant a verified read is published. The telemetry sink
+    failed), [portfolio.winner] (member, elapsed_s since the race
+    started) the instant a verified read is published, and a
+    [portfolio.member_failed] counter per failed member. The telemetry sink
     is mutex-serialised, so concurrent members may emit freely.
     @raise Invalid_argument on an empty member list or non-positive
     budget. *)

@@ -112,13 +112,15 @@ let check_coefficient_quantum ?(config = default_config) q =
   fold Global (Qubo.offset q);
   Qubo.iter_linear q (fun i v -> fold (Var i) v);
   Qubo.iter_quadratic q (fun i j v -> fold (Coupler (i, j)) v);
-  if !total = 0 then []
-  else begin
-    let example =
-      match List.rev !offenders with
-      | (loc, v) :: _ -> Format.asprintf "%a = %.17g" pp_location loc v
-      | [] -> assert false
-    in
+  (* Total by construction: [total = 0] (the empty QUBO included) means
+     no finding, and any positive [total] recorded at least one offender
+     — but handle the empty list anyway instead of asserting, so a
+     future refactor of the sampling-3-examples logic cannot turn a lint
+     run into a process abort. *)
+  match List.rev !offenders with
+  | [] -> []
+  | (loc, v) :: _ ->
+    let example = Format.asprintf "%a = %.17g" pp_location loc v in
     [
       finding Info "coefficient-quantum" Global
         (Printf.sprintf
@@ -126,7 +128,6 @@ let check_coefficient_quantum ?(config = default_config) q =
             exact ties may be resolved by rounding noise"
            !total config.dyadic_bits example);
     ]
-  end
 
 let dead_variables q =
   let n = Qubo.num_vars q in

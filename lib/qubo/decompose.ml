@@ -1,0 +1,309 @@
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Parallel = Qsmt_util.Parallel
+module Telemetry = Qsmt_util.Telemetry
+
+type params = { subsize : int; max_rounds : int; jobs : int; seed : int }
+
+let default = { subsize = 48; max_rounds = 25; jobs = 0; seed = 0 }
+
+type shard = { shard_id : int; vars : int array; boundary : int }
+
+type report = {
+  shards : shard list;
+  rounds : int;
+  accepted : int;
+  rejected : int;
+  shard_failures : int;
+  stitched_energy : float;
+  energy : float;
+  bit_exact : bool;
+  single_shard_rescue : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* partitioning *)
+
+(* BFS visit order within one connected component: consecutive chunks of
+   the order are dominated by intra-layer and layer-to-next-layer edges,
+   so cutting between chunks severs few couplers — the cheap stand-in
+   for a real min-cut that qbsolv also settles for. *)
+let bfs_order g comp =
+  let inside = Hashtbl.create (List.length comp) in
+  List.iter (fun v -> Hashtbl.replace inside v true) comp;
+  let seen = Hashtbl.create (List.length comp) in
+  let order = ref [] in
+  let queue = Queue.create () in
+  (* components from Qgraph are sorted ascending, so the root — and with
+     it the whole order — is deterministic *)
+  List.iter
+    (fun src ->
+      if not (Hashtbl.mem seen src) then begin
+        Hashtbl.replace seen src true;
+        Queue.add src queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          order := v :: !order;
+          List.iter
+            (fun w ->
+              if Hashtbl.mem inside w && not (Hashtbl.mem seen w) then begin
+                Hashtbl.replace seen w true;
+                Queue.add w queue
+              end)
+            (Qgraph.neighbors g v)
+        done
+      end)
+    comp;
+  List.rev !order
+
+let chunk size l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+let partition ~subsize q =
+  if subsize < 1 then invalid_arg "Decompose.partition: subsize must be >= 1";
+  let g = Qgraph.of_qubo q in
+  let blocks =
+    List.concat_map
+      (fun comp ->
+        if List.length comp <= subsize then [ comp ] else chunk subsize (bfs_order g comp))
+      (Qgraph.connected_components g)
+  in
+  (* First-fit-decreasing: small components share a shard instead of each
+     paying a full sampler call. Bins keep their blocks' variables merged
+     and ascending, so shard contents are independent of packing order. *)
+  let blocks =
+    List.stable_sort (fun a b -> compare (List.length b) (List.length a)) blocks
+  in
+  let bins : (int * int list) ref list ref = ref [] in
+  List.iter
+    (fun block ->
+      let size = List.length block in
+      match List.find_opt (fun bin -> fst !bin + size <= subsize) !bins with
+      | Some bin -> bin := (fst !bin + size, block @ snd !bin)
+      | None -> bins := !bins @ [ ref (size, block) ])
+    blocks;
+  List.map (fun bin -> Array.of_list (List.sort compare (snd !bin))) !bins
+
+(* ------------------------------------------------------------------ *)
+(* clamped subproblem extraction *)
+
+let extract q x vars =
+  let n = Qubo.num_vars q in
+  if Bitvec.length x <> n then
+    invalid_arg
+      (Printf.sprintf "Decompose.extract: assignment has %d bits, problem %d variables"
+         (Bitvec.length x) n);
+  let local = Array.make n (-1) in
+  Array.iteri
+    (fun k v ->
+      if v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Decompose.extract: variable %d out of [0,%d)" v n);
+      local.(v) <- k)
+    vars;
+  let b = Qubo.builder () in
+  let off = ref (Qubo.offset q) in
+  Qubo.iter_linear q (fun i v ->
+      if local.(i) >= 0 then Qubo.add b local.(i) local.(i) v
+      else if Bitvec.get x i then off := !off +. v);
+  Qubo.iter_quadratic q (fun i j v ->
+      match (local.(i) >= 0, local.(j) >= 0) with
+      | true, true -> Qubo.add b local.(i) local.(j) v
+      | true, false -> if Bitvec.get x j then Qubo.add b local.(i) local.(i) v
+      | false, true -> if Bitvec.get x i then Qubo.add b local.(j) local.(j) v
+      | false, false -> if Bitvec.get x i && Bitvec.get x j then off := !off +. v);
+  Qubo.add_offset b !off;
+  Qubo.freeze ~num_vars:(Array.length vars) b
+
+(* ------------------------------------------------------------------ *)
+(* solve *)
+
+let validate params =
+  if params.subsize < 1 then invalid_arg "Decompose.solve: subsize must be >= 1";
+  if params.max_rounds < 1 then invalid_arg "Decompose.solve: max_rounds must be >= 1"
+
+let boundary_counts q shard_of num_shards =
+  let counts = Array.make num_shards 0 in
+  Qubo.iter_quadratic q (fun i j _ ->
+      if shard_of.(i) <> shard_of.(j) then begin
+        counts.(shard_of.(i)) <- counts.(shard_of.(i)) + 1;
+        counts.(shard_of.(j)) <- counts.(shard_of.(j)) + 1
+      end);
+  counts
+
+let solve ?(params = default) ?init ?(stop = fun () -> false)
+    ?(telemetry = Telemetry.null) ~solve_shard q =
+  validate params;
+  let n = Qubo.num_vars q in
+  let tracked = Telemetry.enabled telemetry in
+  let root = Telemetry.span telemetry "decomp" in
+  let blocks = partition ~subsize:params.subsize q in
+  let num_shards = List.length blocks in
+  let shard_of = Array.make n (-1) in
+  List.iteri (fun id vars -> Array.iter (fun v -> shard_of.(v) <- id) vars) blocks;
+  let boundaries = boundary_counts q shard_of num_shards in
+  let shards =
+    List.mapi (fun id vars -> { shard_id = id; vars; boundary = boundaries.(id) }) blocks
+  in
+  let shard_arr = Array.of_list shards in
+  if tracked then begin
+    Telemetry.count telemetry "decomp.shards" num_shards;
+    Array.iter
+      (fun s -> Telemetry.observe telemetry "decomp.shard_size" (float_of_int (Array.length s.vars)))
+      shard_arr
+  end;
+  let x =
+    match init with
+    | Some b ->
+      if Bitvec.length b <> n then
+        invalid_arg
+          (Printf.sprintf "Decompose.solve: init has %d bits, problem %d variables"
+             (Bitvec.length b) n);
+      Bitvec.copy b
+    | None -> Bitvec.random (Prng.create params.seed) n
+  in
+  let energy = ref (Qubo.energy q x) in
+  let rounds = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  (* bumped from worker domains, hence atomic *)
+  let failures = Atomic.make 0 in
+  let best_single = ref None in
+  let jobs = if params.jobs > 0 then params.jobs else Parallel.recommended_domains () in
+  let improved = ref (num_shards > 0) in
+  while !improved && !rounds < params.max_rounds && not (stop ()) do
+    incr rounds;
+    improved := false;
+    let round = !rounds in
+    let round_span = Telemetry.span telemetry ~parent:root "decomp.round" in
+    (* Jacobi: every shard solves against the same snapshot, so the
+       concurrent solves never observe each other's flips. *)
+    let snapshot = Bitvec.copy x in
+    let proposals = Array.make num_shards None in
+    let work (lo, size) () =
+      for k = lo to lo + size - 1 do
+        if not (stop ()) then begin
+          let s = shard_arr.(k) in
+          match
+            Telemetry.with_span telemetry ~parent:round_span "decomp.shard" (fun _ ->
+                let sub = extract q snapshot s.vars in
+                let y = solve_shard ~shard:k ~round sub in
+                if Bitvec.length y <> Array.length s.vars then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Decompose.solve: shard %d solver returned %d bits for %d variables" k
+                       (Bitvec.length y) (Array.length s.vars));
+                y)
+          with
+          | y ->
+            proposals.(k) <- Some y;
+            if tracked then
+              Telemetry.emit telemetry ~span:round_span "decomp.shard.done"
+                [
+                  ("shard", Telemetry.Int k);
+                  ("round", Telemetry.Int round);
+                  ("size", Telemetry.Int (Array.length s.vars));
+                  ("boundary", Telemetry.Int s.boundary);
+                ]
+          | exception _ ->
+            (* a failed shard keeps its current assignment this round;
+               the run continues with the other shards *)
+            Atomic.incr failures
+        end
+      done
+    in
+    Parallel.Pool.run_list (Parallel.Pool.global ())
+      (List.map work (Parallel.partition num_shards jobs));
+    (* Sequential stitch: apply a proposal's flips, accept on strict
+       improvement of the tracked energy, revert bit-for-bit otherwise. *)
+    Array.iteri
+      (fun k prop ->
+        match prop with
+        | None -> ()
+        | Some y ->
+          let s = shard_arr.(k) in
+          let flips = ref [] in
+          Array.iteri
+            (fun ki v -> if Bitvec.get x v <> Bitvec.get y ki then flips := v :: !flips)
+            s.vars;
+          if round = 1 then begin
+            (* price the single-shard candidate (init + this proposal
+               alone) with a fresh whole-problem evaluation; the best one
+               backstops the iterated result *)
+            let cand = Bitvec.copy snapshot in
+            Array.iteri (fun ki v -> Bitvec.set cand v (Bitvec.get y ki)) s.vars;
+            let ce = Qubo.energy q cand in
+            match !best_single with
+            | Some (_, be) when be <= ce -> ()
+            | _ -> best_single := Some (cand, ce)
+          end;
+          if !flips <> [] then begin
+            let delta =
+              List.fold_left
+                (fun acc v ->
+                  let d = Qubo.flip_delta q x v in
+                  Bitvec.flip x v;
+                  acc +. d)
+                0. !flips
+            in
+            if delta < 0. then begin
+              energy := !energy +. delta;
+              incr accepted;
+              improved := true
+            end
+            else begin
+              List.iter (fun v -> Bitvec.flip x v) !flips;
+              incr rejected
+            end
+          end)
+      proposals;
+    Telemetry.finish telemetry round_span
+  done;
+  let stitched = ref !energy in
+  let repriced = ref (Qubo.energy q x) in
+  let rescue =
+    match !best_single with
+    | Some (cand, ce) when ce < !repriced ->
+      (* boundary iteration ended above the best single-shard answer —
+         return that answer instead, so decompose-then-stitch is never
+         worse than any one shard alone *)
+      Bitvec.iteri (fun i b -> Bitvec.set x i b) cand;
+      stitched := ce;
+      repriced := Qubo.energy q x;
+      true
+    | _ -> false
+  in
+  let bit_exact = !stitched = !repriced in
+  if tracked then begin
+    Telemetry.count telemetry "decomp.rounds" !rounds;
+    Telemetry.count telemetry "decomp.accepted" !accepted;
+    Telemetry.count telemetry "decomp.rejected" !rejected;
+    if Atomic.get failures > 0 then
+      Telemetry.count telemetry "decomp.shard_failed" (Atomic.get failures);
+    if not bit_exact then Telemetry.count telemetry "decomp.reprice_mismatch" 1;
+    if rescue then Telemetry.count telemetry "decomp.single_shard_rescue" 1;
+    Telemetry.emit telemetry ~span:root "decomp.done"
+      [
+        ("vars", Telemetry.Int n);
+        ("shards", Telemetry.Int num_shards);
+        ("rounds", Telemetry.Int !rounds);
+        ("accepted", Telemetry.Int !accepted);
+        ("energy", Telemetry.Float !repriced);
+        ("bit_exact", Telemetry.Bool bit_exact);
+      ]
+  end;
+  Telemetry.finish telemetry root;
+  ( x,
+    {
+      shards;
+      rounds = !rounds;
+      accepted = !accepted;
+      rejected = !rejected;
+      shard_failures = Atomic.get failures;
+      stitched_energy = !stitched;
+      energy = !repriced;
+      bit_exact;
+      single_shard_rescue = rescue;
+    } )

@@ -1,0 +1,129 @@
+(** qbsolv-style decomposition for QUBOs bigger than one embedding.
+
+    Everything upstream of this module assumes the whole problem fits a
+    single sampler call (one embedding, one Metropolis state). Real
+    workloads do not, so this module shards the interaction graph into
+    subproblems of bounded size, solves them concurrently over the shared
+    {!Qsmt_util.Parallel.Pool}, and iterates the boundary spins to
+    convergence — the large-neighborhood local search scheme of D-Wave's
+    qbsolv, which is also what the quantum-inspired-solver benchmarks
+    (Oshiyama & Ohzeki, arXiv:2104.14096) and large-instance SAT
+    encodings (Bian et al., arXiv:1811.02524) rely on to reach problem
+    sizes no annealer accepts whole.
+
+    The scheme, per round: snapshot the global assignment, build one
+    {e clamped} sub-QUBO per shard ({!extract} — variables outside the
+    shard are frozen at their snapshot values, their contributions folded
+    into the shard's linear terms and offset, so sub-energies {e are}
+    global energies), solve every shard concurrently against the same
+    snapshot (Jacobi style — shard solves never race on the assignment),
+    then stitch sequentially: a shard's proposal is applied only if it
+    strictly lowers the incrementally tracked global energy, otherwise
+    the flips are reverted bit-for-bit. Rounds repeat until a full round
+    accepts nothing (boundary convergence) or [max_rounds] is hit.
+
+    Verified stitching: the returned energy is always a fresh
+    whole-problem evaluation of the returned bits ({!Qubo.energy}), and
+    the report records whether the incrementally stitched energy matches
+    it {e bit-exactly} ({!report.bit_exact} — true for the string
+    encodings, whose dyadic coefficients make every incremental update
+    exact; a mismatch bumps [decomp.reprice_mismatch]). Constraint-level
+    verification ([Constr.verify] on the decoded value) happens where it
+    always does, in the solver's decode scan — the QUBO layer never
+    grades its own homework.
+
+    The stitched result is additionally guaranteed never worse than the
+    best {e single-shard} answer (the initial assignment with exactly one
+    round-1 shard proposal applied): those candidates are priced during
+    round 1 and the best one replaces the iterated result in the rare
+    case boundary interaction made iteration end up above it
+    ([decomp.single_shard_rescue] counts this). *)
+
+type params = {
+  subsize : int;
+      (** largest shard, in variables (default 48 — comfortably inside
+          every topology the hardware emulation auto-sizes) *)
+  max_rounds : int;  (** boundary-iteration cap (default 25) *)
+  jobs : int;
+      (** concurrent shard solves per round; [<= 0] (default) means
+          {!Qsmt_util.Parallel.recommended_domains} *)
+  seed : int;  (** PRNG seed for the initial assignment (default 0) *)
+}
+
+val default : params
+
+type shard = {
+  shard_id : int;
+  vars : int array;  (** global variable indices, ascending *)
+  boundary : int;  (** couplers with exactly one endpoint in this shard *)
+}
+
+type report = {
+  shards : shard list;  (** the partition actually used, in id order *)
+  rounds : int;  (** boundary-iteration rounds run *)
+  accepted : int;  (** shard proposals that lowered the energy *)
+  rejected : int;  (** proposals reverted (no improvement) *)
+  shard_failures : int;
+      (** shard solves that raised; the shard keeps its current
+          assignment for the round and the run continues *)
+  stitched_energy : float;
+      (** the incrementally tracked energy of the returned bits *)
+  energy : float;  (** whole-problem re-pricing of the returned bits *)
+  bit_exact : bool;  (** [stitched_energy = energy], bit-for-bit *)
+  single_shard_rescue : bool;
+      (** the best round-1 single-shard candidate beat the iterated
+          result and was returned instead *)
+}
+
+val partition : subsize:int -> Qubo.t -> int array list
+(** Shard the interaction graph: connected components (the union-find
+    structure the linter's connectivity check also walks) are kept whole
+    when they fit, split along a BFS ordering when they exceed [subsize]
+    (consecutive BFS layers cut few couplers — the min-cut-ish
+    heuristic), and packed first-fit-decreasing so small components share
+    shards. Every variable appears in exactly one block; each block is
+    ascending and no larger than [subsize].
+    @raise Invalid_argument if [subsize < 1]. *)
+
+val extract : Qubo.t -> Qsmt_util.Bitvec.t -> int array -> Qubo.t
+(** [extract q x vars] is the clamped subproblem over [vars]: couplers
+    internal to the shard survive, couplers to a clamped-1 variable fold
+    into the shard's linear terms, and the energy of the clamped part
+    (offset, clamped linear, clamped-clamped couplers) folds into the
+    offset — so for any shard assignment [y],
+    [Qubo.energy (extract q x vars) y] equals
+    [Qubo.energy q (x with vars set from y)] up to float summation
+    order. Local variable [k] is global [vars.(k)].
+    @raise Invalid_argument if [x] has the wrong length or [vars] is
+    out of range. *)
+
+val solve :
+  ?params:params ->
+  ?init:Qsmt_util.Bitvec.t ->
+  ?stop:(unit -> bool) ->
+  ?telemetry:Qsmt_util.Telemetry.t ->
+  solve_shard:(shard:int -> round:int -> Qubo.t -> Qsmt_util.Bitvec.t) ->
+  Qubo.t ->
+  Qsmt_util.Bitvec.t * report
+(** Decompose, solve, stitch. [solve_shard ~shard ~round sub] must
+    return an assignment of [Qubo.num_vars sub] bits — typically the
+    best read of a sampler run on [sub]; it is called concurrently for
+    distinct shards of one round (on pool workers plus the calling
+    domain), never concurrently for the same shard, and may raise (the
+    shard then keeps its current assignment for that round, counted in
+    {!report.shard_failures}).
+
+    [init] seeds the global assignment (the incremental solver's warm
+    start); default is a seeded-PRNG random assignment. [stop] is polled
+    between rounds and before each shard solve; once true, the current
+    best stitched assignment is returned early.
+
+    [telemetry] records counters [decomp.shards], [decomp.rounds],
+    [decomp.accepted], [decomp.rejected], [decomp.shard_failed],
+    [decomp.reprice_mismatch], [decomp.single_shard_rescue], a
+    [decomp.shard_size] histogram, per-round [decomp.round] spans with
+    per-shard [decomp.shard] child spans (shard, size, boundary), and
+    one [decomp.done] event (vars, shards, rounds, accepted, energy,
+    bit_exact) — all inside one [decomp] root span.
+    @raise Invalid_argument on non-positive [subsize]/[max_rounds] or a
+    wrong-length [init]. *)

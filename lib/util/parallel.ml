@@ -42,7 +42,12 @@ module Pool = struct
     else begin
       let job = Option.get w.job in
       Mutex.unlock w.mutex;
-      job ();
+      (* Defensive catch-all: [run_list] wraps user jobs so they report
+         exceptions through their own channel, but a job that raises
+         anyway must not kill the worker domain — that would strand the
+         slot forever (its index is back in [free], yet nobody would ever
+         run or signal completion of the next job assigned to it). *)
+      (try job () with _ -> ());
       Mutex.lock w.mutex;
       w.job <- None;
       Condition.broadcast w.cond;
@@ -98,7 +103,12 @@ module Pool = struct
     Mutex.unlock w.mutex
 
   (* First exception wins; the remaining jobs still run (they may hold
-     partial results the caller owns). *)
+     partial results the caller owns). The exception is captured together
+     with its backtrace at the raise site — possibly on a worker domain —
+     and re-raised on the caller with that backtrace attached, so a
+     raising job reads like a raising function call, never a process
+     abort. Every acquired worker is waited on and released whether or
+     not jobs raised, so a raising job leaves the pool fully reusable. *)
   let run_list t jobs =
     match jobs with
     | [] -> ()
@@ -113,7 +123,9 @@ module Pool = struct
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
             (try jobs.(i) ()
-             with e -> ignore (Atomic.compare_and_set error None (Some e)));
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set error None (Some (e, bt))));
             go ()
           end
         in
@@ -127,7 +139,9 @@ module Pool = struct
           wait t id;
           release t id)
         ids;
-      (match Atomic.get error with Some e -> raise e | None -> ())
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
 
   let shutdown t =
     if t.alive then begin
@@ -176,7 +190,14 @@ let init_array ?(domains = 1) n f =
       done
     in
     Pool.run_list (Pool.global ()) (List.map work (partition n domains));
-    Array.map (function Some v -> v | None -> assert false) results
+    (* run_list re-raises the first job exception, so a hole here means a
+       scheduling bug, not a user error — report it as such rather than
+       aborting the process with an assertion. *)
+    Array.map
+      (function
+        | Some v -> v
+        | None -> failwith "Parallel.init_array: a worker job produced no result")
+      results
   end
 
 let map_array ?(domains = 1) f a = init_array ~domains (Array.length a) (fun i -> f a.(i))

@@ -48,7 +48,10 @@ module Pool : sig
       over idle workers plus the calling domain via a shared work index
       (a fast job's worker steals the next pending job). Returns when all
       jobs have finished. If any job raises, the first exception is
-      re-raised in the caller after the remaining jobs complete. *)
+      re-raised in the caller — with the backtrace captured at the raise
+      site — after the remaining jobs complete; the raising job's worker
+      slot is released normally, so the pool stays fully reusable and no
+      exception ever escapes on a worker domain. *)
 
   val shutdown : t -> unit
   (** [shutdown pool] terminates and joins the worker domains. Only needed

@@ -85,6 +85,16 @@ solve through the embedding cache, hence the first-run cache hit:
   result    : "X??X" (energy 0, verified)
   hardware  : chimera(2,2,4): 28/32 qubits, max chain 1, breaks 0.0%, strength 4, embed tries 2 (cache hit), escalations 0
 
+Decomposition lifts the one-embedding size cap: the 84-variable
+palindrome is partitioned into clamped sub-QUBOs of at most --subsize
+variables, solved concurrently, and stitched with whole-problem
+re-pricing (same verified-result contract as every other path):
+
+  $ ../../bin/qsmt.exe gen palindrome 12 --decompose --subsize 42 --seed 1 | grep -v timing
+  constraint: generate a palindrome of length 12
+  qubo      : qubo(vars=84, interactions=42, offset=0)
+  result    : "4?0`?kk?`0?4" (energy 0, verified)
+
 Weak chains under heavy control noise degrade loudly, not silently: the
 chain strength escalates geometrically, and when breaks stay above the
 threshold the answer is flagged DEGRADED (and NOT satisfied — never a

@@ -437,6 +437,55 @@ let test_portfolio_validation () =
              { Portfolio.members = Portfolio.default_members ~seed:0; jobs = 1; budget = Some 0. }
            q))
 
+let test_portfolio_member_failure_is_typed () =
+  (* 31 variables: M_exact raises its size cap the moment it starts. The
+     crash must surface as a typed per-member failure (plus the
+     portfolio.member_failed counter) while the surviving member's race
+     completes normally. *)
+  let q = target_qubo "1011010010110100101101001011010" in
+  let t = Qsmt_util.Telemetry.collector () in
+  let r =
+    Portfolio.run
+      ~params:
+        {
+          Portfolio.members =
+            [ Portfolio.M_exact None; Portfolio.M_greedy { Greedy.seed = 1; restarts = 4; domains = 1 } ];
+          jobs = 2;
+          budget = None;
+        }
+      ~telemetry:t q
+  in
+  match r.Portfolio.reports with
+  | [ ex; gr ] ->
+    check Alcotest.string "exact first" "exact" ex.Portfolio.member_name;
+    check Alcotest.bool "exact failed with typed message" true (ex.Portfolio.failed <> None);
+    check Alcotest.bool "failed member not marked cancelled" false ex.Portfolio.cancelled;
+    check Alcotest.bool "exact samples empty" true (Sampleset.is_empty ex.Portfolio.samples);
+    check (Alcotest.option Alcotest.string) "greedy survived" None gr.Portfolio.failed;
+    check Alcotest.bool "survivor produced reads" true
+      (not (Sampleset.is_empty gr.Portfolio.samples));
+    check Alcotest.bool "merged keeps survivor reads" true
+      (not (Sampleset.is_empty r.Portfolio.merged));
+    check (Alcotest.option Alcotest.int) "member_failed counter" (Some 1)
+      (Qsmt_util.Telemetry.find_counter t "portfolio.member_failed")
+  | reps -> Alcotest.failf "expected 2 reports, got %d" (List.length reps)
+
+let test_portfolio_raising_verify_is_member_failure () =
+  (* The verify predicate is caller code; when it raises during the
+     post-run scan the member must report failure with its samples kept,
+     not abort the race. *)
+  let q = target_qubo "110100" in
+  let r =
+    Portfolio.run
+      ~params:{ Portfolio.members = [ Portfolio.M_exact None ]; jobs = 1; budget = None }
+      ~verify:(fun _ -> failwith "verifier bug") q
+  in
+  match r.Portfolio.reports with
+  | [ rep ] ->
+    check Alcotest.bool "typed failure" true (rep.Portfolio.failed <> None);
+    check Alcotest.bool "samples preserved" true (not (Sampleset.is_empty rep.Portfolio.samples))
+  | reps -> Alcotest.failf "expected 1 report, got %d" (List.length reps)
+
 let test_portfolio_sampler_integration () =
   let q = target_qubo "1101" in
   let s = Sampler.portfolio () in
@@ -1304,6 +1353,10 @@ let () =
           Alcotest.test_case "budget cuts slow member" `Quick
             test_portfolio_budget_cuts_slow_member;
           Alcotest.test_case "validation" `Quick test_portfolio_validation;
+          Alcotest.test_case "crashed member -> typed failure" `Quick
+            test_portfolio_member_failure_is_typed;
+          Alcotest.test_case "raising verify -> typed failure" `Quick
+            test_portfolio_raising_verify_is_member_failure;
           Alcotest.test_case "sampler integration" `Quick test_portfolio_sampler_integration;
         ] );
       ( "edge-cases",

@@ -1,0 +1,370 @@
+(* Tests for qbsolv-style decomposition: Qsmt_qubo.Decompose (partition
+   invariants, clamped-extraction energy identity, stitch guarantees,
+   failure tolerance) and the Sampler.decomposed wrapper (fit-in-one-
+   shard fallback bit-identity, solving past one embedding). *)
+
+module Bitvec = Qsmt_util.Bitvec
+module Prng = Qsmt_util.Prng
+module Telemetry = Qsmt_util.Telemetry
+module Qubo = Qsmt_qubo.Qubo
+module Decompose = Qsmt_qubo.Decompose
+module Sa = Qsmt_anneal.Sa
+module Sampler = Qsmt_anneal.Sampler
+module Sampleset = Qsmt_anneal.Sampleset
+module Constr = Qsmt_strtheory.Constr
+module Solver = Qsmt_strtheory.Solver
+
+let check = Alcotest.check
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Random QUBO with integer coefficients (exact float arithmetic, so
+   energy identities can be checked bit-for-bit where the contract
+   promises it). *)
+let random_qubo rng n density =
+  let b = Qubo.builder () in
+  for i = 0 to n - 1 do
+    Qubo.set b i i (float_of_int (Prng.int rng 9 - 4));
+    for j = i + 1 to n - 1 do
+      if Prng.float rng < density then Qubo.set b i j (float_of_int (Prng.int rng 9 - 4))
+    done
+  done;
+  Qubo.freeze ~num_vars:n b
+
+(* Deterministic steepest-descent shard solver: good enough proposals,
+   no PRNG, so property tests stay reproducible. *)
+let greedy_shard sub =
+  let n = Qubo.num_vars sub in
+  let x = Bitvec.create n in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 1 do
+      if Qubo.flip_delta sub x i < 0. then begin
+        Bitvec.flip x i;
+        improved := true
+      end
+    done
+  done;
+  x
+
+let qubo_gen =
+  QCheck2.Gen.(
+    map3
+      (fun seed n density -> (seed, n, density))
+      (int_bound 10_000) (int_range 1 40) (float_range 0.05 0.4))
+
+(* ------------------------------------------------------------------ *)
+(* partition *)
+
+let prop_partition_invariants (seed, n, density) =
+  let rng = Prng.create seed in
+  let q = random_qubo rng n density in
+  let subsize = 1 + Prng.int rng 12 in
+  let blocks = Decompose.partition ~subsize q in
+  let seen = Array.make n 0 in
+  List.iter
+    (fun vars ->
+      if Array.length vars > subsize then
+        QCheck2.Test.fail_reportf "block of %d > subsize %d" (Array.length vars) subsize;
+      Array.iteri
+        (fun k v ->
+          seen.(v) <- seen.(v) + 1;
+          if k > 0 && vars.(k - 1) >= v then QCheck2.Test.fail_report "block not ascending")
+        vars)
+    blocks;
+  Array.for_all (fun c -> c = 1) seen
+
+let test_partition_validation () =
+  let q = random_qubo (Prng.create 1) 4 0.5 in
+  Alcotest.check_raises "subsize 0"
+    (Invalid_argument "Decompose.partition: subsize must be >= 1") (fun () ->
+      ignore (Decompose.partition ~subsize:0 q))
+
+let test_partition_empty () =
+  let q = Qubo.freeze (Qubo.builder ()) in
+  check Alcotest.int "no blocks" 0 (List.length (Decompose.partition ~subsize:8 q))
+
+(* ------------------------------------------------------------------ *)
+(* extract *)
+
+let prop_extract_energy_identity (seed, n, density) =
+  let rng = Prng.create seed in
+  let q = random_qubo rng n density in
+  let x = Bitvec.random rng n in
+  (* a random subset as the shard *)
+  let vars =
+    Array.of_list (List.filter (fun _ -> Prng.bool rng) (List.init n (fun i -> i)))
+  in
+  let vars = if Array.length vars = 0 then [| 0 |] else vars in
+  let sub = Decompose.extract q x vars in
+  let y = Bitvec.random rng (Array.length vars) in
+  let patched = Bitvec.copy x in
+  Array.iteri (fun k v -> Bitvec.set patched v (Bitvec.get y k)) vars;
+  (* integer coefficients: both sums are exact, so equality is exact *)
+  Qubo.energy sub y = Qubo.energy q patched
+
+(* ------------------------------------------------------------------ *)
+(* solve: stitch guarantees *)
+
+let prop_stitch_never_worse_than_single_shard (seed, n, density) =
+  let rng = Prng.create seed in
+  let q = random_qubo rng n density in
+  let init = Bitvec.random rng n in
+  let subsize = 1 + Prng.int rng 12 in
+  (* record every round-1 proposal to price the single-shard candidates
+     independently of the implementation under test *)
+  let mutex = Mutex.create () in
+  let round1 = ref [] in
+  let solve_shard ~shard ~round sub =
+    let y = greedy_shard sub in
+    if round = 1 then Mutex.protect mutex (fun () -> round1 := (shard, y) :: !round1);
+    y
+  in
+  let params = { Decompose.default with Decompose.subsize; seed } in
+  let result, report = Decompose.solve ~params ~init ~solve_shard q in
+  let shards = Array.of_list report.Decompose.shards in
+  let best_single =
+    List.fold_left
+      (fun acc (k, y) ->
+        let cand = Bitvec.copy init in
+        Array.iteri
+          (fun ki v -> Bitvec.set cand v (Bitvec.get y ki))
+          shards.(k).Decompose.vars;
+        Float.min acc (Qubo.energy q cand))
+      infinity !round1
+  in
+  let repriced = Qubo.energy q result in
+  if report.Decompose.energy <> repriced then
+    QCheck2.Test.fail_report "reported energy is not the whole-problem re-pricing";
+  if (not report.Decompose.bit_exact) && report.Decompose.stitched_energy = repriced then
+    QCheck2.Test.fail_report "bit_exact inconsistent with stitched/repriced energies";
+  (* the headline guarantee: never worse than the best single-shard answer *)
+  report.Decompose.energy <= best_single
+
+let test_solve_bit_exact_on_integer_qubo () =
+  (* integer coefficients make every incremental delta exact, so the
+     stitched energy must re-price bit-for-bit *)
+  let rng = Prng.create 7 in
+  let q = random_qubo rng 36 0.2 in
+  let _, report =
+    Decompose.solve
+      ~params:{ Decompose.default with Decompose.subsize = 9; seed = 7 }
+      ~solve_shard:(fun ~shard:_ ~round:_ sub -> greedy_shard sub)
+      q
+  in
+  check Alcotest.bool "bit exact" true report.Decompose.bit_exact;
+  check (Alcotest.float 0.) "stitched = repriced" report.Decompose.stitched_energy
+    report.Decompose.energy
+
+let test_solve_tolerates_shard_failures () =
+  let rng = Prng.create 11 in
+  let q = random_qubo rng 30 0.25 in
+  let init = Bitvec.random rng 30 in
+  let solve_shard ~shard ~round:_ sub =
+    if shard = 0 then failwith "injected shard failure" else greedy_shard sub
+  in
+  let t = Telemetry.collector () in
+  let result, report =
+    Decompose.solve
+      ~params:{ Decompose.default with Decompose.subsize = 8; seed = 11 }
+      ~init ~telemetry:t ~solve_shard q
+  in
+  check Alcotest.bool "failures recorded" true (report.Decompose.shard_failures > 0);
+  check Alcotest.bool "counter matches" true
+    (Telemetry.find_counter t "decomp.shard_failed"
+    = Some report.Decompose.shard_failures);
+  (* the run still returns a stitched assignment no worse than the start *)
+  check Alcotest.bool "never above the warm start" true
+    (report.Decompose.energy <= Qubo.energy q init);
+  check (Alcotest.float 0.) "energy is re-priced" (Qubo.energy q result)
+    report.Decompose.energy
+
+let test_solve_all_shards_failing_returns_init () =
+  let rng = Prng.create 13 in
+  let q = random_qubo rng 20 0.3 in
+  let init = Bitvec.random rng 20 in
+  let result, report =
+    Decompose.solve
+      ~params:{ Decompose.default with Decompose.subsize = 5; seed = 13 }
+      ~init
+      ~solve_shard:(fun ~shard:_ ~round:_ _ -> failwith "all down")
+      q
+  in
+  check Alcotest.bool "init unchanged" true (Bitvec.equal result init);
+  check (Alcotest.float 0.) "init energy" (Qubo.energy q init) report.Decompose.energy;
+  check Alcotest.int "nothing accepted" 0 report.Decompose.accepted
+
+let test_solve_stop_returns_immediately () =
+  let rng = Prng.create 17 in
+  let q = random_qubo rng 24 0.3 in
+  let init = Bitvec.random rng 24 in
+  let calls = Atomic.make 0 in
+  let result, report =
+    Decompose.solve
+      ~params:{ Decompose.default with Decompose.subsize = 6; seed = 17 }
+      ~init
+      ~stop:(fun () -> true)
+      ~solve_shard:(fun ~shard:_ ~round:_ sub ->
+        Atomic.incr calls;
+        greedy_shard sub)
+      q
+  in
+  check Alcotest.int "no shard solved" 0 (Atomic.get calls);
+  check Alcotest.bool "init returned" true (Bitvec.equal result init);
+  check Alcotest.int "no rounds" 0 report.Decompose.rounds
+
+let test_solve_validation () =
+  let q = random_qubo (Prng.create 1) 6 0.5 in
+  let solve_shard ~shard:_ ~round:_ sub = greedy_shard sub in
+  Alcotest.check_raises "bad subsize"
+    (Invalid_argument "Decompose.solve: subsize must be >= 1") (fun () ->
+      ignore
+        (Decompose.solve ~params:{ Decompose.default with Decompose.subsize = 0 } ~solve_shard q));
+  Alcotest.check_raises "bad init"
+    (Invalid_argument "Decompose.solve: init has 3 bits, problem 6 variables") (fun () ->
+      ignore (Decompose.solve ~init:(Bitvec.create 3) ~solve_shard q))
+
+(* ------------------------------------------------------------------ *)
+(* telemetry contract *)
+
+let test_solve_telemetry_counters () =
+  let rng = Prng.create 23 in
+  let q = random_qubo rng 32 0.2 in
+  let t = Telemetry.collector () in
+  let _, report =
+    Decompose.solve
+      ~params:{ Decompose.default with Decompose.subsize = 8; seed = 23 }
+      ~telemetry:t
+      ~solve_shard:(fun ~shard:_ ~round:_ sub -> greedy_shard sub)
+      q
+  in
+  check (Alcotest.option Alcotest.int) "shards counter"
+    (Some (List.length report.Decompose.shards))
+    (Telemetry.find_counter t "decomp.shards");
+  check (Alcotest.option Alcotest.int) "rounds counter" (Some report.Decompose.rounds)
+    (Telemetry.find_counter t "decomp.rounds");
+  check (Alcotest.option Alcotest.int) "accepted counter" (Some report.Decompose.accepted)
+    (Telemetry.find_counter t "decomp.accepted");
+  let events = List.map (fun e -> e.Telemetry.ev) (Telemetry.events t) in
+  check Alcotest.bool "done event" true (List.mem "decomp.done" events);
+  check Alcotest.bool "shard events" true (List.mem "decomp.shard.done" events)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler.decomposed *)
+
+let same_sampleset a b =
+  List.length (Sampleset.entries a) = List.length (Sampleset.entries b)
+  && List.for_all2
+       (fun x y ->
+         Bitvec.equal x.Sampleset.bits y.Sampleset.bits
+         && x.Sampleset.occurrences = y.Sampleset.occurrences
+         && x.Sampleset.energy = y.Sampleset.energy)
+       (Sampleset.entries a) (Sampleset.entries b)
+
+let sa_sampler seed =
+  Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed; reads = 8; sweeps = 200 } ()
+
+let test_sampler_fallback_is_bit_identical () =
+  (* Table-1 sized problems fit one shard: --decompose must be a no-op
+     down to the exact sample set, with only the fallback counter as a
+     trace. Fixed seeds; both paths share the same PRNG streams. *)
+  let table1 =
+    [
+      Constr.Reverse "hello";
+      Constr.Palindrome { length = 6 };
+      Constr.Concat [ "hello"; " "; "world" ];
+    ]
+  in
+  List.iter
+    (fun constr ->
+      let q = Qsmt_strtheory.Compile.to_qubo constr in
+      let t = Telemetry.collector () in
+      let plain = Sampler.run (sa_sampler 42) q in
+      let wrapped =
+        Sampler.run ~telemetry:t
+          (Sampler.decomposed
+             ~params:{ Decompose.default with Decompose.subsize = Qubo.num_vars q }
+             (sa_sampler 42))
+          q
+      in
+      check Alcotest.bool
+        (Printf.sprintf "bit-identical samples (%s)" (Constr.describe constr))
+        true (same_sampleset plain wrapped);
+      check (Alcotest.option Alcotest.int) "fallback counted" (Some 1)
+        (Telemetry.find_counter t "decomp.fallback"))
+    table1
+
+let test_sampler_with_seed_reseeds_decomposed () =
+  let q = Qsmt_strtheory.Compile.to_qubo (Constr.Palindrome { length = 6 }) in
+  let s = Sampler.decomposed (sa_sampler 0) in
+  check Alcotest.string "name" "sa+decompose" (Sampler.name s);
+  let a = Sampler.run (Sampler.with_seed s 5) q in
+  let b = Sampler.run (Sampler.with_seed s 5) q in
+  check Alcotest.bool "reseeded runs are reproducible" true (same_sampleset a b)
+
+let test_solver_palindrome24_decomposed () =
+  (* The acceptance instance: palindrome length 24 -> 168 logical
+     variables, 4x the largest single embedding the BENCH_3 suite uses
+     (palindrome-6, 42 variables). Decomposition must solve it and the
+     stitched energy must re-price bit-exactly (dyadic coefficients). *)
+  let t = Telemetry.collector () in
+  let sampler =
+    Sampler.decomposed
+      ~params:{ Decompose.default with Decompose.subsize = 42; seed = 1 }
+      (Sampler.simulated_annealing ~params:{ Sa.default with Sa.seed = 1 } ())
+  in
+  let outcome = Solver.solve ~sampler ~telemetry:t (Constr.Palindrome { length = 24 }) in
+  check Alcotest.bool "satisfied" true outcome.Solver.satisfied;
+  check (Alcotest.float 0.) "ground energy" 0. outcome.Solver.energy;
+  (match outcome.Solver.value with
+  | Constr.Str s ->
+    check Alcotest.int "length 24" 24 (String.length s);
+    check Alcotest.bool "palindrome" true
+      (String.equal s (String.init 24 (fun i -> s.[23 - i])))
+  | _ -> Alcotest.fail "expected a string value");
+  (match Telemetry.find_counter t "decomp.shards" with
+  | Some shards -> check Alcotest.bool "actually decomposed (>= 4 shards)" true (shards >= 4)
+  | None -> Alcotest.fail "no decomp.shards counter");
+  check (Alcotest.option Alcotest.int) "stitched energy re-priced bit-exactly" None
+    (Telemetry.find_counter t "decomp.reprice_mismatch")
+
+let () =
+  Alcotest.run "qsmt-decompose"
+    [
+      ( "partition",
+        [
+          qtest "every variable in exactly one <= subsize ascending block" qubo_gen
+            prop_partition_invariants;
+          Alcotest.test_case "validation" `Quick test_partition_validation;
+          Alcotest.test_case "empty QUBO" `Quick test_partition_empty;
+        ] );
+      ( "extract",
+        [
+          qtest "clamped sub-energy = whole-problem energy" qubo_gen
+            prop_extract_energy_identity;
+        ] );
+      ( "solve",
+        [
+          qtest "never worse than best single-shard answer" qubo_gen
+            prop_stitch_never_worse_than_single_shard;
+          Alcotest.test_case "bit-exact stitching" `Quick test_solve_bit_exact_on_integer_qubo;
+          Alcotest.test_case "tolerates shard failures" `Quick
+            test_solve_tolerates_shard_failures;
+          Alcotest.test_case "all shards failing returns init" `Quick
+            test_solve_all_shards_failing_returns_init;
+          Alcotest.test_case "stop returns immediately" `Quick
+            test_solve_stop_returns_immediately;
+          Alcotest.test_case "validation" `Quick test_solve_validation;
+          Alcotest.test_case "telemetry contract" `Quick test_solve_telemetry_counters;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "fitting problems fall back bit-identically" `Quick
+            test_sampler_fallback_is_bit_identical;
+          Alcotest.test_case "with_seed reseeds" `Quick test_sampler_with_seed_reseeds_decomposed;
+          Alcotest.test_case "palindrome-24 through the solver" `Slow
+            test_solver_palindrome24_decomposed;
+        ] );
+    ]

@@ -90,6 +90,22 @@ let test_analyze_coefficient_quantum () =
   check Alcotest.int "dyadic values clean" 0
     (List.length (Analyze.check_coefficient_quantum (Qubo.freeze b2)))
 
+let test_analyze_empty_and_single_var () =
+  (* The degenerate shapes must flow through every structural check
+     totally: the coefficient-quantum check used to reach an
+     [assert false] when its offender counter and example list could
+     drift apart. *)
+  let empty = Qubo.freeze (Qubo.builder ()) in
+  check (Alcotest.list Alcotest.string) "empty QUBO -> no findings" []
+    (List.map (fun f -> f.Analyze.check) (Analyze.structural empty));
+  let b = Qubo.builder () in
+  Qubo.set b 0 0 (-1.);
+  check Alcotest.int "1-var QUBO -> no errors" 0 (errors (Analyze.structural (Qubo.freeze b)));
+  let b2 = Qubo.builder () in
+  Qubo.set b2 0 0 0.1;
+  check Alcotest.bool "single non-dyadic offender still reported" true
+    (has_check "coefficient-quantum" (Analyze.structural (Qubo.freeze b2)))
+
 let test_analyze_dead_and_connectivity () =
   let b = Qubo.builder () in
   Qubo.set b 0 1 1.;
@@ -308,6 +324,7 @@ let () =
           Alcotest.test_case "non-finite" `Quick test_analyze_finite;
           Alcotest.test_case "dynamic range" `Quick test_analyze_dynamic_range;
           Alcotest.test_case "coefficient quantum" `Quick test_analyze_coefficient_quantum;
+          Alcotest.test_case "empty and 1-var QUBOs" `Quick test_analyze_empty_and_single_var;
           Alcotest.test_case "dead vars + connectivity" `Quick test_analyze_dead_and_connectivity;
           Alcotest.test_case "enumerate small" `Quick test_analyze_enumerate_small;
           Alcotest.test_case "enumerate cap" `Quick test_analyze_enumerate_respects_cap;

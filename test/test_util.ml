@@ -375,6 +375,27 @@ let test_pool_reraises_job_exception () =
            false
          with Failure msg -> msg = "boom"))
 
+let test_pool_reusable_after_job_exception () =
+  (* A raising job must release its worker slot: later batches still run
+     on the full pool, and the re-raised exception is the job's own (not
+     a pool-internal abort). *)
+  let pool = Parallel.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      for _ = 1 to 3 do
+        try Parallel.Pool.run_list pool [ (fun () -> failwith "boom"); (fun () -> ()) ]
+        with Failure _ -> ()
+      done;
+      let hits = Atomic.make 0 in
+      Parallel.Pool.run_list pool (List.init 20 (fun _ () -> Atomic.incr hits));
+      check Alcotest.int "full batch after raising batches" 20 (Atomic.get hits);
+      check Alcotest.bool "original exception identity" true
+        (try
+           Parallel.Pool.run_list pool [ (fun () -> raise Exit) ];
+           false
+         with Exit -> true))
+
 let test_pool_zero_workers_degrades () =
   (* A 0-worker pool (single-core hosts) runs everything on the caller. *)
   let pool = Parallel.Pool.create 0 in
@@ -505,6 +526,8 @@ let () =
           Alcotest.test_case "partition covers range" `Quick test_partition_covers;
           Alcotest.test_case "pool runs all jobs" `Quick test_pool_runs_all_jobs;
           Alcotest.test_case "pool re-raises exceptions" `Quick test_pool_reraises_job_exception;
+          Alcotest.test_case "pool reusable after exception" `Quick
+            test_pool_reusable_after_job_exception;
           Alcotest.test_case "pool with zero workers" `Quick test_pool_zero_workers_degrades;
           Alcotest.test_case "pool nested run_list" `Quick test_pool_nested_run_list;
         ] );
