@@ -393,6 +393,8 @@ type packed_row = {
   packed_rs : float;  (* replica-sweeps/sec, one Multispin state *)
   sampler_scalar_s : float;
   sampler_packed_s : float;
+  p_minor_words : float; (* GC pressure over the whole instance measurement *)
+  p_major_collections : int;
 }
 
 let packed_json_out rows path =
@@ -421,7 +423,9 @@ let packed_json_out rows path =
       p "        \"scalar_64_reads_s\": %.6f,\n" r.sampler_scalar_s;
       p "        \"packed_64_reads_s\": %.6f,\n" r.sampler_packed_s;
       p "        \"speedup\": %.2f\n" (r.sampler_scalar_s /. r.sampler_packed_s);
-      p "      }\n";
+      p "      },\n";
+      p "      \"gc\": { \"minor_words\": %.0f, \"major_collections\": %d }\n" r.p_minor_words
+        r.p_major_collections;
       p "    }%s\n" (if k = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n";
@@ -470,6 +474,8 @@ type row = {
   naive_ps : float;
   fields_ps : float;
   samplers : (string * float * float) list;
+  minor_words : float; (* GC pressure over the whole instance measurement *)
+  major_collections : int;
 }
 
 let json_out rows path =
@@ -500,7 +506,9 @@ let json_out rows path =
             s naive_t new_t (naive_t /. new_t)
             (if j = List.length r.samplers - 1 then "" else ","))
         r.samplers;
-      p "      }\n";
+      p "      },\n";
+      p "      \"gc\": { \"minor_words\": %.0f, \"major_collections\": %d }\n" r.minor_words
+        r.major_collections;
       p "    }%s\n" (if k = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n";
@@ -520,16 +528,24 @@ let () =
         let density = float_of_int nnz /. (float_of_int (n * (n - 1)) /. 2.) in
         Format.printf "@.instance %s: n=%d couplers=%d density=%.1f%%@." name n nnz
           (100. *. density);
+        (* GC pressure across the whole instance measurement; quick_stat
+           is domain-local, which is exact here (single-domain bench). *)
+        let g0 = Gc.quick_stat () in
         let naive_ps, fields_ps = kernel_throughput ising in
         Format.printf "  kernel: naive %.2fM props/s, fields %.2fM props/s, speedup %.2fx@."
           (naive_ps /. 1e6) (fields_ps /. 1e6) (fields_ps /. naive_ps);
         let samplers = sampler_times q ising in
+        let g1 = Gc.quick_stat () in
+        let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+        let major_collections = g1.Gc.major_collections - g0.Gc.major_collections in
         List.iter
           (fun (s, naive_t, new_t) ->
             Format.printf "  %-7s naive %8.2fms  new %8.2fms  speedup %5.2fx@." s (1e3 *. naive_t)
               (1e3 *. new_t) (naive_t /. new_t))
           samplers;
-        { name; n; nnz; density; naive_ps; fields_ps; samplers })
+        Format.printf "  gc: %.1fM minor words, %d major collections@." (minor_words /. 1e6)
+          major_collections;
+        { name; n; nnz; density; naive_ps; fields_ps; samplers; minor_words; major_collections })
       instances
   in
   json_out rows "BENCH_2.json";
@@ -562,8 +578,10 @@ let () =
     List.map
       (fun (name, q) ->
         let ising = Ising.of_qubo q in
+        let g0 = Gc.quick_stat () in
         let beta, scalar_rs, packed_rs = multispin_kernel_throughput ising in
         let sampler_scalar_s, sampler_packed_s = multispin_sampler_times q in
+        let g1 = Gc.quick_stat () in
         Format.printf
           "  %-18s beta=%-6.2f scalar %7.0f rsweeps/s  packed %7.0f rsweeps/s  speedup %5.2fx  \
            (sampler %.2fx)@."
@@ -578,6 +596,8 @@ let () =
           packed_rs;
           sampler_scalar_s;
           sampler_packed_s;
+          p_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          p_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
         })
       instances
   in

@@ -117,6 +117,19 @@ let time_it f =
   let result = f () in
   (result, now () -. t0)
 
+(* Wall-clock plus GC-pressure columns: minor words allocated and major
+   collections forced while [f] ran. [Gc.quick_stat] is domain-local on
+   OCaml 5, so for multi-domain sections the numbers are the
+   coordinating domain's share — a pressure signal, not a full ledger. *)
+let time_gc_it f =
+  let g0 = Gc.quick_stat () in
+  let result, dt = time_it f in
+  let g1 = Gc.quick_stat () in
+  ( result,
+    dt,
+    g1.Gc.minor_words -. g0.Gc.minor_words,
+    g1.Gc.major_collections - g0.Gc.major_collections )
+
 (* ================================================================== *)
 (* Table 1 *)
 
@@ -228,17 +241,20 @@ let figure1 () =
       Constr.Includes { haystack = "hello world"; needle = "world" };
     ]
   in
-  Format.printf "%-55s %6s %10s %10s %10s  %s@." "constraint" "vars" "encode" "anneal" "decode"
-    "output";
+  Format.printf "%-55s %6s %10s %10s %10s %9s %6s  %s@." "constraint" "vars" "encode" "anneal"
+    "decode" "alloc" "majgc" "output";
   List.iter
     (fun constr ->
-      let outcome, timing = Solver.solve_timed ~sampler:(sa_sampler ~seed:1) ~telemetry constr in
-      Format.printf "%-55s %6d %8.1fus %8.1fms %8.1fus  %a@." (Constr.describe constr)
+      let (outcome, timing), _, minor_words, major_gcs =
+        time_gc_it (fun () -> Solver.solve_timed ~sampler:(sa_sampler ~seed:1) ~telemetry constr)
+      in
+      Format.printf "%-55s %6d %8.1fus %8.1fms %8.1fus %7.1fMw %6d  %a@."
+        (Constr.describe constr)
         (Qubo.num_vars outcome.Solver.qubo)
         (1e6 *. timing.Solver.encode_s)
         (1e3 *. timing.Solver.sample_s)
         (1e6 *. timing.Solver.decode_s)
-        pp_val outcome.Solver.value)
+        (minor_words /. 1e6) major_gcs pp_val outcome.Solver.value)
     cases
 
 (* ================================================================== *)

@@ -179,8 +179,27 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ]
         ~doc:
-          "Print a telemetry summary (span totals, counters, histograms, time-to-solution) after \
-           solving. Works with or without $(b,--trace).")
+          "Print a telemetry summary (span totals, counters, gauges, histograms, \
+           time-to-solution) after solving. Works with or without $(b,--trace).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics snapshot (counters, gauges, histograms with p50/p90/p99 \
+           quantiles, span totals) to $(docv) in Prometheus text exposition format. Works with \
+           or without $(b,--trace).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a one-line status to stderr every half second while solving (phase, reads, \
+           sweeps, best energy so far, pool utilization), read from the telemetry snapshot \
+           without perturbing the trace. Interval override: QSMT_PROGRESS_INTERVAL_S.")
 
 (* --param KEY=VALUE, repeatable. Each assignment is validated through
    Params.validate at parse time, so `--param soft=inf` dies as a CLI
@@ -263,13 +282,18 @@ let print_metrics ?tts t =
     Format.printf "metrics   : counters@.";
     List.iter (fun (name, v) -> Format.printf "  %-26s %6d@." name v) counters
   end;
+  let gauges = Telemetry.gauges t in
+  if gauges <> [] then begin
+    Format.printf "metrics   : gauges@.";
+    List.iter (fun (name, v) -> Format.printf "  %-26s %10.4g@." name v) gauges
+  end;
   let hists = Telemetry.histograms t in
   if hists <> [] then begin
-    Format.printf "metrics   : histograms (count, min, mean, max)@.";
+    Format.printf "metrics   : histograms (count, min, p50, mean, max)@.";
     List.iter
       (fun (name, h) ->
-        Format.printf "  %-26s %6d %10.4g %10.4g %10.4g@." name h.Telemetry.h_count
-          h.Telemetry.h_min h.Telemetry.h_mean h.Telemetry.h_max)
+        Format.printf "  %-26s %6d %10.4g %10.4g %10.4g %10.4g@." name h.Telemetry.h_count
+          h.Telemetry.h_min h.Telemetry.h_p50 h.Telemetry.h_mean h.Telemetry.h_max)
       hists
   end;
   match tts with
@@ -280,19 +304,96 @@ let print_metrics ?tts t =
     Format.printf "  time_per_read              %8.3fms@." (1e3 *. time_per_read);
     Format.printf "  tts(99%%)                   %10s@." (Format.asprintf "%a" Metrics.pp_tts tts)
 
-(* Threads a telemetry handle matching --trace/--metrics through [f]:
-   JSONL writer when tracing (flushed with counter/histogram summaries on
-   the way out), aggregate-only when only --metrics asked, {!Telemetry.null}
+(* ------------------------------------------------------------------ *)
+(* Live progress reporter *)
+
+let progress_interval () =
+  match Option.bind (Sys.getenv_opt "QSMT_PROGRESS_INTERVAL_S") float_of_string_opt with
+  | Some x when x > 0. -> x
+  | _ -> 0.5
+
+(* One status line from a snapshot: current phase (innermost open span),
+   reads/sweeps so far (summed over the per-sampler counters), best
+   energy seen (min over the *.read_energy histograms — sets are sorted
+   so this is the best sampled read), and pool utilization. *)
+let progress_line ?(final = false) snap =
+  let counter_sum suffix =
+    List.fold_left
+      (fun acc (name, n) -> if String.ends_with ~suffix name then acc + n else acc)
+      0 snap.Telemetry.snap_counters
+  in
+  let best =
+    List.fold_left
+      (fun acc (name, h) ->
+        if String.ends_with ~suffix:".read_energy" name && h.Telemetry.h_count > 0 then
+          Some (match acc with Some b -> Float.min b h.Telemetry.h_min | None -> h.Telemetry.h_min)
+        else acc)
+      None snap.Telemetry.snap_hists
+  in
+  let pool = List.assoc_opt "pool.utilization" snap.Telemetry.snap_gauges in
+  let phase =
+    match snap.Telemetry.snap_phase with
+    | Some p -> p
+    | None -> if final then "done" else "idle"
+  in
+  Printf.sprintf "[progress] t=%.1fs phase=%s reads=%d sweeps=%d best=%s pool=%s"
+    snap.Telemetry.snap_elapsed_s phase (counter_sum ".reads") (counter_sum ".sweeps")
+    (match best with Some e -> Printf.sprintf "%g" e | None -> "-")
+    (match pool with Some u -> Printf.sprintf "%.2f" u | None -> "-")
+
+(* The reporter runs on its own domain and only ever reads snapshots
+   (one lock acquisition each), so it observes the solve without
+   perturbing the trace: no events, no counters, no PRNG draws. A final
+   line is always printed so short solves still report. *)
+let with_progress enabled t f =
+  if not enabled then f ()
+  else begin
+    let stop = Atomic.make false in
+    let ticker =
+      Domain.spawn (fun () ->
+          let interval = progress_interval () in
+          let rec loop since =
+            if not (Atomic.get stop) then begin
+              (* sleep in short slices so stopping never waits a full interval *)
+              Unix.sleepf (Float.min 0.05 interval);
+              let since = since +. Float.min 0.05 interval in
+              if since >= interval then begin
+                prerr_endline (progress_line (Telemetry.snapshot t));
+                loop 0.
+              end
+              else loop since
+            end
+          in
+          loop 0.)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join ticker;
+        prerr_endline (progress_line ~final:true (Telemetry.snapshot t)))
+      f
+  end
+
+(* Threads a telemetry handle matching --trace/--metrics/--metrics-out/
+   --progress through [f]: JSONL writer when tracing (flushed with
+   counter/gauge/histogram summaries on the way out), aggregate-only
+   when any of the other switches need live aggregates, {!Telemetry.null}
    otherwise. [tts_of] derives the summary's TTS row from f's result. *)
-let with_telemetry ~trace ~metrics ?tts_of f =
+let with_telemetry ~trace ~metrics ?(metrics_out = None) ?(progress = false) ?tts_of f =
   let summarize t r =
     if metrics then
       print_metrics ?tts:(match tts_of with None -> None | Some g -> g r) t;
+    (match metrics_out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Telemetry.expose_text (Telemetry.snapshot t)))
+    | None -> ());
     r
   in
+  let f t = with_progress progress t (fun () -> f t) in
   match trace with
   | Some path -> Telemetry.with_jsonl path (fun t -> summarize t (f t))
-  | None when metrics ->
+  | None when metrics || metrics_out <> None || progress ->
     let t = Telemetry.aggregate_only () in
     summarize t (f t)
   | None -> f Telemetry.null
@@ -485,7 +586,7 @@ let gen_tts (outcome, timing) =
 
 let gen_action op args sampler_kind seed reads sweeps domains packed jobs budget topology
     topology_size chain_strength noise decompose subsize show_matrix param_assigns lint_level
-    trace metrics =
+    trace metrics metrics_out =
   let params = params_of_assignments param_assigns in
   match constraint_of_op op args with
   | Error (`Msg m) ->
@@ -517,7 +618,7 @@ let gen_action op args sampler_kind seed reads sweeps domains packed jobs budget
             ~topology_size ~chain_strength ~noise ~packed ~decompose ~subsize
         in
         let result =
-          with_telemetry ~trace ~metrics
+          with_telemetry ~trace ~metrics ~metrics_out
             ~tts_of:(function Ok r -> gen_tts r | Error _ -> None)
             (fun telemetry ->
               match Solver.solve_timed ?params ~sampler ~lint:lint_level ~telemetry constr with
@@ -560,7 +661,7 @@ let gen_cmd =
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
       $ domains_arg $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
       $ chain_strength_arg $ noise_arg $ decompose_arg $ subsize_arg $ show_matrix $ param_arg
-      $ lint_level_arg $ trace_arg $ metrics_arg)
+      $ lint_level_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -868,13 +969,13 @@ let matrix_cmd =
 (* run *)
 
 let run_action path sampler_kind seed reads sweeps domains packed jobs budget topology
-    topology_size chain_strength noise decompose subsize trace metrics =
+    topology_size chain_strength noise decompose subsize trace metrics metrics_out progress =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
   let result =
-    with_telemetry ~trace ~metrics (fun telemetry ->
+    with_telemetry ~trace ~metrics ~metrics_out ~progress (fun telemetry ->
         match sampler_kind with
         | `Classical -> Interp.run_string ~backend:(classical_backend ()) ~telemetry source
         | _ ->
@@ -901,7 +1002,8 @@ let run_cmd =
     Term.(
       const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
       $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
-      $ noise_arg $ decompose_arg $ subsize_arg $ trace_arg $ metrics_arg)
+      $ noise_arg $ decompose_arg $ subsize_arg $ trace_arg $ metrics_arg $ metrics_out_arg
+      $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl *)
@@ -1081,11 +1183,22 @@ let export_cmd =
 (* ------------------------------------------------------------------ *)
 (* trace *)
 
-let trace_action path =
+let trace_action path chrome =
   match Telemetry.validate_jsonl_file path with
-  | Ok n ->
-    Format.printf "%s: %d events, well-formed JSONL, monotone timestamps@." path n;
-    0
+  | Ok n -> begin
+    Format.printf "%s: %d events, well-formed JSONL, monotone timestamps, balanced spans@." path n;
+    match chrome with
+    | None -> 0
+    | Some dst -> begin
+      match Telemetry.export_chrome_file ~src:path ~dst with
+      | Ok events ->
+        Format.printf "%s: %d trace events (Chrome trace-event format)@." dst events;
+        0
+      | Error msg ->
+        prerr_endline ("qsmt: chrome export failed: " ^ msg);
+        2
+    end
+  end
   | Error msg ->
     prerr_endline ("qsmt: invalid trace: " ^ msg);
     2
@@ -1100,17 +1213,65 @@ let trace_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace).")
   in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"OUT"
+          ~doc:
+            "After validating, also convert the trace to Chrome trace-event JSON at $(docv) — \
+             loadable in Perfetto (ui.perfetto.dev) or chrome://tracing; spans become nested \
+             slices, overlapping spans (portfolio members, decomposer shards) get their own \
+             lanes.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Validate a telemetry trace: every line a JSON object with an event name and timestamp, \
-          timestamps non-decreasing. Exits 0 and prints the event count on success."
+          timestamps non-decreasing, span begin/end stream balanced and properly nested. Exits 0 \
+          and prints the event count on success."
        ~man:
          [
            `S Manpage.s_examples;
            `P "qsmt gen reverse hello --trace t.jsonl && qsmt trace t.jsonl";
+           `P "qsmt trace t.jsonl --chrome t.chrome.json";
          ])
-    Term.(const trace_action $ path)
+    Term.(const trace_action $ path $ chrome)
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let metrics_action path =
+  match Telemetry.snapshot_of_jsonl_file path with
+  | Ok snap ->
+    print_string (Telemetry.expose_text snap);
+    0
+  | Error msg ->
+    prerr_endline ("qsmt: invalid trace: " ^ msg);
+    2
+  | exception Sys_error msg ->
+    prerr_endline ("qsmt: " ^ msg);
+    2
+
+let metrics_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Replay a JSONL telemetry trace and print its metrics (counters, gauges, histograms \
+          with p50/p90/p99 quantiles, span totals) in Prometheus text exposition format — the \
+          same dump $(b,--metrics-out) writes live."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "qsmt gen reverse hello --trace t.jsonl && qsmt metrics t.jsonl";
+         ])
+    Term.(const metrics_action $ path)
 
 (* ------------------------------------------------------------------ *)
 (* samplers *)
@@ -1141,6 +1302,16 @@ let main_cmd =
   Cmd.group
     (Cmd.info "qsmt" ~version:"1.0.0"
        ~doc:"Quantum-annealing SMT solver for the theory of strings (QUBO formulations).")
-    [ run_cmd; repl_cmd; gen_cmd; lint_cmd; matrix_cmd; export_cmd; trace_cmd; samplers_cmd ]
+    [
+      run_cmd;
+      repl_cmd;
+      gen_cmd;
+      lint_cmd;
+      matrix_cmd;
+      export_cmd;
+      trace_cmd;
+      metrics_cmd;
+      samplers_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -69,6 +69,6 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
         Some (bits, Fields.energy fields)
       end
     in
-    let samples = Parallel.init_array ~domains:params.domains params.restarts run in
+    let samples = Parallel.init_array ~telemetry ~domains:params.domains params.restarts run in
     Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

@@ -199,7 +199,7 @@ let run ?(params = default) ?init ?verify ?(telemetry = Telemetry.null) q =
         done)
       (Parallel.partition n jobs)
   in
-  Parallel.Pool.run_list (Parallel.Pool.global ()) chains;
+  Parallel.Pool.run_list ~telemetry (Parallel.Pool.global ()) chains;
   (* [run_one] is total, so every slot should be filled; if a worker job
      nevertheless died before reaching member [k] (a pool-level failure,
      not a member exception), the member surfaces as a typed per-member

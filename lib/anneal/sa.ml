@@ -2,6 +2,7 @@ module Bitvec = Qsmt_util.Bitvec
 module Prng = Qsmt_util.Prng
 module Parallel = Qsmt_util.Parallel
 module Telemetry = Qsmt_util.Telemetry
+module Mclock = Qsmt_util.Mclock
 module Qubo = Qsmt_qubo.Qubo
 module Ising = Qsmt_qubo.Ising
 module Fields = Qsmt_qubo.Fields
@@ -90,6 +91,18 @@ let descend_fields fields =
    preserving the curve's shape. Shared by every sweep-loop sampler. *)
 let sweep_stride sweeps = max 1 (sweeps / 32)
 
+(* Post-run throughput gauges shared by the sweep-loop samplers:
+   [<name>.sweeps_per_s] and [<name>.flips_per_s] (flips = attempted
+   Metropolis proposals, sweeps × spins — the same convention the flip
+   throughput bench uses). Nominal sweep counts: an early-exited read is
+   charged its full budget, which overstates throughput by at most the
+   truncated tail. *)
+let throughput_gauges telemetry ~name ~sweeps_done ~flips_done ~dt =
+  if dt > 0. && sweeps_done > 0. then begin
+    Telemetry.gauge telemetry (name ^ ".sweeps_per_s") (sweeps_done /. dt);
+    Telemetry.gauge telemetry (name ^ ".flips_per_s") (flips_done /. dt)
+  end
+
 let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null) q =
   if params.reads < 1 then invalid_arg "Sa.sample: reads < 1";
   if params.sweeps < 1 then invalid_arg "Sa.sample: sweeps < 1";
@@ -144,13 +157,23 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
         let spins = Fields.spins fields in
         if tracked then begin
           Telemetry.count telemetry "sa.reads" 1;
+          Telemetry.count telemetry "sa.sweeps" sweeps;
           Telemetry.observe telemetry "sa.read_energy" (Fields.energy fields)
         end;
         (match on_read with Some f -> f spins | None -> ());
         Some (spins, Fields.energy fields)
       end
     in
-    let samples = Parallel.init_array ~domains:params.domains params.reads run_read in
+    let t0 = if tracked then Mclock.now () else 0. in
+    let samples = Parallel.init_array ~telemetry ~domains:params.domains params.reads run_read in
+    if tracked then begin
+      let done_reads =
+        Array.fold_left (fun a s -> match s with Some _ -> a + 1 | None -> a) 0 samples
+      in
+      let sweeps_done = float_of_int (done_reads * sweeps) in
+      throughput_gauges telemetry ~name:"sa" ~sweeps_done
+        ~flips_done:(sweeps_done *. float_of_int n) ~dt:(Mclock.now () -. t0)
+    end;
     Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end
 
@@ -262,12 +285,23 @@ let run_packed ?(params = default) ?(mode = Bucketed) ?init ?stop ?on_read
         in
         if tracked then begin
           Telemetry.count telemetry "sa.reads" lanes;
+          (* lane-sweeps, so packed and scalar throughput are comparable *)
+          Telemetry.count telemetry "sa.sweeps" (sweeps * lanes);
           Array.iter (fun (_, e) -> Telemetry.observe telemetry "sa.read_energy" e) out
         end;
         Some out
       end
     in
-    let packed = Parallel.init_array ~domains:params.domains groups run_group in
+    let t0 = if tracked then Mclock.now () else 0. in
+    let packed = Parallel.init_array ~telemetry ~domains:params.domains groups run_group in
+    if tracked then begin
+      let done_lanes =
+        Array.fold_left (fun a g -> match g with Some o -> a + Array.length o | None -> a) 0 packed
+      in
+      let sweeps_done = float_of_int (done_lanes * sweeps) in
+      throughput_gauges telemetry ~name:"sa" ~sweeps_done
+        ~flips_done:(sweeps_done *. float_of_int n) ~dt:(Mclock.now () -. t0)
+    end;
     Sampleset.of_tracked q
       (List.concat_map
          (function None -> [] | Some a -> Array.to_list a)

@@ -29,6 +29,18 @@ val sweep_stride : int -> int
     (plus the final sweep), so traces stay proportional to reads, not to
     reads × sweeps. *)
 
+val throughput_gauges :
+  Qsmt_util.Telemetry.t ->
+  name:string ->
+  sweeps_done:float ->
+  flips_done:float ->
+  dt:float ->
+  unit
+(** Sets the [<name>.sweeps_per_s] and [<name>.flips_per_s] gauges every
+    sweep-loop sampler publishes after its reads complete (flips =
+    attempted Metropolis proposals, sweeps × spins). No-op when [dt] or
+    [sweeps_done] is zero. *)
+
 val sample :
   ?params:params ->
   ?init:Qsmt_util.Bitvec.t ->

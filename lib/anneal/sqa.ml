@@ -285,12 +285,24 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
         in
         if tracked then begin
           Telemetry.count telemetry "sqa.reads" 1;
+          Telemetry.count telemetry "sqa.sweeps" params.sweeps;
           Telemetry.observe telemetry "sqa.read_energy" e
         end;
         (match on_read with Some f -> f bits | None -> ());
         Some sample
       end
     in
-    let samples = Parallel.init_array ~domains:params.domains params.reads run in
+    let t0 = if tracked then Qsmt_util.Mclock.now () else 0. in
+    let samples = Parallel.init_array ~telemetry ~domains:params.domains params.reads run in
+    if tracked then begin
+      let done_reads =
+        Array.fold_left (fun a s -> match s with Some _ -> a + 1 | None -> a) 0 samples
+      in
+      let sweeps_done = float_of_int (done_reads * params.sweeps) in
+      (* one SQA sweep proposes a flip per spin per Trotter slice *)
+      Sa.throughput_gauges telemetry ~name:"sqa" ~sweeps_done
+        ~flips_done:(sweeps_done *. float_of_int (n * params.trotter))
+        ~dt:(Qsmt_util.Mclock.now () -. t0)
+    end;
     Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

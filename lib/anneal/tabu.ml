@@ -115,12 +115,25 @@ let sample ?(params = default) ?init ?stop ?on_read ?(telemetry = Telemetry.null
         in
         if tracked then begin
           Telemetry.count telemetry "tabu.reads" 1;
+          Telemetry.count telemetry "tabu.sweeps" params.iterations;
           Telemetry.observe telemetry "tabu.read_energy" e
         end;
         (match on_read with Some f -> f bits | None -> ());
         Some sample
       end
     in
-    let samples = Parallel.init_array ~domains:params.domains params.restarts run in
+    let t0 = if tracked then Qsmt_util.Mclock.now () else 0. in
+    let samples = Parallel.init_array ~telemetry ~domains:params.domains params.restarts run in
+    if tracked then begin
+      let done_reads =
+        Array.fold_left (fun a s -> match s with Some _ -> a + 1 | None -> a) 0 samples
+      in
+      (* a tabu iteration scans all n candidate moves and flips one, so
+         an iteration is the analogue of one sweep of proposals *)
+      let sweeps_done = float_of_int (done_reads * params.iterations) in
+      Sa.throughput_gauges telemetry ~name:"tabu" ~sweeps_done
+        ~flips_done:(sweeps_done *. float_of_int n)
+        ~dt:(Qsmt_util.Mclock.now () -. t0)
+    end;
     Sampleset.of_tracked q (List.filter_map Fun.id (Array.to_list samples))
   end

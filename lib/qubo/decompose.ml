@@ -214,7 +214,7 @@ let solve ?(params = default) ?init ?(stop = fun () -> false)
         end
       done
     in
-    Parallel.Pool.run_list (Parallel.Pool.global ())
+    Parallel.Pool.run_list ~telemetry (Parallel.Pool.global ())
       (List.map work (Parallel.partition num_shards jobs));
     (* Sequential stitch: apply a proposal's flips, accept on strict
        improvement of the tracked energy, revert bit-for-bit otherwise. *)

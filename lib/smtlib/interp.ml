@@ -194,7 +194,7 @@ let exec st command =
     | Ast.Check_sat ->
       Ok
         (Telemetry.with_span st.telemetry "smtlib.check_sat" (fun span ->
-             let lines = check_sat st in
+             let lines = Telemetry.with_gc_probe st.telemetry ~span (fun () -> check_sat st) in
              (match lines with
              | [ verdict ] ->
                Telemetry.emit st.telemetry ~span "smtlib.verdict"
@@ -221,7 +221,9 @@ let exec st command =
         (fun () ->
           Ok
             (Telemetry.with_span st.telemetry "smtlib.check_sat_assuming" (fun span ->
-                 let lines = check_sat st in
+                 let lines =
+                   Telemetry.with_gc_probe st.telemetry ~span (fun () -> check_sat st)
+                 in
                  (match lines with
                  | [ verdict ] ->
                    Telemetry.emit st.telemetry ~span "smtlib.verdict"

@@ -72,6 +72,10 @@ let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telem
     ok
   in
   let solve_span = Telemetry.span telemetry "solve" in
+  (* GC pressure probe for the whole solve span: encode + sample +
+     decode dominate this process's allocation, and the delta lands in
+     gc.* counters/histograms plus one gc.delta event on the span. *)
+  Telemetry.with_gc_probe telemetry ~span:solve_span @@ fun () ->
   let t0 = now () in
   let qubo =
     Telemetry.with_span telemetry ~parent:solve_span "encode" (fun _ ->
@@ -129,7 +133,7 @@ let solve ?params ?sampler ?lint ?lint_config ?telemetry constr =
 let solve_batch ?params ?sampler ?lint ?lint_config ?telemetry ?(jobs = 0) constrs =
   let jobs = if jobs > 0 then jobs else Parallel.recommended_domains () in
   let constrs = Array.of_list constrs in
-  Array.to_list (Parallel.init_array ~domains:jobs (Array.length constrs) (fun i ->
+  Array.to_list (Parallel.init_array ?telemetry ~domains:jobs (Array.length constrs) (fun i ->
       solve_timed ?params ?sampler ?lint ?lint_config ?telemetry constrs.(i)))
 
 type pipeline_error = {

@@ -109,7 +109,7 @@ module Pool = struct
      raising job reads like a raising function call, never a process
      abort. Every acquired worker is waited on and released whether or
      not jobs raised, so a raising job leaves the pool fully reusable. *)
-  let run_list t jobs =
+  let run_list_plain t jobs =
     match jobs with
     | [] -> ()
     | [ job ] -> job ()
@@ -142,6 +142,89 @@ module Pool = struct
       (match Atomic.get error with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ())
+
+  (* The instrumented twin: same scheduling (shared work index drained
+     by the caller plus every acquired worker), plus pool.* vocabulary —
+     per-job submit→start latency and queue depth, per-participant
+     busy/idle split, and an overall utilization gauge. Participants are
+     numbered 0 (the caller) .. k (acquired workers); each writes only
+     its own slot of the local accumulators, and [wait]'s mutex
+     round-trip publishes worker slots to the caller before they are
+     read. Jobs are coarse (whole annealing reads or shards), so the
+     per-job telemetry locking is noise. *)
+  let run_list_traced tm t jobs =
+    match jobs with
+    | [] -> ()
+    | jobs ->
+      let submit = Mclock.now () in
+      let jobs = Array.of_list jobs in
+      let n = Array.length jobs in
+      Telemetry.count tm "pool.jobs" n;
+      let next = Atomic.make 0 in
+      let started = Atomic.make 0 in
+      let error = Atomic.make None in
+      let ids = if t.alive then try_acquire t (n - 1) else [] in
+      let parts = 1 + List.length ids in
+      let busy = Array.make parts 0. in
+      let ran = Array.make parts 0 in
+      let drain who () =
+        let t0 = Mclock.now () in
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let tj = Mclock.now () in
+            Telemetry.observe tm "pool.submit_latency_s" (tj -. submit);
+            let pending = n - Atomic.fetch_and_add started 1 - 1 in
+            Telemetry.gauge tm "pool.queue_depth" (float_of_int (max 0 pending));
+            Telemetry.observe tm "pool.queue_depth" (float_of_int (max 0 pending));
+            ran.(who) <- ran.(who) + 1;
+            (try jobs.(i) ()
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set error None (Some (e, bt))));
+            go ()
+          end
+        in
+        go ();
+        busy.(who) <- Mclock.now () -. t0
+      in
+      List.iteri (fun k id -> assign t id (drain (k + 1))) ids;
+      drain 0 ();
+      List.iter
+        (fun id ->
+          wait t id;
+          release t id)
+        ids;
+      let wall = Mclock.now () -. submit in
+      for who = 0 to parts - 1 do
+        Telemetry.observe tm "pool.worker_busy_s" busy.(who);
+        Telemetry.emit tm "pool.worker"
+          [
+            ("worker", Telemetry.Int who);
+            ("jobs", Telemetry.Int ran.(who));
+            ("busy_s", Telemetry.Float busy.(who));
+            ("idle_s", Telemetry.Float (Float.max 0. (wall -. busy.(who))));
+          ]
+      done;
+      let busy_total = Array.fold_left ( +. ) 0. busy in
+      let util = if wall > 0. then busy_total /. (wall *. float_of_int parts) else 1. in
+      Telemetry.gauge tm "pool.utilization" util;
+      Telemetry.gauge tm "pool.participants" (float_of_int parts);
+      Telemetry.emit tm "pool.stats"
+        [
+          ("jobs", Telemetry.Int n);
+          ("participants", Telemetry.Int parts);
+          ("wall_s", Telemetry.Float wall);
+          ("busy_s", Telemetry.Float busy_total);
+          ("utilization", Telemetry.Float util);
+        ];
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+
+  let run_list ?(telemetry = Telemetry.null) t jobs =
+    if Telemetry.enabled telemetry then run_list_traced telemetry t jobs
+    else run_list_plain t jobs
 
   let shutdown t =
     if t.alive then begin
@@ -179,9 +262,35 @@ module Pool = struct
     pool
 end
 
-let init_array ?(domains = 1) n f =
+let init_array ?(telemetry = Telemetry.null) ?(domains = 1) n f =
   if n = 0 then [||]
-  else if domains <= 1 || n = 1 then Array.init n f
+  else if domains <= 1 || n = 1 then begin
+    (* Sequential fast path: no pool, no Option boxing. When tracked it
+       still reports through the pool.* vocabulary as one inline job run
+       by the caller, so every solve exposes scheduling metrics whether
+       or not it parallelised. *)
+    if Telemetry.enabled telemetry then begin
+      let t0 = Mclock.now () in
+      Telemetry.count telemetry "pool.jobs" 1;
+      Telemetry.observe telemetry "pool.submit_latency_s" 0.;
+      Telemetry.gauge telemetry "pool.queue_depth" 0.;
+      Telemetry.observe telemetry "pool.queue_depth" 0.;
+      let r = Array.init n f in
+      let busy = Mclock.now () -. t0 in
+      Telemetry.observe telemetry "pool.worker_busy_s" busy;
+      Telemetry.emit telemetry "pool.worker"
+        [
+          ("worker", Telemetry.Int 0);
+          ("jobs", Telemetry.Int 1);
+          ("busy_s", Telemetry.Float busy);
+          ("idle_s", Telemetry.Float 0.);
+        ];
+      Telemetry.gauge telemetry "pool.utilization" 1.;
+      Telemetry.gauge telemetry "pool.participants" 1.;
+      r
+    end
+    else Array.init n f
+  end
   else begin
     let results = Array.make n None in
     let work (lo, size) () =
@@ -189,7 +298,7 @@ let init_array ?(domains = 1) n f =
         results.(i) <- Some (f i)
       done
     in
-    Pool.run_list (Pool.global ()) (List.map work (partition n domains));
+    Pool.run_list ~telemetry (Pool.global ()) (List.map work (partition n domains));
     (* run_list re-raises the first job exception, so a hole here means a
        scheduling bug, not a user error — report it as such rather than
        aborting the process with an assertion. *)
@@ -200,8 +309,9 @@ let init_array ?(domains = 1) n f =
       results
   end
 
-let map_array ?(domains = 1) f a = init_array ~domains (Array.length a) (fun i -> f a.(i))
+let map_array ?telemetry ?(domains = 1) f a =
+  init_array ?telemetry ~domains (Array.length a) (fun i -> f a.(i))
 
-let reduce ?(domains = 1) f combine zero a =
-  let mapped = map_array ~domains f a in
+let reduce ?telemetry ?(domains = 1) f combine zero a =
+  let mapped = map_array ?telemetry ~domains f a in
   Array.fold_left combine zero mapped

@@ -43,7 +43,7 @@ module Pool : sig
   val size : t -> int
   (** Number of worker domains in the pool. *)
 
-  val run_list : t -> (unit -> unit) list -> unit
+  val run_list : ?telemetry:Telemetry.t -> t -> (unit -> unit) list -> unit
   (** [run_list pool jobs] runs every job to completion, distributing them
       over idle workers plus the calling domain via a shared work index
       (a fast job's worker steals the next pending job). Returns when all
@@ -51,7 +51,16 @@ module Pool : sig
       re-raised in the caller — with the backtrace captured at the raise
       site — after the remaining jobs complete; the raising job's worker
       slot is released normally, so the pool stays fully reusable and no
-      exception ever escapes on a worker domain. *)
+      exception ever escapes on a worker domain.
+
+      With an enabled [?telemetry] handle the call reports through the
+      [pool.*] vocabulary: a [pool.jobs] counter, [pool.submit_latency_s]
+      (submit→start) and [pool.queue_depth] histograms plus a
+      [pool.queue_depth] gauge, one [pool.worker] event per participant
+      (jobs run, busy and idle seconds — participant 0 is the calling
+      domain), a [pool.worker_busy_s] histogram, [pool.utilization] and
+      [pool.participants] gauges, and a closing [pool.stats] event. The
+      untracked path is byte-identical to previous revisions. *)
 
   val shutdown : t -> unit
   (** [shutdown pool] terminates and joins the worker domains. Only needed
@@ -59,17 +68,21 @@ module Pool : sig
       Subsequent [run_list] calls on a shut-down pool run sequentially. *)
 end
 
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?telemetry:Telemetry.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ~domains f a] maps [f] over [a], splitting the work across
     up to [domains] blocks scheduled on the shared pool ([1] = sequential,
     the default). [f] must be safe to run concurrently on distinct
     elements. Preserves order. Exceptions raised by [f] are re-raised in
-    the caller. *)
+    the caller. An enabled [?telemetry] handle records the [pool.*]
+    vocabulary of {!Pool.run_list}; the sequential path reports as one
+    inline job run by the caller (utilization 1), so tracked solves
+    always expose scheduling metrics. *)
 
-val init_array : ?domains:int -> int -> (int -> 'a) -> 'a array
+val init_array : ?telemetry:Telemetry.t -> ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [init_array ~domains n f] is [Array.init n f] with the same parallel
     contract as {!map_array}. *)
 
-val reduce : ?domains:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+val reduce :
+  ?telemetry:Telemetry.t -> ?domains:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
 (** [reduce ~domains f combine zero a] maps then folds with [combine]
     (which must be associative); [zero] is the unit. *)

@@ -100,7 +100,14 @@ val count : t -> string -> int -> unit
 
 val observe : t -> string -> float -> unit
 (** Streaming histogram: folds the observation into running
-    count/min/max/mean/variance (Welford). Summarised at {!flush}. *)
+    count/min/max/mean/variance (Welford) plus p50/p90/p99 quantile
+    estimates (P² markers: O(1) memory, deterministic, exact for the
+    first five observations). Summarised at {!flush}. *)
+
+val gauge : t -> string -> float -> unit
+(** [gauge t name x] sets the named gauge to its latest value
+    (last-write-wins; e.g. [pool.utilization], [sa.sweeps_per_s]).
+    Emitted as one [gauge] event per name at {!flush}. *)
 
 val emit : t -> ?span:span -> string -> (string * value) list -> unit
 (** A point event (e.g. one [sa.sweep] of an energy trajectory). *)
@@ -126,16 +133,69 @@ type hist_summary = {
   h_max : float;
   h_mean : float;
   h_stddev : float;
+  h_p50 : float;  (** median estimate; exact when [h_count <= 5] *)
+  h_p90 : float;
+  h_p99 : float;
 }
 
 val histograms : t -> (string * hist_summary) list
 (** Histogram summaries, sorted by name. *)
+
+val gauges : t -> (string * float) list
+(** Latest gauge values, sorted by name. *)
 
 val span_totals : t -> (string * int * float) list
 (** Per span name: (name, finished count, total seconds), sorted by
     name. *)
 
 val find_counter : t -> string -> int option
+
+(* ------------------------------------------------------------------ *)
+(** {1 Snapshot and Prometheus-style exposition} *)
+
+type snapshot = {
+  snap_elapsed_s : float;  (** seconds since the handle was created *)
+  snap_phase : string option;  (** most recently begun still-open span *)
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_hists : (string * hist_summary) list;
+  snap_spans : (string * int * float) list;
+  snap_open_spans : (string * int) list;  (** open span count per name *)
+}
+(** A consistent cut of every aggregate, all lists sorted by name. *)
+
+val snapshot : t -> snapshot
+(** Takes the handle's lock once and reads all aggregates atomically —
+    safe to call from a progress-reporter domain while samplers are
+    emitting. On {!null} returns an empty snapshot. *)
+
+val expose_text : snapshot -> string
+(** Renders the snapshot in Prometheus text exposition format: metric
+    names are the event vocabulary sanitised to [[a-zA-Z0-9_]] with a
+    [qsmt_] prefix; counters get [_total], histograms render as
+    summaries with [quantile="0.5"|"0.9"|"0.99"] lines plus
+    [_sum]/[_count]/[_min]/[_max], span totals as
+    [qsmt_span_seconds_total{span="…"}]. Output order is deterministic
+    (sorted by name). *)
+
+val snapshot_of_jsonl : in_channel -> (snapshot, string) result
+(** Rebuilds a {!snapshot} from a flushed JSONL trace: counters, gauges
+    and histogram summaries from the flush-emitted summary events (last
+    flush wins), span totals re-accumulated from the [span.end] stream.
+    What [qsmt metrics TRACE] prints. *)
+
+val snapshot_of_jsonl_file : string -> (snapshot, string) result
+
+(* ------------------------------------------------------------------ *)
+(** {1 Resource probes} *)
+
+val with_gc_probe : t -> ?span:span -> (unit -> 'a) -> 'a
+(** [with_gc_probe t f] samples [Gc.quick_stat] around [f] and records
+    the delta: counters [gc.minor_collections] / [gc.major_collections],
+    histograms [gc.minor_words] / [gc.major_words] / [gc.promoted_words],
+    gauge [gc.heap_words], and one [gc.delta] point event. On OCaml 5
+    the word counts are domain-local, so multi-domain phases report the
+    orchestrating domain's share. No-op on {!null}. *)
 
 (* ------------------------------------------------------------------ *)
 (** {1 JSONL encoding / validation} *)
@@ -164,7 +224,22 @@ val parse_json : string -> (json, string) result
 val validate_jsonl : in_channel -> (int, string) result
 (** Reads a trace produced by a {!jsonl} handle and checks the contract:
     every non-empty line is a well-formed JSON object with a string
-    ["ev"] and a float ["ts"], and timestamps never decrease. Returns the
-    number of events, or a message naming the first offending line. *)
+    ["ev"] and a float ["ts"], timestamps never decrease, and the span
+    stream is balanced — every [span.begin] carries a fresh id and an
+    open (or absent) parent, every [span.end] closes an open id with a
+    matching name and no still-open children, and nothing is left open
+    at end of input. Returns the number of events, or a message naming
+    the first offending line. *)
 
 val validate_jsonl_file : string -> (int, string) result
+
+val export_chrome : in_channel -> out_channel -> (int, string) result
+(** Converts a JSONL trace to Chrome trace-event JSON (loadable in
+    Perfetto / chrome://tracing): spans become ["X"] complete events
+    with lanes ("tid"s) assigned so overlapping spans land on separate
+    rows, point events become instants on their owning span's lane, and
+    counter/gauge summaries become ["C"] counter tracks. Returns the
+    number of trace events written, or a message naming the first
+    offending input line. *)
+
+val export_chrome_file : src:string -> dst:string -> (int, string) result

@@ -123,10 +123,14 @@ Classical backend proves unsat:
   result    : unsat
 
 Telemetry: --metrics prints the aggregate table. Wall-clock values vary
-run to run and are masked; everything seeded — counts, energies,
-success probability — is byte-stable:
+run to run and are masked, as are the resource probes (GC deltas and
+throughput gauges depend on allocator state and machine speed);
+everything seeded — counts, energies, success probability — is
+byte-stable:
 
-  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --metrics | grep -v timing | sed -E 's/ +[0-9]+\.[0-9]+ ?ms$/ [TIME]/'
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --metrics | grep -v timing \
+  >   | sed -E -e 's/ +[0-9]+\.[0-9]+ ?ms$/ [TIME]/' \
+  >             -e 's/^( +(gc\.[a-z_]+|[a-z]+\.(flips|sweeps)_per_s|pool\.(worker_busy_s|submit_latency_s|utilization))) .*$/\1 [VARIES]/'
   constraint: reverse "hello"
   qubo      : qubo(vars=35, interactions=0, offset=21)
   result    : "olleh" (energy 0, verified)
@@ -138,10 +142,27 @@ success probability — is byte-stable:
   metrics   : counters
     encode.reverse.penalty_terms      0
     encode.reverse.vars            35
+    gc.major_collections [VARIES]
+    gc.minor_collections [VARIES]
+    pool.jobs                       1
     sa.reads                       32
+    sa.sweeps                   32000
     solve.constraints               1
-  metrics   : histograms (count, min, mean, max)
-    sa.read_energy                 32          0     0.4375          3
+  metrics   : gauges
+    gc.heap_words [VARIES]
+    pool.participants                   1
+    pool.queue_depth                    0
+    pool.utilization [VARIES]
+    sa.flips_per_s [VARIES]
+    sa.sweeps_per_s [VARIES]
+  metrics   : histograms (count, min, p50, mean, max)
+    gc.major_words [VARIES]
+    gc.minor_words [VARIES]
+    gc.promoted_words [VARIES]
+    pool.queue_depth                1          0          0          0          0
+    pool.submit_latency_s [VARIES]
+    pool.worker_busy_s [VARIES]
+    sa.read_energy                 32          0    0.03575     0.4375          3
   metrics   : time-to-solution
     p_success                       0.719
     time_per_read [TIME]
@@ -153,7 +174,7 @@ on wall clock), and `qsmt trace` validates the format contract:
 
   $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace trace.jsonl > /dev/null
   $ ../../bin/qsmt.exe trace trace.jsonl
-  trace.jsonl: 1103 events, well-formed JSONL, monotone timestamps
+  trace.jsonl: 1121 events, well-formed JSONL, monotone timestamps, balanced spans
 
   $ printf '{"ts":1.0,"ev":"a"}\n{"ts":0.5,"ev":"b"}\n' > bad.jsonl
   $ ../../bin/qsmt.exe trace bad.jsonl

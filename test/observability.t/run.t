@@ -1,0 +1,79 @@
+The observability surface end to end: strengthened trace validation,
+metrics exposition (live --metrics-out and offline `qsmt metrics`
+replay), the live progress reporter, and the Chrome trace exporter.
+Everything seeded, so event counts and counters are byte-stable;
+wall-clock and allocator-dependent values are masked or checked
+structurally.
+
+A traced solve writes the JSONL event log and a live Prometheus dump in
+one run:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace t.jsonl --metrics-out live.txt > /dev/null
+  $ ../../bin/qsmt.exe trace t.jsonl
+  t.jsonl: 1121 events, well-formed JSONL, monotone timestamps, balanced spans
+
+Replaying the trace offline reconstructs exactly the metric families the
+live snapshot exposed:
+
+  $ ../../bin/qsmt.exe metrics t.jsonl > replay.txt
+  $ grep -o '^qsmt_[a-z_]*' live.txt | sort -u > live-names.txt
+  $ grep -o '^qsmt_[a-z_]*' replay.txt | sort -u > replay-names.txt
+  $ diff live-names.txt replay-names.txt
+
+Seeded lines of the dump are byte-stable:
+
+  $ grep '^qsmt_sa_reads_total' replay.txt
+  qsmt_sa_reads_total 32
+  $ grep '^qsmt_sa_sweeps_total' replay.txt
+  qsmt_sa_sweeps_total 32000
+  $ grep '^qsmt_pool_jobs_total' replay.txt
+  qsmt_pool_jobs_total 1
+  $ grep '^qsmt_span_count_total' replay.txt
+  qsmt_span_count_total{span="decode"} 1
+  qsmt_span_count_total{span="encode"} 1
+  qsmt_span_count_total{span="sample"} 1
+  qsmt_span_count_total{span="solve"} 1
+
+Every histogram renders the three tracked quantiles plus the summary
+scaffolding; the resource probes (gc.*, pool.*) and throughput gauges
+are present even though their values vary run to run:
+
+  $ test $(grep -c 'quantile="0.5"' replay.txt) -eq $(grep -c 'quantile="0.99"' replay.txt) && echo quantiles-balanced
+  quantiles-balanced
+  $ grep -c '^qsmt_gc_minor_words{' replay.txt
+  3
+  $ grep -o '^qsmt_gc_heap_words\|^qsmt_pool_utilization\|^qsmt_sa_sweeps_per_s\|^qsmt_sa_flips_per_s' replay.txt
+  qsmt_gc_heap_words
+  qsmt_pool_utilization
+  qsmt_sa_flips_per_s
+  qsmt_sa_sweeps_per_s
+
+The Chrome exporter converts a validated trace into trace-event JSON
+(loadable in Perfetto); the event count is structural, hence stable:
+
+  $ ../../bin/qsmt.exe trace t.jsonl --chrome chrome.json
+  t.jsonl: 1121 events, well-formed JSONL, monotone timestamps, balanced spans
+  chrome.json: 1110 trace events (Chrome trace-event format)
+  $ head -c 21 chrome.json
+  {"displayTimeUnit":"m
+
+The strengthened validator reports span-stream violations with the
+offending line:
+
+  $ printf '{"ts":0.1,"ev":"span.begin","span":1,"parent":-1,"name":"a"}\n' > dangling.jsonl
+  $ ../../bin/qsmt.exe trace dangling.jsonl
+  qsmt: invalid trace: end of input: span 1 (a) opened at line 1 never ends
+  [2]
+
+  $ printf '{"ts":0.1,"ev":"span.end","span":9,"name":"ghost","dur_s":0.1}\n' > ghost.jsonl
+  $ ../../bin/qsmt.exe trace ghost.jsonl
+  qsmt: invalid trace: line 1: span.end for id 9 which is not open
+  [2]
+
+The progress reporter prints one-line status updates on stderr from the
+snapshot API; a final line is always printed, so a short solve still
+reports. The interval is set high so exactly one (final) line appears:
+
+  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)' | QSMT_PROGRESS_INTERVAL_S=60 ../../bin/qsmt.exe run - --progress 2>&1 | sed -E 's/t=[0-9.]+s/t=[T]s/'
+  [progress] t=[T]s phase=done reads=32 sweeps=32000 best=-11 pool=1.00
+  sat

@@ -309,6 +309,234 @@ let test_instrumentation_is_invisible () =
   check Alcotest.bool "sweep stream present" true
     (List.exists (fun e -> e.Telemetry.ev = "sa.sweep") (Telemetry.events t))
 
+(* ================================================================== *)
+(* Observability: quantiles, snapshot/exposition, pool probes,
+   strengthened validator, Chrome export *)
+
+let test_quantiles_exact_small () =
+  (* n <= 5: the estimator interpolates the buffered sample directly and
+     must agree with Stats.percentile to the digit. *)
+  let samples = [ 9.0; 1.0; 5.0; 3.0; 7.0 ] in
+  let t = Telemetry.aggregate_only () in
+  List.iter (Telemetry.observe t "x") samples;
+  let arr = Array.of_list samples in
+  match Telemetry.histograms t with
+  | [ ("x", h) ] ->
+    feq "p50 exact" (Qsmt_util.Stats.percentile arr 50.) h.Telemetry.h_p50;
+    feq "p90 exact" (Qsmt_util.Stats.percentile arr 90.) h.Telemetry.h_p90;
+    feq "p99 exact" (Qsmt_util.Stats.percentile arr 99.) h.Telemetry.h_p99
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_quantiles_sane_large () =
+  (* 1..1000 shuffled deterministically: P² estimates carry error, but
+     the estimates must stay ordered, in range, and near the exact
+     values for a smooth distribution. *)
+  let n = 1000 in
+  let xs = Array.init n (fun i -> float_of_int (((i * 611) mod n) + 1)) in
+  let t = Telemetry.aggregate_only () in
+  Array.iter (Telemetry.observe t "x") xs;
+  match Telemetry.histograms t with
+  | [ ("x", h) ] ->
+    check Alcotest.int "count" n h.Telemetry.h_count;
+    check Alcotest.bool "ordered" true
+      (h.Telemetry.h_min <= h.Telemetry.h_p50
+      && h.Telemetry.h_p50 <= h.Telemetry.h_p90
+      && h.Telemetry.h_p90 <= h.Telemetry.h_p99
+      && h.Telemetry.h_p99 <= h.Telemetry.h_max);
+    let near name want got tol =
+      if Float.abs (want -. got) > tol then
+        Alcotest.failf "%s: expected ~%.1f, got %.1f" name want got
+    in
+    near "p50" 500.5 h.Telemetry.h_p50 25.;
+    near "p90" 900.1 h.Telemetry.h_p90 25.;
+    near "p99" 990.01 h.Telemetry.h_p99 25.
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_snapshot_and_exposition () =
+  let t = Telemetry.collector () in
+  Telemetry.count t "sa.reads" 32;
+  Telemetry.gauge t "pool.utilization" 0.75;
+  List.iter (Telemetry.observe t "sa.read_energy") [ 1.0; 2.0; 3.0 ];
+  Telemetry.with_span t "solve" (fun _ -> ());
+  let open_sp = Telemetry.span t "sample" in
+  let snap = Telemetry.snapshot t in
+  check Alcotest.(option string) "phase is the open span" (Some "sample") snap.Telemetry.snap_phase;
+  check
+    Alcotest.(list (pair string int))
+    "counters in snapshot"
+    [ ("sa.reads", 32) ]
+    snap.Telemetry.snap_counters;
+  check Alcotest.bool "elapsed non-negative" true (snap.Telemetry.snap_elapsed_s >= 0.);
+  let text = Telemetry.expose_text snap in
+  let has sub =
+    let rec find i =
+      i + String.length sub <= String.length text
+      && (String.sub text i (String.length sub) = sub || find (i + 1))
+    in
+    find 0
+  in
+  check Alcotest.bool "counter gets _total" true (has "qsmt_sa_reads_total 32");
+  check Alcotest.bool "gauge line" true (has "qsmt_pool_utilization 0.75");
+  check Alcotest.bool "median quantile line" true
+    (has "qsmt_sa_read_energy{quantile=\"0.5\"} 2");
+  check Alcotest.bool "summary count" true (has "qsmt_sa_read_energy_count 3");
+  check Alcotest.bool "span total" true (has "qsmt_span_seconds_total{span=\"solve\"}");
+  check Alcotest.bool "open span gauge" true (has "qsmt_open_spans{span=\"sample\"} 1");
+  Telemetry.finish t open_sp;
+  (* deterministic: same aggregates render to the same bytes *)
+  check Alcotest.string "exposition deterministic" text
+    (Telemetry.expose_text { snap with Telemetry.snap_elapsed_s = snap.Telemetry.snap_elapsed_s })
+
+let test_snapshot_of_jsonl_roundtrip () =
+  let path = Filename.temp_file "qsmt_snapjsonl" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Telemetry.with_jsonl path (fun t ->
+          Telemetry.with_span t "solve" (fun _ ->
+              Telemetry.count t "sa.reads" 32;
+              Telemetry.gauge t "sa.sweeps_per_s" 1234.5;
+              List.iter (Telemetry.observe t "sa.read_energy") [ 0.5; 1.5 ]));
+      match Telemetry.snapshot_of_jsonl_file path with
+      | Error msg -> Alcotest.failf "replay failed: %s" msg
+      | Ok snap ->
+        check
+          Alcotest.(list (pair string int))
+          "counters survive the round-trip"
+          [ ("sa.reads", 32) ]
+          snap.Telemetry.snap_counters;
+        (match snap.Telemetry.snap_gauges with
+        | [ ("sa.sweeps_per_s", v) ] -> feq "gauge value" 1234.5 v
+        | g -> Alcotest.failf "expected one gauge, got %d" (List.length g));
+        (match snap.Telemetry.snap_hists with
+        | [ ("sa.read_energy", h) ] ->
+          check Alcotest.int "hist count" 2 h.Telemetry.h_count;
+          feq "hist min" 0.5 h.Telemetry.h_min;
+          feq "hist p50" 1.0 h.Telemetry.h_p50
+        | _ -> Alcotest.fail "expected one histogram");
+        (match snap.Telemetry.snap_spans with
+        | [ ("solve", 1, d) ] -> check Alcotest.bool "span duration" true (d >= 0.)
+        | _ -> Alcotest.fail "expected one span total");
+        check Alcotest.(list (pair string int)) "nothing left open" []
+          snap.Telemetry.snap_open_spans)
+
+let test_pool_instrumentation () =
+  let module Parallel = Qsmt_util.Parallel in
+  let t = Telemetry.collector () in
+  let hits = Atomic.make 0 in
+  let jobs = List.init 16 (fun _ () -> Atomic.incr hits) in
+  Parallel.Pool.run_list ~telemetry:t (Parallel.Pool.global ()) jobs;
+  check Alcotest.int "all jobs ran" 16 (Atomic.get hits);
+  check Alcotest.(option int) "jobs counted" (Some 16) (Telemetry.find_counter t "pool.jobs");
+  let gauges = Telemetry.gauges t in
+  (match List.assoc_opt "pool.utilization" gauges with
+  | Some u -> check Alcotest.bool "utilization in (0,1]" true (u > 0. && u <= 1.)
+  | None -> Alcotest.fail "pool.utilization gauge missing");
+  (match List.assoc_opt "pool.participants" gauges with
+  | Some p -> check Alcotest.bool "participants >= 1" true (p >= 1.)
+  | None -> Alcotest.fail "pool.participants gauge missing");
+  let worker_events =
+    List.filter (fun e -> e.Telemetry.ev = "pool.worker") (Telemetry.events t)
+  in
+  check Alcotest.bool "per-worker events" true (worker_events <> []);
+  let jobs_reported =
+    List.fold_left
+      (fun acc e ->
+        match List.assoc_opt "jobs" e.Telemetry.fields with
+        | Some (Telemetry.Int n) -> acc + n
+        | _ -> acc)
+      0 worker_events
+  in
+  check Alcotest.int "workers account for every job" 16 jobs_reported;
+  match Telemetry.histograms t with
+  | hists ->
+    check Alcotest.bool "submit latency histogram" true
+      (List.mem_assoc "pool.submit_latency_s" hists)
+
+let test_validator_span_balance () =
+  let run lines =
+    let path = Filename.temp_file "qsmt_val" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+        close_out oc;
+        Telemetry.validate_jsonl_file path)
+  in
+  let beginl ?(parent = -1) id name ts =
+    Printf.sprintf "{\"ts\":%g,\"ev\":\"span.begin\",\"span\":%d,\"parent\":%d,\"name\":\"%s\"}"
+      ts id parent name
+  in
+  let endl id name ts =
+    Printf.sprintf "{\"ts\":%g,\"ev\":\"span.end\",\"span\":%d,\"name\":\"%s\",\"dur_s\":0.1}" ts
+      id name
+  in
+  (* well-nested pair passes *)
+  (match run [ beginl 1 "a" 0.1; beginl ~parent:1 2 "b" 0.2; endl 2 "b" 0.3; endl 1 "a" 0.4 ] with
+  | Ok 4 -> ()
+  | Ok n -> Alcotest.failf "expected 4 events, got %d" n
+  | Error msg -> Alcotest.failf "balanced trace rejected: %s" msg);
+  (* end without begin names the line *)
+  (match run [ endl 9 "ghost" 0.1 ] with
+  | Error msg ->
+    check Alcotest.bool "names line 1" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 1:")
+  | Ok _ -> Alcotest.fail "unmatched span.end accepted");
+  (* parent must still be open *)
+  (match run [ beginl 1 "a" 0.1; endl 1 "a" 0.2; beginl ~parent:1 2 "b" 0.3; endl 2 "b" 0.4 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "closed parent accepted");
+  (* improper nesting: parent closed while the child is open *)
+  (match run [ beginl 1 "a" 0.1; beginl ~parent:1 2 "b" 0.2; endl 1 "a" 0.3; endl 2 "b" 0.4 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "interleaved span closure accepted");
+  (* dangling open span at EOF *)
+  match run [ beginl 1 "a" 0.1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling open span accepted"
+
+let test_chrome_export () =
+  let src = Filename.temp_file "qsmt_chrome_src" ".jsonl" in
+  let dst = Filename.temp_file "qsmt_chrome_dst" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove src;
+      Sys.remove dst)
+    (fun () ->
+      Telemetry.with_jsonl src (fun t ->
+          Telemetry.with_span t "solve" (fun solve ->
+              Telemetry.with_span t ~parent:solve "sample" (fun sp ->
+                  Telemetry.emit t ~span:sp "sa.sweep" [ ("sweep", Telemetry.Int 1) ]);
+              Telemetry.count t "sa.reads" 8));
+      match Telemetry.export_chrome_file ~src ~dst with
+      | Error msg -> Alcotest.failf "export failed: %s" msg
+      | Ok n ->
+        check Alcotest.bool "events written" true (n > 0);
+        let text = In_channel.with_open_text dst In_channel.input_all in
+        (match Telemetry.parse_json text with
+        | Error msg -> Alcotest.failf "chrome output is not JSON: %s" msg
+        | Ok (Telemetry.J_obj kvs) ->
+          (match List.assoc_opt "traceEvents" kvs with
+          | Some (Telemetry.J_list evs) ->
+            check Alcotest.bool "traceEvents non-empty" true (evs <> []);
+            (* both spans become complete ("X") slices *)
+            let phases =
+              List.filter_map
+                (fun e ->
+                  match e with
+                  | Telemetry.J_obj fields -> (
+                    match List.assoc_opt "ph" fields with
+                    | Some (Telemetry.J_str p) -> Some p
+                    | _ -> None)
+                  | _ -> None)
+                evs
+            in
+            check Alcotest.int "two complete slices" 2
+              (List.length (List.filter (( = ) "X") phases))
+          | _ -> Alcotest.fail "no traceEvents array")
+        | Ok _ -> Alcotest.fail "chrome output is not a JSON object"))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -338,5 +566,15 @@ let () =
           Alcotest.test_case "validator rejects garbage" `Quick test_validate_rejects_garbage;
           Alcotest.test_case "instrumentation invisible to sampler" `Quick
             test_instrumentation_is_invisible;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "quantiles exact for small samples" `Quick test_quantiles_exact_small;
+          Alcotest.test_case "quantiles sane for large samples" `Quick test_quantiles_sane_large;
+          Alcotest.test_case "snapshot + exposition" `Quick test_snapshot_and_exposition;
+          Alcotest.test_case "snapshot from jsonl replay" `Quick test_snapshot_of_jsonl_roundtrip;
+          Alcotest.test_case "pool instrumentation" `Quick test_pool_instrumentation;
+          Alcotest.test_case "validator span balance" `Quick test_validator_span_balance;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
         ] );
     ]
