@@ -5,6 +5,7 @@
      qsmt repl                 interactive incremental session on stdin
      qsmt gen OP ARGS          generate a string for one operation
      qsmt lint OP ARGS         statically analyze an encoding, no sampling
+     qsmt analyze OP ARGS      abstract-interpret constraints before encoding
      qsmt matrix OP ARGS       print the QUBO matrix for one operation
      qsmt trace FILE.jsonl     validate a telemetry trace
      qsmt samplers             list available samplers
@@ -16,6 +17,7 @@ module Solver = Qsmt_strtheory.Solver
 module Compile = Qsmt_strtheory.Compile
 module Params = Qsmt_strtheory.Params
 module Lint = Qsmt_strtheory.Lint
+module Absint = Qsmt_strtheory.Absint
 module Workload = Qsmt_strtheory.Workload
 module Analyze = Qsmt_qubo.Analyze
 module Qubo = Qsmt_qubo.Qubo
@@ -264,6 +266,15 @@ let lint_level_arg =
           "Run the static encoding linter between encoding and sampling and refuse to sample \
            when any finding reaches $(docv) ($(b,error) or $(b,warning); default $(b,off)). See \
            $(b,qsmt lint).")
+
+let no_absint_arg =
+  Arg.(
+    value & flag
+    & info [ "no-absint" ]
+        ~doc:
+          "Disable the pre-encode abstract interpreter: no static verdicts, no statically-forced \
+           codec bits clamped out of the anneal — reproduces the unshrunk QUBO pipeline \
+           bit-exactly. See $(b,qsmt analyze).")
 
 (* The --metrics summary table: reads the aggregates maintained on the
    handle, so it needs no event stream (aggregate-only handles discard
@@ -584,9 +595,20 @@ let gen_tts (outcome, timing) =
     Some (p_success, time_per_read, Metrics.time_to_solution ~time_per_read ~p_success ())
   end
 
+(* One-line summary of a static verdict for the gen/analyze outputs. *)
+let absint_summary ppf (a : Absint.analysis) =
+  let verdict =
+    match a.Absint.verdict with
+    | Absint.V_sat _ -> "sat"
+    | Absint.V_unsat why -> "unsat (" ^ why ^ ")"
+    | Absint.V_undecided -> "undecided"
+  in
+  Format.fprintf ppf "%s — %d iteration(s), %d fact(s), %d/%d position(s) fixed" verdict
+    a.Absint.iterations a.Absint.facts (Absint.num_fixed_positions a) a.Absint.length
+
 let gen_action op args sampler_kind seed reads sweeps domains packed jobs budget topology
     topology_size chain_strength noise decompose subsize show_matrix param_assigns lint_level
-    trace metrics metrics_out =
+    no_absint trace metrics metrics_out =
   let params = params_of_assignments param_assigns in
   match constraint_of_op op args with
   | Error (`Msg m) ->
@@ -617,29 +639,47 @@ let gen_action op args sampler_kind seed reads sweeps domains packed jobs budget
           build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
             ~topology_size ~chain_strength ~noise ~packed ~decompose ~subsize
         in
+        let absint = if no_absint then `Off else `On in
         let result =
           with_telemetry ~trace ~metrics ~metrics_out
             ~tts_of:(function Ok r -> gen_tts r | Error _ -> None)
             (fun telemetry ->
-              match Solver.solve_timed ?params ~sampler ~lint:lint_level ~telemetry constr with
+              match
+                Solver.solve_timed ?params ~sampler ~lint:lint_level ~absint ~telemetry constr
+              with
               | exception Lint.Rejected (_, findings) -> Error findings
-              | outcome, timing ->
-                if show_matrix then
-                  Format.printf "matrix    :@.%a@."
-                    (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
-                    outcome.Solver.qubo;
-                Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
-                Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value
-                  outcome.Solver.value outcome.Solver.energy
-                  (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
-                (match outcome.Solver.hardware with
-                | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
-                | None -> ());
-                Format.printf
-                  "timing    : encode %.1fus anneal %.1fms decode %.1fus verify %.1fus@."
-                  (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
-                  (1e6 *. timing.Solver.decode_s) (1e6 *. timing.Solver.verify_s);
-                Ok (outcome, timing))
+              | outcome, timing -> begin
+                match outcome.Solver.decided with
+                | Some a ->
+                  (* Statically decided: no QUBO was built, no sampler ran —
+                     the qubo/hardware/timing lines would all be
+                     placeholders, so print the analysis instead. *)
+                  Format.printf "absint    : %a@." absint_summary a;
+                  (match a.Absint.verdict with
+                  | Absint.V_sat _ ->
+                    Format.printf "result    : %a (verified, decided statically)@."
+                      Constr.pp_value outcome.Solver.value
+                  | Absint.V_unsat _ | Absint.V_undecided ->
+                    Format.printf "result    : unsat (proved statically)@.");
+                  Ok (outcome, timing)
+                | None ->
+                  if show_matrix then
+                    Format.printf "matrix    :@.%a@."
+                      (fun ppf q -> Qubo_print.pp_dense ~max_dim:14 ppf q)
+                      outcome.Solver.qubo;
+                  Format.printf "qubo      : %a@." Qubo.pp outcome.Solver.qubo;
+                  Format.printf "result    : %a (energy %g, %s)@." Constr.pp_value
+                    outcome.Solver.value outcome.Solver.energy
+                    (if outcome.Solver.satisfied then "verified" else "NOT satisfied");
+                  (match outcome.Solver.hardware with
+                  | Some stats -> Format.printf "hardware  : %a@." Hardware.pp_stats stats
+                  | None -> ());
+                  Format.printf
+                    "timing    : encode %.1fus anneal %.1fms decode %.1fus verify %.1fus@."
+                    (1e6 *. timing.Solver.encode_s) (1e3 *. timing.Solver.sample_s)
+                    (1e6 *. timing.Solver.decode_s) (1e6 *. timing.Solver.verify_s);
+                  Ok (outcome, timing)
+              end)
         in
         match result with
         | Error findings ->
@@ -661,7 +701,7 @@ let gen_cmd =
       const gen_action $ op_arg $ op_args $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg
       $ domains_arg $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg
       $ chain_strength_arg $ noise_arg $ decompose_arg $ subsize_arg $ show_matrix $ param_arg
-      $ lint_level_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
+      $ lint_level_arg $ no_absint_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a string (or position) satisfying one operation."
@@ -698,10 +738,11 @@ let table1_constraints () =
     Constr.Includes { haystack = "hello world"; needle = "world" };
   ]
 
-(* Lintable constraints of an SMT-LIB script: everything the assertion
-   compiler would hand to the annealer. Trivial/classically-solved
-   problems compile no QUBO, so there is nothing to lint. *)
-let constraints_of_script source =
+(* Solve units of an SMT-LIB script: the conjunct lists the assertion
+   compiler would hand to the annealer, one list per solve.
+   Trivial/classically-solved problems compile no QUBO, so there is
+   nothing to lint or analyze. *)
+let units_of_script source =
   let ( let* ) = Result.bind in
   let* cmds = Smt_parser.parse_script source in
   let* env, asserts =
@@ -721,9 +762,16 @@ let constraints_of_script source =
   match problem with
   | Smt_compile.Trivial _ | Smt_compile.Solved _ -> Ok []
   | Smt_compile.Generate { var; constr } | Smt_compile.Locate { var; constr } ->
-    Ok [ (var, constr) ]
-  | Smt_compile.Generate_joint { var; conjuncts } ->
-    Ok (List.map (fun c -> (var, c)) conjuncts)
+    Ok [ (var, [ constr ]) ]
+  | Smt_compile.Generate_joint { var; conjuncts } -> Ok [ (var, conjuncts) ]
+
+(* The linter inspects each compiled QUBO on its own, so it flattens the
+   units; the abstract interpreter keeps them whole — "length 2 /\
+   contains ab /\ contains ba" is only refutable jointly. *)
+let constraints_of_script source =
+  Result.map
+    (fun units -> List.concat_map (fun (var, cs) -> List.map (fun c -> (var, c)) cs) units)
+    (units_of_script source)
 
 (* Deterministic single-site damage for the mutation-detection tests:
    does the linter notice? `zero-penalty` deletes the first diagonal
@@ -938,6 +986,190 @@ let lint_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analysis_to_json name (a : Absint.analysis) findings =
+  let errors = Analyze.count_severity findings Analyze.Error in
+  let warnings = Analyze.count_severity findings Analyze.Warning in
+  let infos = Analyze.count_severity findings Analyze.Info in
+  let verdict, value =
+    match a.Absint.verdict with
+    | Absint.V_sat v -> ("sat", Format.asprintf "%a" Constr.pp_value v)
+    | Absint.V_unsat why -> ("unsat", why)
+    | Absint.V_undecided -> ("undecided", "")
+  in
+  Printf.sprintf
+    {|{"target":"%s","verdict":"%s","value":"%s","length":%d,"iterations":%d,"facts":%d,"positions_fixed":%d,"bits_forced":%d,"widened":%b,"errors":%d,"warnings":%d,"infos":%d,"findings":[%s]}|}
+    (Lint.json_escape name) verdict (Lint.json_escape value) a.Absint.length
+    a.Absint.iterations a.Absint.facts
+    (Absint.num_fixed_positions a)
+    (List.length (Absint.forced_bits a))
+    a.Absint.widened errors warnings infos
+    (String.concat "," (List.map Lint.finding_to_json findings))
+
+let analyze_action op args table1 smt2 workload fail_on json max_iters seed trace metrics
+    metrics_out =
+  let describe_unit cs = String.concat " /\\ " (List.map Constr.describe cs) in
+  let targets =
+    match (op, table1, smt2, workload) with
+    | Some op, false, None, 0 -> begin
+      match constraint_of_op op args with
+      | Error (`Msg m) -> Error m
+      | Ok c -> begin
+        match Constr.validate c with
+        | Error m -> Error ("invalid constraint: " ^ m)
+        | Ok () -> Ok [ (Constr.describe c, [ c ]) ]
+      end
+    end
+    | None, true, None, 0 ->
+      Ok (List.map (fun c -> (Constr.describe c, [ c ])) (table1_constraints ()))
+    | None, false, Some path, 0 -> begin
+      let source =
+        if path = "-" then In_channel.input_all In_channel.stdin
+        else In_channel.with_open_text path In_channel.input_all
+      in
+      match units_of_script source with
+      | Error m -> Error (path ^ ": " ^ m)
+      | Ok units ->
+        Ok
+          (List.map
+             (fun (var, cs) -> (Printf.sprintf "%s: %s" var (describe_unit cs), cs))
+             units)
+    end
+    | None, false, None, n when n > 0 ->
+      Ok
+        (List.map
+           (fun c -> (Constr.describe c, [ c ]))
+           (Workload.suite ~seed ~max_length:6 ~count:n ()))
+    | None, false, None, 0 ->
+      Error "nothing to analyze: give an operation, --table1, --smt2 FILE, or --workload N"
+    | _ -> Error "choose exactly one of: an operation, --table1, --smt2 FILE, --workload N"
+  in
+  match targets with
+  | Error m ->
+    prerr_endline ("qsmt: " ^ m);
+    2
+  | Ok targets ->
+    let worst = ref None in
+    let failed = ref false in
+    with_telemetry ~trace ~metrics ~metrics_out (fun telemetry ->
+        List.iter
+          (fun (name, cs) ->
+            match Absint.analyze ~max_iters cs with
+            | Error m ->
+              failed := true;
+              Format.eprintf "qsmt: %s: not analyzable (%s)@." name m
+            | Ok a ->
+              Absint.emit telemetry a;
+              let findings = Absint.findings a in
+              (match Analyze.max_severity findings with
+              | Some s when
+                  (match !worst with
+                  | None -> true
+                  | Some w -> Analyze.severity_rank s > Analyze.severity_rank w) ->
+                worst := Some s
+              | _ -> ());
+              if json then print_endline (analysis_to_json name a findings)
+              else begin
+                Format.printf "==> %s@." name;
+                Format.printf "  %a@." Absint.pp a;
+                List.iter (fun f -> Format.printf "  %a@." Analyze.pp_finding f) findings
+              end)
+          targets);
+    if !failed then 2
+    else begin
+      let worst_rank =
+        match !worst with None -> -1 | Some s -> Analyze.severity_rank s
+      in
+      let threshold =
+        match fail_on with
+        | `Never -> max_int
+        | `Warning -> Analyze.severity_rank Analyze.Warning
+        | `Error -> Analyze.severity_rank Analyze.Error
+      in
+      if worst_rank >= threshold then 1 else 0
+    end
+
+let analyze_cmd =
+  let op =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc:"Operation name (as in $(b,qsmt gen)).")
+  in
+  let table1 =
+    Arg.(value & flag & info [ "table1" ] ~doc:"Analyze the paper's six Table 1 constraints.")
+  in
+  let smt2 =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "smt2" ] ~docv:"FILE"
+          ~doc:
+            "Analyze every solve unit of an SMT-LIB script as one conjunction ($(b,-) for \
+             stdin).")
+  in
+  let workload =
+    Arg.(
+      value & opt int 0
+      & info [ "workload" ] ~docv:"N"
+          ~doc:"Analyze $(docv) seeded random constraints from the workload generator.")
+  in
+  let fail_on =
+    Arg.(
+      value
+      & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]) `Error
+      & info [ "fail-on" ] ~docv:"SEVERITY"
+          ~doc:
+            "Exit 1 when any finding reaches $(docv) ($(b,error), $(b,warning), or $(b,never); \
+             default $(b,error)). A static contradiction is an $(b,error) finding.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: one JSON object per analyzed conjunction — verdict, \
+             fixpoint stats, forced-bit counts, findings inline.")
+  in
+  let max_iters =
+    Arg.(
+      value & opt int Absint.default_max_iters
+      & info [ "max-iters" ] ~docv:"N"
+          ~doc:
+            "Widening cap on fixpoint iterations; analyses stopped by the cap keep their (sound) \
+             partial domains and report a $(b,absint-widened) finding.")
+  in
+  let term =
+    Term.(
+      const analyze_action $ op $ op_args $ table1 $ smt2 $ workload $ fail_on $ json
+      $ max_iters $ seed_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Abstract-interpret constraints before encoding: prove, decide, or shrink statically."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the pre-encode abstract interpreter over each target conjunction: \
+              per-position character-set domains seeded from literals and operation structure, \
+              refined by DFA-based regex reachability and substring-placement feasibility, \
+              closed under palindrome congruence, iterated to a fixpoint. No QUBO is built and \
+              no sampler runs.";
+           `P
+             "An empty domain proves the conjunction unsatisfiable ($(b,unsat) verdict, an ERROR \
+              finding); all-singleton domains name the unique candidate, which the classical \
+              verifier grades ($(b,sat) verdict). Undecided conjunctions report how many codec \
+              bits the solver will clamp out of the anneal ($(b,absint-shrink)). Exit status: 0 \
+              clean (below $(b,--fail-on)), 1 findings at or above $(b,--fail-on), 2 usage \
+              errors.";
+           `S Manpage.s_examples;
+           `P "qsmt analyze reverse hello";
+           `P "qsmt analyze --table1 --json";
+           `P "qsmt analyze --smt2 problem.smt2 --fail-on error";
+           `P "qsmt analyze regex 'a[bc]+' 5";
+         ])
+    term
+
+(* ------------------------------------------------------------------ *)
 (* matrix *)
 
 let matrix_action op args full =
@@ -969,11 +1201,13 @@ let matrix_cmd =
 (* run *)
 
 let run_action path sampler_kind seed reads sweeps domains packed jobs budget topology
-    topology_size chain_strength noise decompose subsize trace metrics metrics_out progress =
+    topology_size chain_strength noise decompose subsize no_absint trace metrics metrics_out
+    progress =
   let source =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
+  let absint = if no_absint then `Off else `On in
   let result =
     with_telemetry ~trace ~metrics ~metrics_out ~progress (fun telemetry ->
         match sampler_kind with
@@ -983,7 +1217,7 @@ let run_action path sampler_kind seed reads sweeps domains packed jobs budget to
             build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
               ~topology_size ~chain_strength ~noise ~packed ~decompose ~subsize
           in
-          Interp.run_string ~sampler ~telemetry source)
+          Interp.run_string ~sampler ~absint ~telemetry source)
   in
   match result with
   | Ok lines ->
@@ -1002,8 +1236,8 @@ let run_cmd =
     Term.(
       const run_action $ path $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
       $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
-      $ noise_arg $ decompose_arg $ subsize_arg $ trace_arg $ metrics_arg $ metrics_out_arg
-      $ progress_arg)
+      $ noise_arg $ decompose_arg $ subsize_arg $ no_absint_arg $ trace_arg $ metrics_arg
+      $ metrics_out_arg $ progress_arg)
 
 (* ------------------------------------------------------------------ *)
 (* repl *)
@@ -1015,7 +1249,7 @@ let run_cmd =
    commands, and recovers from errors instead of aborting the way
    `qsmt run` does. *)
 let repl_action sampler_kind seed reads sweeps domains packed jobs budget topology
-    topology_size chain_strength noise decompose subsize =
+    topology_size chain_strength noise decompose subsize no_absint =
   let st =
     match sampler_kind with
     | `Classical -> Interp.create ~backend:(classical_backend ()) ()
@@ -1024,7 +1258,7 @@ let repl_action sampler_kind seed reads sweeps domains packed jobs budget topolo
         build_sampler sampler_kind ~seed ~reads ~sweeps ~domains ~jobs ~budget ~topology
           ~topology_size ~chain_strength ~noise ~packed ~decompose ~subsize
       in
-      Interp.create ~sampler ()
+      Interp.create ~sampler ~absint:(if no_absint then `Off else `On) ()
   in
   let stop = ref None in
   let exec_chunk chunk =
@@ -1123,7 +1357,7 @@ let repl_cmd =
     Term.(
       const repl_action $ sampler_arg $ seed_arg $ reads_arg $ sweeps_arg $ domains_arg
       $ packed_arg $ jobs_arg $ budget_arg $ topology_arg $ topology_size_arg $ chain_strength_arg
-      $ noise_arg $ decompose_arg $ subsize_arg)
+      $ noise_arg $ decompose_arg $ subsize_arg $ no_absint_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -1307,6 +1541,7 @@ let main_cmd =
       repl_cmd;
       gen_cmd;
       lint_cmd;
+      analyze_cmd;
       matrix_cmd;
       export_cmd;
       trace_cmd;

@@ -1,0 +1,10 @@
+; Shrinkable but undecidable statically: a[bc]+ at length 5 fixes
+; position 0 and narrows the rest to {b,c}, forcing 31 of 35 codec bits
+; — the sampler anneals only the 4 free bits.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 5))
+(assert (str.in_re x (re.++ (str.to_re "a")
+                            (re.+ (re.union (str.to_re "b") (str.to_re "c"))))))
+(check-sat)
+(get-model)

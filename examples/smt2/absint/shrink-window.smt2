@@ -1,0 +1,10 @@
+; Shrinkable but undecidable statically: two pinned characters force
+; 14 of 42 codec bits; the remaining four positions stay free for the
+; anneal.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 6))
+(assert (= (str.at x 2) "h"))
+(assert (= (str.at x 3) "i"))
+(check-sat)
+(get-model)

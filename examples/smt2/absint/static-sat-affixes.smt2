@@ -1,0 +1,10 @@
+; Fully determined statically: prefix "ab" and suffix "bc" overlap on
+; the middle character of a length-3 string, leaving the unique
+; candidate "abc".
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.prefixof "ab" x))
+(assert (str.suffixof "bc" x))
+(check-sat)
+(get-model)

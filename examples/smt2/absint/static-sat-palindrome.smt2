@@ -1,0 +1,10 @@
+; Fully determined statically: the prefix "ab" plus the palindrome
+; mirror fixes all four positions to "abba". The interpreter names the
+; candidate and the classical verifier confirms it — zero sampler reads.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 4))
+(assert (str.palindrome x))
+(assert (= (str.substr x 0 2) "ab"))
+(check-sat)
+(get-model)

@@ -1,0 +1,10 @@
+; Statically unsatisfiable: two characters cannot contain both "ab" and
+; "ba". The abstract interpreter proves it without building a QUBO —
+; "ab" has a single feasible placement (forcing x = "ab"), after which
+; "ba" has none.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.contains x "ab"))
+(assert (str.contains x "ba"))
+(check-sat)

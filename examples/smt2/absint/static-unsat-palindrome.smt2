@@ -1,0 +1,9 @@
+; Statically unsatisfiable: a length-2 palindrome equates its two
+; positions, but the prefix "ab" forces them to differ. The congruence
+; closure meets {a} with {b} and derives the contradiction.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 2))
+(assert (str.palindrome x))
+(assert (str.prefixof "ab" x))
+(check-sat)

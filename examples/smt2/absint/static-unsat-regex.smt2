@@ -1,0 +1,9 @@
+; Statically unsatisfiable: every position of a [ab]+ match draws from
+; {a,b}, but the middle character is pinned to "c". DFA reachability
+; restricts position 1 to {a,b}; the point constraint meets it with {c}.
+(set-logic QF_S)
+(declare-const x String)
+(assert (= (str.len x) 3))
+(assert (str.in_re x (re.+ (re.range "a" "b"))))
+(assert (= (str.at x 1) "c"))
+(check-sat)

@@ -90,7 +90,61 @@ let reduce ?(telemetry = Telemetry.null) q =
     residual_qubo = Qubo.freeze ~num_vars:free b;
   }
 
+(* Clamp an externally-proven assignment of some variables (the
+   abstract interpreter's forced codec bits) instead of deriving one
+   from dominance. Same fold-and-compact mechanics as [reduce], minus
+   the fixpoint queue: the caller's facts are the fixing rule. *)
+let clamp q fixed =
+  let n = Qubo.num_vars q in
+  let lin = Array.init n (Qubo.linear q) in
+  let coup = Array.init n (fun _ -> Hashtbl.create 4) in
+  Qubo.iter_quadratic q (fun i j v ->
+      Hashtbl.replace coup.(i) j v;
+      Hashtbl.replace coup.(j) i v);
+  let offset = ref (Qubo.offset q) in
+  let state = Array.make n (-1) in
+  List.iter
+    (fun (i, v) ->
+      if i < 0 || i >= n then invalid_arg "Preprocess.clamp: variable out of range";
+      if state.(i) >= 0 then invalid_arg "Preprocess.clamp: variable fixed twice";
+      state.(i) <- (if v then 1 else 0);
+      if v then offset := !offset +. lin.(i);
+      Hashtbl.iter
+        (fun j coeff ->
+          if state.(j) < 0 then begin
+            if v then lin.(j) <- lin.(j) +. coeff;
+            Hashtbl.remove coup.(j) i
+          end)
+        coup.(i);
+      Hashtbl.reset coup.(i))
+    fixed;
+  let free = ref [] in
+  for i = n - 1 downto 0 do
+    if state.(i) < 0 then free := i :: !free
+  done;
+  let free_of_residual = Array.of_list !free in
+  let residual_index = Hashtbl.create 16 in
+  Array.iteri (fun r i -> Hashtbl.replace residual_index i r) free_of_residual;
+  let b = Qubo.builder () in
+  Array.iteri
+    (fun r i ->
+      if lin.(i) <> 0. then Qubo.set b r r lin.(i);
+      Hashtbl.iter
+        (fun j coeff ->
+          if state.(j) < 0 && i < j then
+            Qubo.set b r (Hashtbl.find residual_index j) coeff)
+        coup.(i))
+    free_of_residual;
+  Qubo.set_offset b !offset;
+  {
+    original_vars = n;
+    state;
+    free_of_residual;
+    residual_qubo = Qubo.freeze ~num_vars:(Array.length free_of_residual) b;
+  }
+
 let residual t = t.residual_qubo
+let free_indices t = Array.copy t.free_of_residual
 let num_free t = Array.length t.free_of_residual
 let num_fixed t = t.original_vars - num_free t
 

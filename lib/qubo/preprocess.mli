@@ -29,6 +29,16 @@ val reduce : ?telemetry:Qsmt_util.Telemetry.t -> Qubo.t -> t
     records [preprocess.fixed] / [preprocess.free] counters and one
     [preprocess.done] event. *)
 
+val clamp : Qubo.t -> (int * bool) list -> t
+(** [clamp q fixed] substitutes an externally-proven partial assignment
+    — e.g. the codec bits {!Qsmt_strtheory} abstract interpretation
+    forces — into [q]: fixed-one diagonals fold into the offset,
+    couplers into neighbors' diagonals, and the survivors compact into
+    the residual exactly as {!reduce} does (same {!expand} contract).
+    No dominance rules run; the caller's facts are the fixing rule, so
+    soundness is the caller's obligation.
+    @raise Invalid_argument on an out-of-range or repeated variable. *)
+
 val residual : t -> Qubo.t
 (** The reduced QUBO over [num_free] fresh variables [0..num_free-1]
     (original indices compacted). Its offset accounts for the energy of
@@ -37,6 +47,11 @@ val residual : t -> Qubo.t
 
 val num_fixed : t -> int
 val num_free : t -> int
+
+val free_indices : t -> int array
+(** Original index of each residual variable, in residual order — the
+    inverse map {!expand} uses, exposed so warm-start assignments over
+    the original variables can be projected onto the residual. *)
 
 val fixed_value : t -> int -> bool option
 (** [fixed_value t i] is the value variable [i] (original numbering) was

@@ -27,23 +27,32 @@ let value_of_constr_value = function
   | Constr.Pos (Some i) -> Some (Eval.V_int i)
   | Constr.Pos None -> None
 
-let annealing_backend ?params ?sampler ?(telemetry = Telemetry.null) () =
+(* A statically-refuted outcome is a proof (the abstract interpreter's
+   transfer functions only remove characters no satisfying string can
+   use), so — unlike ordinary sampler failure — it may answer `Unsat. *)
+let statically_unsat = function
+  | Some { Qsmt_strtheory.Absint.verdict = Qsmt_strtheory.Absint.V_unsat _; _ } -> true
+  | _ -> false
+
+let annealing_backend ?params ?sampler ?absint ?(telemetry = Telemetry.null) () =
   (* One incremental session per backend: repeated queries over a
      push/pop session reuse cached encodings, delta-patch the merged
      QUBO, and warm-start the anneal from the previous best sample. A
      cold first query behaves exactly like [Solver.solve] /
-     [Joint.solve]. *)
-  let session = Qsmt_strtheory.Incremental.create ?params ?sampler ~telemetry () in
+     [Joint.solve]. The session re-runs the abstract interpreter on
+     every query, so push/pop deltas get fresh static verdicts. *)
+  let session = Qsmt_strtheory.Incremental.create ?params ?sampler ?absint ~telemetry () in
   {
     backend_name = "annealing";
     (* A sampler is incomplete: it can certify sat (the decode verifies)
-       but never unsat, so failure is always `Unknown. *)
+       but never unsat, so sampling failure is `Unknown — only a static
+       refutation upgrades to `Unsat. *)
     solve_generate =
       (fun constr ->
         let outcome = Qsmt_strtheory.Incremental.solve_generate session constr in
         match (outcome.Solver.satisfied, value_of_constr_value outcome.Solver.value) with
         | true, Some v -> `Value v
-        | _, _ -> `Unknown);
+        | _, _ -> if statically_unsat outcome.Solver.decided then `Unsat else `Unknown);
     solve_joint =
       (fun conjuncts ->
         match Qsmt_strtheory.Incremental.solve_joint session conjuncts with
@@ -51,14 +60,15 @@ let annealing_backend ?params ?sampler ?(telemetry = Telemetry.null) () =
         | Ok outcome ->
           if outcome.Qsmt_strtheory.Joint.satisfied then
             `Value (Eval.V_str outcome.Qsmt_strtheory.Joint.value)
+          else if statically_unsat outcome.Qsmt_strtheory.Joint.decided then `Unsat
           else `Unknown);
   }
 
-let create ?params ?sampler ?backend ?(telemetry = Telemetry.null) () =
+let create ?params ?sampler ?backend ?absint ?(telemetry = Telemetry.null) () =
   let backend =
     match backend with
     | Some b -> b
-    | None -> annealing_backend ?params ?sampler ~telemetry ()
+    | None -> annealing_backend ?params ?sampler ?absint ~telemetry ()
   in
   {
     backend;
@@ -282,8 +292,8 @@ let run_script st commands =
   in
   go [] commands
 
-let run_string ?params ?sampler ?backend ?(telemetry = Telemetry.null) source =
+let run_string ?params ?sampler ?backend ?absint ?(telemetry = Telemetry.null) source =
   let* commands =
     Telemetry.with_span telemetry "smtlib.parse" (fun _ -> Parser.parse_script source)
   in
-  run_script (create ?params ?sampler ?backend ~telemetry ()) commands
+  run_script (create ?params ?sampler ?backend ?absint ~telemetry ()) commands

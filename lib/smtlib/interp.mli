@@ -34,19 +34,24 @@ type backend = {
 val annealing_backend :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?absint:Qsmt_strtheory.Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   unit ->
   backend
-(** QUBO compile + sampler backend. Never answers [`Unsat] (sampling is
-    incomplete). The sampler defaults to
-    {!Qsmt_strtheory.Solver.default_sampler} with seed 0. [telemetry] is
-    handed to every {!Qsmt_strtheory.Solver.solve} /
+(** QUBO compile + sampler backend. Sampling is incomplete, so sampler
+    failure is [`Unknown]; the only [`Unsat] answers are static proofs
+    from the pre-encode abstract interpreter ([absint], default [`On] —
+    re-run on every query, so [push]/[pop] deltas get fresh verdicts;
+    [`Off] restores the never-[`Unsat] behavior). The sampler defaults
+    to {!Qsmt_strtheory.Solver.default_sampler} with seed 0. [telemetry]
+    is handed to every {!Qsmt_strtheory.Solver.solve} /
     {!Qsmt_strtheory.Joint.solve} the backend performs. *)
 
 val create :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?backend:backend ->
+  ?absint:Qsmt_strtheory.Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   unit ->
   state
@@ -67,6 +72,7 @@ val run_string :
   ?params:Qsmt_strtheory.Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?backend:backend ->
+  ?absint:Qsmt_strtheory.Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   string ->
   (string list, string) result

@@ -1,0 +1,96 @@
+(** Pre-encode abstract interpretation over constraint conjunctions.
+
+    Before a constraint ever becomes a QUBO, this pass computes — per
+    string position — a sound over-approximation of the characters any
+    satisfying assignment may place there: a per-position character-set
+    domain seeded from literals and operation structure, refined by
+    DFA-based regex reachability and substring-placement feasibility,
+    and closed under the equality congruence the palindrome constraint
+    induces between mirrored positions. The whole system iterates to a
+    fixpoint (domains only shrink, so termination is structural; an
+    iteration cap acts as widening for safety).
+
+    Three uses, in decreasing order of payoff:
+
+    - {b static verdicts} — an empty domain proves Unsat; all-singleton
+      domains name the unique candidate, which {!Constr.verify} then
+      grades, so Sat answers stay classically checked. Either way no
+      QUBO is built, no domain pool spun up, no sampler run.
+    - {b encoding shrinking} — a codec bit on which every remaining
+      domain member agrees is forced; {!Qsmt_qubo.Preprocess.clamp}
+      substitutes it into the QUBO so samplers explore only the free
+      subspace. Sound for answers because every satisfying assignment
+      has the forced bits (the domains over-approximate), and the
+      decode scan still verifies classically.
+    - {b findings} — verdicts and shrink facts rendered as
+      {!Qsmt_qubo.Analyze.finding}s for the lint severity machinery and
+      the [qsmt analyze] subcommand.
+
+    Soundness invariant (the one everything above leans on): after any
+    number of iterations, for every string [s] with [Constr.verify c
+    (Str s)] true for all conjuncts [c], and every position [i],
+    [s.[i]] is a member of [doms.(i)]. Transfer functions only remove
+    characters no satisfying string can use, so stopping early (the
+    widening cap) merely leaves domains larger — never wrong. *)
+
+type gate = [ `On | `Off ]
+(** Whether a solve path runs the pass. [`Off] is the [--no-absint]
+    escape hatch: bit-exact today's pipeline. *)
+
+type verdict =
+  | V_sat of Constr.value
+      (** the constraint system is fully determined and the unique
+          candidate passed {!Constr.verify} on every conjunct *)
+  | V_unsat of string
+      (** a contradiction was proven; the payload says where *)
+  | V_undecided  (** neither — solve normally (possibly shrunk) *)
+
+type analysis = {
+  length : int;  (** common string length in characters ([Includes]: haystack length) *)
+  doms : Qsmt_regex.Charset.t array;
+      (** per-position over-approximation of satisfying characters;
+          [length] entries for string constraints, empty for [Includes] *)
+  iterations : int;  (** fixpoint iterations performed *)
+  facts : int;  (** domain narrowings + congruence merges derived *)
+  widened : bool;  (** the iteration cap stopped refinement early *)
+  verdict : verdict;
+}
+
+val default_max_iters : int
+(** 64 — far beyond what any supported conjunction needs; hitting it
+    sets [widened] and keeps whatever sound domains were reached. *)
+
+val analyze : ?max_iters:int -> Constr.t list -> (analysis, string) result
+(** Runs the pass over a conjunction (a single-element list for the
+    plain solver path). [Error] means the pass does not apply — empty
+    list, a conjunct failing {!Constr.validate}, [Includes] mixed with
+    string-generating conjuncts, or disagreeing fixed lengths — and the
+    caller should fall through to its usual behavior. A single
+    [Includes] is decided directly via {!Semantics.index_of}. *)
+
+val forced_bits : analysis -> (int * bool) list
+(** QUBO variables the domains force: bit [b] of position [i] (variable
+    [7i + b], MSB first) appears iff every member of [doms.(i)] agrees
+    on it, with the agreed value. Ascending variable order; empty for
+    [Includes] analyses and full domains. *)
+
+val num_fixed_positions : analysis -> int
+(** Positions whose domain is a singleton. *)
+
+val candidate : analysis -> string option
+(** The unique candidate string when every domain is a singleton. *)
+
+val findings : analysis -> Qsmt_qubo.Analyze.finding list
+(** Renders the verdict for the lint machinery: [V_unsat] is an [Error]
+    (check ["absint-unsat"]), [V_sat] an [Info] (["absint-sat"]),
+    shrinkable-but-undecided an [Info] (["absint-shrink"]), a hit
+    widening cap an [Info] (["absint-widened"]). *)
+
+val emit : Qsmt_util.Telemetry.t -> analysis -> unit
+(** Telemetry vocabulary: counters [absint.runs],
+    [absint.fixpoint_iters], [absint.facts], [absint.positions_fixed],
+    [absint.bits_forced], [absint.static_sat] / [absint.static_unsat],
+    plus one [absint.done] event. No-op on the null handle. *)
+
+val pp : Format.formatter -> analysis -> unit
+(** Multi-line human rendering ([qsmt analyze]'s text output). *)

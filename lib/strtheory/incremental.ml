@@ -13,6 +13,7 @@ type t = {
   sampler : Sampler.t;
   lint : Lint.gate;
   lint_config : Lint.config option;
+  absint : Absint.gate;
   telemetry : Telemetry.t;
   (* Per-conjunct frozen encodings, gated once at insertion. [Constr.t]
      is a plain structural value, so it keys the table directly. *)
@@ -30,13 +31,15 @@ type t = {
   mutable last_sat : string option;
 }
 
-let create ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telemetry.null) () =
+let create ?params ?sampler ?(lint = `Off) ?lint_config ?(absint = `On)
+    ?(telemetry = Telemetry.null) () =
   let sampler = match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0 in
   {
     params;
     sampler;
     lint;
     lint_config;
+    absint;
     telemetry;
     encode_cache = Hashtbl.create 16;
     merged = None;
@@ -49,6 +52,23 @@ let reset t =
   t.merged <- None;
   t.warm <- None;
   t.last_sat <- None
+
+(* ------------------------------------------------------------------ *)
+(* Pre-encode abstract interpretation. Re-run on every query — push/pop
+   deltas change the conjunct list, and the analysis is far cheaper than
+   even a cache hit on the encode path.                                *)
+
+let analyze t cs =
+  match t.absint with
+  | `Off -> None
+  | `On -> (
+    match Absint.analyze cs with
+    | Ok a ->
+      Absint.emit t.telemetry a;
+      Some a
+    | Error _ -> None)
+
+let forced_of = function Some a -> Absint.forced_bits a | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Encoding: per-conjunct cache, delta-patched merge                   *)
@@ -158,6 +178,33 @@ let sample t ?init ~verify qubo =
   let early_exit = init <> None in
   Sampler.run_detailed ~verify ?init ~early_exit ~telemetry:t.telemetry t.sampler qubo
 
+(* [sample] with the statically-forced codec bits clamped: the anneal
+   runs on the residual, warm-start assignments (always stored full
+   size) are projected onto it, and the returned set is lifted back to
+   full assignments — so warm/cold bookkeeping upstream never sees
+   residual coordinates. With no forced bits this is exactly [sample]. *)
+let sample_shrunk t ?init ~verify ~forced qubo =
+  match forced with
+  | [] -> sample t ?init ~verify qubo
+  | forced ->
+    Telemetry.count t.telemetry "absint.shrunk" 1;
+    let red = Qsmt_qubo.Preprocess.clamp qubo forced in
+    if Qsmt_qubo.Preprocess.num_free red = 0 then
+      (Sampleset.of_bits qubo [ Qsmt_qubo.Preprocess.expand red (Bitvec.create 0) ], None)
+    else begin
+      let free = Qsmt_qubo.Preprocess.free_indices red in
+      let init =
+        Option.map
+          (fun bits -> Bitvec.init (Array.length free) (fun r -> Bitvec.get bits free.(r)))
+          init
+      in
+      let verify_r bits = verify (Qsmt_qubo.Preprocess.expand red bits) in
+      let samples_r, hardware =
+        sample t ?init ~verify:verify_r (Qsmt_qubo.Preprocess.residual red)
+      in
+      (Solver.lift_samples ~qubo red samples_r, hardware)
+    end
+
 (* ------------------------------------------------------------------ *)
 (* Single-constraint queries (Generate / Locate)                       *)
 
@@ -195,32 +242,60 @@ let reuse_model t constr qubo =
     Some (Sampleset.of_bits qubo [ bits ], Constr.Str s)
   | _ -> None
 
+let static_generate t constr analysis =
+  let value, satisfied =
+    match analysis.Absint.verdict with
+    | Absint.V_sat value -> (value, true)
+    | _ -> (
+      ((match constr with Constr.Includes _ -> Constr.Pos None | _ -> Constr.Str ""), false))
+  in
+  note_sat t value satisfied;
+  {
+    Solver.constr;
+    qubo = Qubo.freeze ~num_vars:(Constr.num_vars constr) (Qubo.builder ());
+    samples = Sampleset.empty;
+    value;
+    satisfied;
+    energy = 0.;
+    hardware = None;
+    decided = Some analysis;
+  }
+
 let solve_generate t constr =
-  let qubo = encode_cached t constr in
-  match reuse_model t constr qubo with
-  | Some (samples, value) ->
-    let energy = (Sampleset.best samples).Sampleset.energy in
-    { Solver.constr; qubo; samples; value; satisfied = true; energy; hardware = None }
-  | None ->
-    let verify_value v = Constr.verify constr v in
-    let verify bits = verify_value (Compile.decode constr bits) in
-    let init = warm_init t ~num_vars:(Qubo.num_vars qubo) in
-    let samples, hardware = sample t ?init ~verify qubo in
-    let value, satisfied, energy = pick_value ~verify:verify_value constr samples in
-    let samples, hardware, value, satisfied, energy =
-      if satisfied || init = None then (samples, hardware, value, satisfied, energy)
-      else begin
-        (* A failed warm run retries the exact cold configuration, so an
-           incremental verdict is never worse than a from-scratch one. *)
-        Telemetry.count t.telemetry "incr.cold_retry" 1;
-        let samples, hardware = sample t ~verify qubo in
-        let value, satisfied, energy = pick_value ~verify:verify_value constr samples in
-        (samples, hardware, value, satisfied, energy)
-      end
-    in
-    note_warm t samples;
-    note_sat t value satisfied;
-    { Solver.constr; qubo; samples; value; satisfied; energy; hardware }
+  let analysis = analyze t [ constr ] in
+  match analysis with
+  | Some ({ Absint.verdict = Absint.V_sat _ | Absint.V_unsat _; _ } as a) ->
+    (* Decided before any encoding exists: the encode cache, domain
+       pool, and warm state are untouched. *)
+    static_generate t constr a
+  | None | Some { Absint.verdict = Absint.V_undecided; _ } -> (
+    let qubo = encode_cached t constr in
+    match reuse_model t constr qubo with
+    | Some (samples, value) ->
+      let energy = (Sampleset.best samples).Sampleset.energy in
+      { Solver.constr; qubo; samples; value; satisfied = true; energy; hardware = None;
+        decided = None }
+    | None ->
+      let forced = forced_of analysis in
+      let verify_value v = Constr.verify constr v in
+      let verify bits = verify_value (Compile.decode constr bits) in
+      let init = warm_init t ~num_vars:(Qubo.num_vars qubo) in
+      let samples, hardware = sample_shrunk t ?init ~verify ~forced qubo in
+      let value, satisfied, energy = pick_value ~verify:verify_value constr samples in
+      let samples, hardware, value, satisfied, energy =
+        if satisfied || init = None then (samples, hardware, value, satisfied, energy)
+        else begin
+          (* A failed warm run retries the exact cold configuration, so an
+             incremental verdict is never worse than a from-scratch one. *)
+          Telemetry.count t.telemetry "incr.cold_retry" 1;
+          let samples, hardware = sample_shrunk t ~verify ~forced qubo in
+          let value, satisfied, energy = pick_value ~verify:verify_value constr samples in
+          (samples, hardware, value, satisfied, energy)
+        end
+      in
+      note_warm t samples;
+      note_sat t value satisfied;
+      { Solver.constr; qubo; samples; value; satisfied; energy; hardware; decided = None })
 
 (* ------------------------------------------------------------------ *)
 (* Joint conjunction queries                                           *)
@@ -230,44 +305,59 @@ let verdicts cs s = List.map (fun c -> (c, Constr.verify c (Constr.Str s))) cs
 let solve_joint t cs =
   let* length = Joint.common_length cs in
   let num_vars = 7 * length in
-  let qubo = obtain t cs ~num_vars in
-  let all_ok s = List.for_all (fun c -> Constr.verify c (Constr.Str s)) cs in
-  match t.last_sat with
-  | Some s when String.length s = length && all_ok s ->
-    Telemetry.count t.telemetry "incr.model_reuse" 1;
-    let samples = Sampleset.of_bits qubo [ Ascii7.encode s ] in
-    note_warm t samples;
-    Ok { Joint.qubo; samples; value = s; satisfied = true; per_constraint = verdicts cs s }
-  | _ -> begin
-    let verify bits = all_ok (Ascii7.decode bits) in
-    let init = warm_init t ~num_vars in
-    let run init = fst (sample t ?init ~verify qubo) in
-    let outcome_of samples =
-      let decoded =
-        List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
-      in
-      match decoded with
-      | [] -> Error "sampler returned an empty sample set"
-      | first :: _ -> begin
-        match List.find_opt all_ok decoded with
-        | Some s ->
-          Ok
-            (samples, { Joint.qubo; samples; value = s; satisfied = true; per_constraint = verdicts cs s })
-        | None ->
-          Ok
-            ( samples,
-              { Joint.qubo; samples; value = first; satisfied = false; per_constraint = verdicts cs first } )
-      end
-    in
-    let* samples, outcome = outcome_of (run init) in
-    let* samples, outcome =
-      if outcome.Joint.satisfied || init = None then Ok (samples, outcome)
-      else begin
-        Telemetry.count t.telemetry "incr.cold_retry" 1;
-        outcome_of (run None)
-      end
-    in
-    note_warm t samples;
+  let analysis = analyze t cs in
+  match analysis with
+  | Some ({ Absint.verdict = (Absint.V_sat _ | Absint.V_unsat _) as verdict; _ } as a) ->
+    (* Decided before any merge: encode cache, merged QUBO, and warm
+       state stay exactly as the previous query left them. *)
+    let outcome = Joint.static_outcome cs ~num_vars ~analysis:a verdict in
     if outcome.Joint.satisfied then t.last_sat <- Some outcome.Joint.value;
     Ok outcome
-  end
+  | None | Some { Absint.verdict = Absint.V_undecided; _ } -> (
+    let forced = forced_of analysis in
+    let qubo = obtain t cs ~num_vars in
+    let all_ok s = List.for_all (fun c -> Constr.verify c (Constr.Str s)) cs in
+    match t.last_sat with
+    | Some s when String.length s = length && all_ok s ->
+      Telemetry.count t.telemetry "incr.model_reuse" 1;
+      let samples = Sampleset.of_bits qubo [ Ascii7.encode s ] in
+      note_warm t samples;
+      Ok
+        { Joint.qubo; samples; value = s; satisfied = true; per_constraint = verdicts cs s;
+          decided = None }
+    | _ -> begin
+      let verify bits = all_ok (Ascii7.decode bits) in
+      let init = warm_init t ~num_vars in
+      let run init = fst (sample_shrunk t ?init ~verify ~forced qubo) in
+      let outcome_of samples =
+        let decoded =
+          List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
+        in
+        match decoded with
+        | [] -> Error "sampler returned an empty sample set"
+        | first :: _ -> begin
+          match List.find_opt all_ok decoded with
+          | Some s ->
+            Ok
+              ( samples,
+                { Joint.qubo; samples; value = s; satisfied = true;
+                  per_constraint = verdicts cs s; decided = None } )
+          | None ->
+            Ok
+              ( samples,
+                { Joint.qubo; samples; value = first; satisfied = false;
+                  per_constraint = verdicts cs first; decided = None } )
+        end
+      in
+      let* samples, outcome = outcome_of (run init) in
+      let* samples, outcome =
+        if outcome.Joint.satisfied || init = None then Ok (samples, outcome)
+        else begin
+          Telemetry.count t.telemetry "incr.cold_retry" 1;
+          outcome_of (run None)
+        end
+      in
+      note_warm t samples;
+      if outcome.Joint.satisfied then t.last_sat <- Some outcome.Joint.value;
+      Ok outcome
+    end)

@@ -40,13 +40,23 @@ val create :
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?lint:Lint.gate ->
   ?lint_config:Lint.config ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   unit ->
   t
 (** The sampler defaults to {!Solver.default_sampler}[ ~seed:0]; the
     lint gate (default [`Off]) vets each conjunct encoding once at cache
     insertion and re-checks patched merges at the matrix level, raising
-    {!Lint.Rejected} like {!Solver.solve} does. *)
+    {!Lint.Rejected} like {!Solver.solve} does.
+
+    [absint] (default [`On]) re-runs {!Absint.analyze} on every query —
+    push/pop deltas change the conjunct list, and the pass is cheaper
+    than even an encode-cache hit. Statically-decided queries return
+    without touching the caches, the pool, or the warm state (their
+    outcomes carry [decided = Some _] and zero sampler reads); undecided
+    queries anneal a residual with the statically-forced codec bits
+    clamped, with warm-start seeds projected onto it. [`Off] replays
+    today's pipeline bit-exactly. *)
 
 val reset : t -> unit
 (** Drops every cache (encodings, merged QUBO, warm state). *)

@@ -59,26 +59,99 @@ type outcome = {
   value : string;
   satisfied : bool;
   per_constraint : (Constr.t * bool) list;
+  decided : Absint.analysis option;
 }
 
 let verdicts cs s = List.map (fun c -> (c, Constr.verify c (Constr.Str s))) cs
 
-let solve ?params ?sampler ?telemetry cs =
+(* Static outcomes carry an empty placeholder QUBO over the right
+   variable count and an empty sample set: no encoding was merged, no
+   sampler ran, zero reads. *)
+let static_outcome cs ~num_vars ~analysis verdict =
+  let qubo = Qubo.freeze ~num_vars (Qubo.builder ()) in
+  match verdict with
+  | Absint.V_sat (Constr.Str s) ->
+    {
+      qubo;
+      samples = Sampleset.empty;
+      value = s;
+      satisfied = true;
+      per_constraint = verdicts cs s;
+      decided = Some analysis;
+    }
+  | _ ->
+    (* unsat: no value exists; every conjunct is reported unsatisfied *)
+    {
+      qubo;
+      samples = Sampleset.empty;
+      value = "";
+      satisfied = false;
+      per_constraint = List.map (fun c -> (c, false)) cs;
+      decided = Some analysis;
+    }
+
+let solve ?params ?sampler ?(absint = `On) ?(telemetry = Qsmt_util.Telemetry.null) cs =
   let sampler =
     match sampler with Some s -> s | None -> Solver.default_sampler ~seed:0
   in
-  let* qubo, _length = encode ?params cs in
-  let samples = Sampler.run ?telemetry sampler qubo in
-  let decoded =
-    List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
+  let* length = common_length cs in
+  let analysis =
+    match absint with
+    | `Off -> None
+    | `On -> (
+      match Absint.analyze cs with
+      | Ok a ->
+        Absint.emit telemetry a;
+        Some a
+      | Error _ -> None)
   in
-  match decoded with
-  | [] -> Error "sampler returned an empty sample set"
-  | first :: _ -> begin
+  match analysis with
+  | Some ({ Absint.verdict = (Absint.V_sat _ | Absint.V_unsat _) as verdict; _ } as a) ->
+    Ok (static_outcome cs ~num_vars:(7 * length) ~analysis:a verdict)
+  | None | Some { Absint.verdict = Absint.V_undecided; _ } -> (
+    let* qubo, _length = encode ?params cs in
     let all_ok s = List.for_all (fun c -> Constr.verify c (Constr.Str s)) cs in
-    match List.find_opt all_ok decoded with
-    | Some s ->
-      Ok { qubo; samples; value = s; satisfied = true; per_constraint = verdicts cs s }
-    | None ->
-      Ok { qubo; samples; value = first; satisfied = false; per_constraint = verdicts cs first }
-  end
+    let samples =
+      match Option.map Absint.forced_bits analysis with
+      | None | Some [] -> Sampler.run ~telemetry sampler qubo
+      | Some forced ->
+        Qsmt_util.Telemetry.count telemetry "absint.shrunk" 1;
+        let red = Qsmt_qubo.Preprocess.clamp qubo forced in
+        if Qsmt_qubo.Preprocess.num_free red = 0 then
+          Sampleset.of_bits qubo
+            [ Qsmt_qubo.Preprocess.expand red (Qsmt_util.Bitvec.create 0) ]
+        else
+          let verify bits =
+            all_ok (Ascii7.decode (Qsmt_qubo.Preprocess.expand red bits))
+          in
+          Solver.lift_samples ~qubo red
+            (Sampler.run ~verify ~telemetry sampler (Qsmt_qubo.Preprocess.residual red))
+    in
+    let decoded =
+      List.map (fun e -> Ascii7.decode e.Sampleset.bits) (Sampleset.entries samples)
+    in
+    match decoded with
+    | [] -> Error "sampler returned an empty sample set"
+    | first :: _ -> begin
+      match List.find_opt all_ok decoded with
+      | Some s ->
+        Ok
+          {
+            qubo;
+            samples;
+            value = s;
+            satisfied = true;
+            per_constraint = verdicts cs s;
+            decided = None;
+          }
+      | None ->
+        Ok
+          {
+            qubo;
+            samples;
+            value = first;
+            satisfied = false;
+            per_constraint = verdicts cs first;
+            decided = None;
+          }
+    end)

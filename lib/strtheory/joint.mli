@@ -44,14 +44,38 @@ type outcome = {
   value : string;  (** decoded best candidate *)
   satisfied : bool;  (** all conjuncts verified *)
   per_constraint : (Constr.t * bool) list;  (** which conjuncts the value satisfies *)
+  decided : Absint.analysis option;
+      (** [Some] iff the abstract interpreter decided the conjunction
+          statically: [qubo] is an empty placeholder, [samples] is empty
+          (zero reads), and on unsat [value = ""] with every conjunct
+          reported unsatisfied. A static unsat is a proof. *)
 }
+
+val static_outcome :
+  Constr.t list ->
+  num_vars:int ->
+  analysis:Absint.analysis ->
+  Absint.verdict ->
+  outcome
+(** The outcome shape of a statically-decided conjunction (shared with
+    {!Incremental}): empty placeholder QUBO over [num_vars], empty
+    sample set, and either the verified candidate ([V_sat]) or the
+    all-unsatisfied unsat report. *)
 
 val solve :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t list ->
   (outcome, string) result
 (** Samples once over the merged QUBO and scans in energy order for the
     first string satisfying {e all} conjuncts; if none does, the
-    lowest-energy decode is reported with its per-conjunct verdicts. *)
+    lowest-energy decode is reported with its per-conjunct verdicts.
+
+    [absint] (default [`On]) runs {!Absint.analyze} over the conjunction
+    first: a static verdict skips merging and sampling entirely, and an
+    undecided analysis clamps the statically-forced codec bits so the
+    sampler anneals only the free subspace (answers and energies are
+    unchanged — samples are lifted back and verified classically; pass
+    [`Off] for a bit-exact replay of the unshrunk pipeline). *)

@@ -3,6 +3,8 @@ module Sampler = Qsmt_anneal.Sampler
 module Sa = Qsmt_anneal.Sa
 module Parallel = Qsmt_util.Parallel
 module Telemetry = Qsmt_util.Telemetry
+module Qubo = Qsmt_qubo.Qubo
+module Preprocess = Qsmt_qubo.Preprocess
 
 type outcome = {
   constr : Constr.t;
@@ -12,6 +14,7 @@ type outcome = {
   satisfied : bool;
   energy : float;
   hardware : Qsmt_anneal.Hardware.stats option;
+  decided : Absint.analysis option;
 }
 
 type stage_timing = {
@@ -48,8 +51,31 @@ let pick_value ~verify constr samples =
 
 let now () = Unix.gettimeofday ()
 
-let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telemetry.null)
-    constr =
+(* Lift a residual sample set back over the original variables,
+   recomputing each energy against the full QUBO so shrunk and unshrunk
+   solves report identical energies for identical assignments (the
+   residual's folded offset is equal only up to float association). *)
+let lift_samples ~qubo red samples =
+  Sampleset.of_entries
+    (List.map
+       (fun e ->
+         let bits = Preprocess.expand red e.Sampleset.bits in
+         {
+           Sampleset.bits;
+           energy = Qubo.energy qubo bits;
+           occurrences = e.Sampleset.occurrences;
+         })
+       (Sampleset.entries samples))
+
+let run_absint ~telemetry cs =
+  match Absint.analyze cs with
+  | Ok a ->
+    Absint.emit telemetry a;
+    Some a
+  | Error _ -> None
+
+let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(absint = `On)
+    ?(telemetry = Telemetry.null) constr =
   let sampler = match sampler with Some s -> s | None -> default_sampler ~seed:0 in
   (* Verification happens in two places — inside the sampler (the
      portfolio's early-exit callback, possibly from several domains at
@@ -76,6 +102,49 @@ let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telem
      decode dominate this process's allocation, and the delta lands in
      gc.* counters/histograms plus one gc.delta event on the span. *)
   Telemetry.with_gc_probe telemetry ~span:solve_span @@ fun () ->
+  (* Pre-encode abstract interpretation: a static verdict returns
+     before any QUBO exists — no encoding, no domain pool, no sampler
+     reads. An undecided analysis still pays off below by clamping the
+     codec bits it proved forced. [`Off] is bit-exact today's path. *)
+  let analysis =
+    match absint with
+    | `Off -> None
+    | `On ->
+      Telemetry.with_span telemetry ~parent:solve_span "absint" (fun _ ->
+          run_absint ~telemetry [ constr ])
+  in
+  let static value satisfied =
+    if Telemetry.enabled telemetry then begin
+      Telemetry.count telemetry "solve.constraints" 1;
+      Telemetry.emit telemetry ~span:solve_span "solve.done"
+        [
+          ("op", Telemetry.Str (Compile.op_name constr));
+          ("satisfied", Telemetry.Bool satisfied);
+          ("energy", Telemetry.Float 0.);
+          ("reads", Telemetry.Int 0);
+        ]
+    end;
+    Telemetry.finish telemetry solve_span;
+    ( {
+        constr;
+        qubo = Qubo.freeze ~num_vars:(Constr.num_vars constr) (Qubo.builder ());
+        samples = Sampleset.empty;
+        value;
+        satisfied;
+        energy = 0.;
+        hardware = None;
+        decided = analysis;
+      },
+      { encode_s = 0.; sample_s = 0.; decode_s = 0.; verify_s = 0. } )
+  in
+  match analysis with
+  | Some { Absint.verdict = Absint.V_sat value; _ } -> static value true
+  | Some { Absint.verdict = Absint.V_unsat _; _ } ->
+    let value =
+      match constr with Constr.Includes _ -> Constr.Pos None | _ -> Constr.Str ""
+    in
+    static value false
+  | None | Some { Absint.verdict = Absint.V_undecided; _ } ->
   let t0 = now () in
   let qubo =
     Telemetry.with_span telemetry ~parent:solve_span "encode" (fun _ ->
@@ -97,9 +166,29 @@ let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telem
     timed (now () -. s);
     verify_value value
   in
+  let forced = match analysis with Some a -> Absint.forced_bits a | None -> [] in
   let samples, hardware =
     Telemetry.with_span telemetry ~parent:solve_span "sample" (fun _ ->
-        Sampler.run_detailed ~verify ~telemetry sampler qubo)
+        match forced with
+        | [] -> Sampler.run_detailed ~verify ~telemetry sampler qubo
+        | forced ->
+          (* Clamp the statically-forced bits and anneal only the free
+             subspace; samples lift back to full assignments before the
+             decode scan, so everything downstream is unchanged. *)
+          Telemetry.count telemetry "absint.shrunk" 1;
+          let red = Preprocess.clamp qubo forced in
+          if Preprocess.num_free red = 0 then
+            ( Sampleset.of_bits qubo
+                [ Preprocess.expand red (Qsmt_util.Bitvec.create 0) ],
+              None )
+          else begin
+            let verify_r bits = verify (Preprocess.expand red bits) in
+            let samples_r, hardware =
+              Sampler.run_detailed ~verify:verify_r ~telemetry sampler
+                (Preprocess.residual red)
+            in
+            (lift_samples ~qubo red samples_r, hardware)
+          end)
   in
   let t2 = now () in
   let verify_before_pick = !verify_total in
@@ -119,7 +208,7 @@ let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telem
       ]
   end;
   Telemetry.finish telemetry solve_span;
-  ( { constr; qubo; samples; value; satisfied; energy; hardware },
+  ( { constr; qubo; samples; value; satisfied; energy; hardware; decided = None },
     {
       encode_s = t1 -. t0;
       sample_s = t2 -. t1;
@@ -127,14 +216,14 @@ let solve_timed ?params ?sampler ?(lint = `Off) ?lint_config ?(telemetry = Telem
       verify_s = !verify_total;
     } )
 
-let solve ?params ?sampler ?lint ?lint_config ?telemetry constr =
-  fst (solve_timed ?params ?sampler ?lint ?lint_config ?telemetry constr)
+let solve ?params ?sampler ?lint ?lint_config ?absint ?telemetry constr =
+  fst (solve_timed ?params ?sampler ?lint ?lint_config ?absint ?telemetry constr)
 
-let solve_batch ?params ?sampler ?lint ?lint_config ?telemetry ?(jobs = 0) constrs =
+let solve_batch ?params ?sampler ?lint ?lint_config ?absint ?telemetry ?(jobs = 0) constrs =
   let jobs = if jobs > 0 then jobs else Parallel.recommended_domains () in
   let constrs = Array.of_list constrs in
   Array.to_list (Parallel.init_array ?telemetry ~domains:jobs (Array.length constrs) (fun i ->
-      solve_timed ?params ?sampler ?lint ?lint_config ?telemetry constrs.(i)))
+      solve_timed ?params ?sampler ?lint ?lint_config ?absint ?telemetry constrs.(i)))
 
 type pipeline_error = {
   stage_index : int;
@@ -142,8 +231,8 @@ type pipeline_error = {
   completed : outcome list;
 }
 
-let solve_pipeline ?params ?sampler ?lint ?lint_config ?telemetry pipeline =
-  let first = solve ?params ?sampler ?lint ?lint_config ?telemetry pipeline.Pipeline.initial in
+let solve_pipeline ?params ?sampler ?lint ?lint_config ?absint ?telemetry pipeline =
+  let first = solve ?params ?sampler ?lint ?lint_config ?absint ?telemetry pipeline.Pipeline.initial in
   (* Stages transform a string; a positional decode (only the initial
      constraint can produce one, via Includes) has no string to feed
      forward, so the run stops with a typed error instead of silently
@@ -152,7 +241,7 @@ let solve_pipeline ?params ?sampler ?lint ?lint_config ?telemetry pipeline =
     | [] -> Ok (List.rev acc)
     | stage :: rest ->
       let constr = Pipeline.constraint_for stage ~input in
-      let outcome = solve ?params ?sampler ?lint ?lint_config ?telemetry constr in
+      let outcome = solve ?params ?sampler ?lint ?lint_config ?absint ?telemetry constr in
       let acc = outcome :: acc in
       (match outcome.value with
       | Constr.Str s -> go (index + 1) s acc rest

@@ -18,6 +18,12 @@ type outcome = {
           fraction, embedding-cache hit, degradation — when the sampler
           went through the hardware-emulation path; [None] for
           all-to-all samplers *)
+  decided : Absint.analysis option;
+      (** [Some] iff the abstract interpreter decided the constraint
+          statically ([V_sat]/[V_unsat]): [qubo] is then an empty
+          placeholder, [samples] is {!Qsmt_anneal.Sampleset.empty} (zero
+          reads — no sampler ran), and [energy] is [0.]. A [V_unsat]
+          here is a proof, unlike an ordinary [satisfied = false]. *)
 }
 
 type stage_timing = {
@@ -37,11 +43,23 @@ val default_sampler : seed:int -> Qsmt_anneal.Sampler.t
 (** Simulated annealing, 32 reads × 1000 sweeps — the configuration the
     experiments use unless stated otherwise. *)
 
+val lift_samples :
+  qubo:Qsmt_qubo.Qubo.t ->
+  Qsmt_qubo.Preprocess.t ->
+  Qsmt_anneal.Sampleset.t ->
+  Qsmt_anneal.Sampleset.t
+(** Shared plumbing of the absint shrink path (also used by {!Joint} and
+    {!Incremental}): expands every residual entry through
+    {!Qsmt_qubo.Preprocess.expand} and recomputes its energy on the full
+    [qubo], so shrunk solves report energies bit-identical to what an
+    unshrunk solve would report for the same assignments. *)
+
 val solve :
   ?params:Params.t ->
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?lint:Lint.gate ->
   ?lint_config:Lint.config ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t ->
   outcome
@@ -60,6 +78,7 @@ val solve_timed :
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?lint:Lint.gate ->
   ?lint_config:Lint.config ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Constr.t ->
   outcome * stage_timing
@@ -82,6 +101,7 @@ val solve_batch :
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?lint:Lint.gate ->
   ?lint_config:Lint.config ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   ?jobs:int ->
   Constr.t list ->
@@ -111,6 +131,7 @@ val solve_pipeline :
   ?sampler:Qsmt_anneal.Sampler.t ->
   ?lint:Lint.gate ->
   ?lint_config:Lint.config ->
+  ?absint:Absint.gate ->
   ?telemetry:Qsmt_util.Telemetry.t ->
   Pipeline.t ->
   (outcome list, pipeline_error) result

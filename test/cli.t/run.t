@@ -1,21 +1,37 @@
 The qsmt CLI end to end. Everything here is seeded, so outputs are
 byte-stable; timing lines are filtered out.
 
-Deterministic generation:
+Deterministic generation. Literal operations are fully determined by
+the pre-encode abstract interpreter: no QUBO is built, no sampler runs,
+and the classically-verified answer is reported as decided statically:
 
   $ ../../bin/qsmt.exe gen reverse hello --seed 1 | grep -v timing
+  constraint: reverse "hello"
+  absint    : sat — 2 iteration(s), 5 fact(s), 5/5 position(s) fixed
+  result    : "olleh" (verified, decided statically)
+
+  $ ../../bin/qsmt.exe gen replace-all hello l x --seed 1 | grep -v timing
+  constraint: replace all 'l' with 'x' in "hello"
+  absint    : sat — 2 iteration(s), 5 fact(s), 5/5 position(s) fixed
+  result    : "hexxo" (verified, decided statically)
+
+--no-absint disables the pass and replays the annealing pipeline
+bit-exactly as before:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --no-absint | grep -v timing
   constraint: reverse "hello"
   qubo      : qubo(vars=35, interactions=0, offset=21)
   result    : "olleh" (energy 0, verified)
 
-  $ ../../bin/qsmt.exe gen replace-all hello l x --seed 1 | grep -v timing
-  constraint: replace all 'l' with 'x' in "hello"
-  qubo      : qubo(vars=35, interactions=0, offset=21)
-  result    : "hexxo" (energy 0, verified)
-
-Position search (string includes):
+Position search (string includes) is decided through the classical
+index-of semantics:
 
   $ ../../bin/qsmt.exe gen includes 'hello world' world --seed 1 | grep -v timing
+  constraint: find "world" within "hello world"
+  absint    : sat — 1 iteration(s), 1 fact(s), 0/11 position(s) fixed
+  result    : position 6 (verified, decided statically)
+
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --seed 1 --no-absint | grep -v timing
   constraint: find "world" within "hello world"
   qubo      : qubo(vars=7, interactions=21, offset=0)
   result    : position 6 (energy -5, verified)
@@ -63,7 +79,7 @@ SMT-LIB scripts from stdin:
 Portfolio sampler (races sa/sqa/pt/tabu/greedy; the first verified read
 wins and cancels the rest, so only the stable lines are compared):
 
-  $ ../../bin/qsmt.exe gen reverse hello --sampler portfolio --seed 1 --jobs 2 | grep -v timing
+  $ ../../bin/qsmt.exe gen reverse hello --sampler portfolio --seed 1 --jobs 2 --no-absint | grep -v timing
   constraint: reverse "hello"
   qubo      : qubo(vars=35, interactions=0, offset=21)
   result    : "olleh" (energy 0, verified)
@@ -73,7 +89,7 @@ penalties, majority-vote unembedding. The stats line reports what the
 embedding cost; the auto-sizing probe shares its routing work with the
 solve through the embedding cache, hence the first-run cache hit:
 
-  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera | grep -v timing
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera --no-absint | grep -v timing
   constraint: find "world" within "hello world"
   qubo      : qubo(vars=7, interactions=21, offset=0)
   result    : position 6 (energy -5, verified)
@@ -100,7 +116,7 @@ chain strength escalates geometrically, and when breaks stay above the
 threshold the answer is flagged DEGRADED (and NOT satisfied — never a
 silent wrong answer):
 
-  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera --chain-strength 0.0001 --noise 2 --reads 8 --sweeps 200 | grep -v timing
+  $ ../../bin/qsmt.exe gen includes 'hello world' world --sampler hardware --topology chimera --chain-strength 0.0001 --noise 2 --reads 8 --sweeps 200 --no-absint | grep -v timing
   constraint: find "world" within "hello world"
   qubo      : qubo(vars=7, interactions=21, offset=0)
   result    : position 0 (energy 0, NOT satisfied)
@@ -128,7 +144,7 @@ throughput gauges depend on allocator state and machine speed);
 everything seeded — counts, energies, success probability — is
 byte-stable:
 
-  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --metrics | grep -v timing \
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --metrics --no-absint | grep -v timing \
   >   | sed -E -e 's/ +[0-9]+\.[0-9]+ ?ms$/ [TIME]/' \
   >             -e 's/^( +(gc\.[a-z_]+|[a-z]+\.(flips|sweeps)_per_s|pool\.(worker_busy_s|submit_latency_s|utilization))) .*$/\1 [VARIES]/'
   constraint: reverse "hello"
@@ -172,7 +188,7 @@ byte-stable:
 deterministic (strided sweep events depend only on sweep indices, never
 on wall clock), and `qsmt trace` validates the format contract:
 
-  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace trace.jsonl > /dev/null
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace trace.jsonl --no-absint > /dev/null
   $ ../../bin/qsmt.exe trace trace.jsonl
   trace.jsonl: 1121 events, well-formed JSONL, monotone timestamps, balanced spans
 

@@ -6,9 +6,10 @@ wall-clock and allocator-dependent values are masked or checked
 structurally.
 
 A traced solve writes the JSONL event log and a live Prometheus dump in
-one run:
+one run (--no-absint keeps the annealing pipeline under the probe; the
+static fast path is traced separately below):
 
-  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace t.jsonl --metrics-out live.txt > /dev/null
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace t.jsonl --metrics-out live.txt --no-absint > /dev/null
   $ ../../bin/qsmt.exe trace t.jsonl
   t.jsonl: 1121 events, well-formed JSONL, monotone timestamps, balanced spans
 
@@ -74,6 +75,28 @@ The progress reporter prints one-line status updates on stderr from the
 snapshot API; a final line is always printed, so a short solve still
 reports. The interval is set high so exactly one (final) line appears:
 
-  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)' | QSMT_PROGRESS_INTERVAL_S=60 ../../bin/qsmt.exe run - --progress 2>&1 | sed -E 's/t=[0-9.]+s/t=[T]s/'
+  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)' | QSMT_PROGRESS_INTERVAL_S=60 ../../bin/qsmt.exe run - --progress --no-absint 2>&1 | sed -E 's/t=[0-9.]+s/t=[T]s/'
   [progress] t=[T]s phase=done reads=32 sweeps=32000 best=-11 pool=1.00
+  sat
+
+A statically-decided solve is observable too, just much smaller: the
+trace carries only the absint child span under solve, the exposition
+has absint.* counters but no sampler or pool families (the fast path
+spins nothing up), and the progress reporter shows zero reads:
+
+  $ ../../bin/qsmt.exe gen reverse hello --seed 1 --trace static.jsonl --metrics-out static.txt > /dev/null
+  $ ../../bin/qsmt.exe trace static.jsonl
+  static.jsonl: 19 events, well-formed JSONL, monotone timestamps, balanced spans
+  $ grep '^qsmt_span_count_total' static.txt
+  qsmt_span_count_total{span="absint"} 1
+  qsmt_span_count_total{span="solve"} 1
+  $ grep '^qsmt_absint_static_sat_total\|^qsmt_absint_positions_fixed_total' static.txt
+  qsmt_absint_positions_fixed_total 5
+  qsmt_absint_static_sat_total 1
+  $ grep -c '^qsmt_sa_\|^qsmt_pool_' static.txt
+  0
+  [1]
+
+  $ echo '(declare-const x String)(assert (str.contains x "cat"))(assert (= (str.len x) 3))(check-sat)' | QSMT_PROGRESS_INTERVAL_S=60 ../../bin/qsmt.exe run - --progress 2>&1 | sed -E 's/t=[0-9.]+s/t=[T]s/'
+  [progress] t=[T]s phase=done reads=0 sweeps=0 best=- pool=-
   sat
